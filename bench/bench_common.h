@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exp/harness.h"
+#include "exp/tableio.h"
+
+namespace uqp::bench {
+
+/// Shared knobs for the experiment drivers. UQP_FULL=1 runs the paper-size
+/// grids; the default is a reduced grid sized so the whole bench suite
+/// completes in a few minutes on one core.
+struct BenchConfig {
+  bool full = false;
+  int micro_queries = 45;    ///< selections + joins
+  int seljoin_queries = 27;
+  int tpch_queries = 28;
+  int queries_10gb_cap = 24; ///< per workload at the 10gb profile
+
+  static BenchConfig FromEnv() {
+    BenchConfig cfg;
+    const char* full = std::getenv("UQP_FULL");
+    if (full != nullptr && full[0] == '1') {
+      cfg.full = true;
+      cfg.micro_queries = 109;
+      cfg.seljoin_queries = 54;
+      cfg.tpch_queries = 42;
+      cfg.queries_10gb_cap = 56;
+    }
+    return cfg;
+  }
+
+  int SizeFor(const std::string& workload, const std::string& profile) const {
+    int n = workload == "micro"     ? micro_queries
+            : workload == "seljoin" ? seljoin_queries
+                                    : tpch_queries;
+    if (profile == "10gb" && n > queries_10gb_cap) n = queries_10gb_cap;
+    return n;
+  }
+};
+
+inline const std::vector<double> kSamplingRatios = {0.01, 0.05, 0.1};
+inline const std::vector<std::string> kMachines = {"PC1", "PC2"};
+inline const std::vector<std::string> kWorkloads = {"micro", "seljoin", "tpch"};
+
+}  // namespace uqp::bench

@@ -1,0 +1,109 @@
+// Extension bench (paper §8 conclusion): multi-query prediction by
+// "viewing the interference between queries as changing the distribution
+// of the c's". The calibration queries are re-run at each multiprogramming
+// level (MPL); the per-level cost-unit distributions feed the unchanged
+// predictor (operator selectivities are independent of concurrency, as the
+// paper observes).
+//
+// Shape to reproduce: calibrated unit means inflate with MPL (I/O first,
+// CPU once cores oversubscribe); predictions at MPL k made with MPL-k
+// units stay accurate and strongly rank-correlated, while predictions made
+// with the idle-machine units underestimate badly at high MPL.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/variance.h"
+#include "cost/calibration.h"
+#include "costfunc/fitter.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "hw/machine.h"
+#include "math/stats.h"
+#include "sampling/estimator.h"
+
+using namespace uqp;
+using namespace uqp::bench;
+
+int main() {
+  PrintBanner("Extension: prediction under concurrency (MPL-aware cost units)");
+
+  HarnessOptions hopts;
+  hopts.profile = "1gb";
+  ExperimentHarness harness(hopts);
+  const Database& db = harness.db();
+
+  SimulatedMachine machine(MachineProfile::PC1(), 333);
+  Calibrator calibrator(&machine);
+
+  auto queries = MakeWorkload(db, "seljoin", 77, 27);
+  std::vector<Plan> plans;
+  std::vector<ExecResult> fulls;
+  Executor executor(&db);
+  for (auto& q : queries) {
+    auto plan = OptimizePlan(std::move(q.logical), db);
+    if (!plan.ok()) continue;
+    auto full = executor.Execute(*plan, ExecOptions{});
+    if (!full.ok()) continue;
+    plans.push_back(std::move(plan).value());
+    fulls.push_back(std::move(full).value());
+  }
+
+  SampleOptions so;
+  so.sampling_ratio = 0.05;
+  const SampleDb samples = SampleDb::Build(db, so);
+  SamplingEstimator estimator(&db, &samples);
+  CostFunctionFitter fitter(&db);
+
+  // Machine-independent per-query artifacts, computed once.
+  std::vector<PlanEstimates> estimates;
+  std::vector<std::vector<OperatorCostFunctions>> funcs;
+  for (const Plan& plan : plans) {
+    auto est = estimator.Estimate(plan);
+    auto f = fitter.FitPlan(plan, *est);
+    estimates.push_back(std::move(est).value());
+    funcs.push_back(std::move(f).value());
+  }
+
+  const CostUnits idle_units = calibrator.CalibrateAt(1);
+
+  TablePrinter table({"MPL", "c_s (ms)", "c_r (ms)", "c_t (us)",
+                      "r_s (MPL units)", "mean rel err (MPL units)",
+                      "mean rel err (idle units)"});
+  for (int mpl : {1, 2, 4, 8}) {
+    const CostUnits units = calibrator.CalibrateAt(mpl);
+
+    std::vector<QueryOutcome> outcomes;
+    double rel_mpl = 0.0, rel_idle = 0.0;
+    for (size_t i = 0; i < plans.size(); ++i) {
+      const double actual = machine.ExecuteAveraged(fulls[i], 5, mpl);
+      const VarianceEngine engine(&estimates[i], &funcs[i], &units);
+      const VarianceBreakdown mpl_pred = engine.Compute();
+      const VarianceEngine idle_engine(&estimates[i], &funcs[i], &idle_units);
+      const double idle_mean = idle_engine.Compute().mean;
+
+      QueryOutcome outcome;
+      outcome.predicted_mean = mpl_pred.mean;
+      outcome.predicted_stddev = std::sqrt(std::max(0.0, mpl_pred.variance));
+      outcome.actual_time = actual;
+      outcomes.push_back(outcome);
+      rel_mpl += std::fabs(mpl_pred.mean - actual) / actual;
+      rel_idle += std::fabs(idle_mean - actual) / actual;
+    }
+    const EvaluationSummary summary = Evaluate(outcomes);
+    const double inv = plans.empty() ? 0.0 : 1.0 / static_cast<double>(plans.size());
+    table.AddRow({std::to_string(mpl), Fmt(units.Get(kCostSeqPage).mean, 4),
+                  Fmt(units.Get(kCostRandPage).mean, 3),
+                  Fmt(units.Get(kCostTuple).mean * 1000.0, 3),
+                  Fmt(summary.spearman, 4), Fmt(rel_mpl * inv, 4),
+                  Fmt(rel_idle * inv, 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: unit means inflate with MPL (I/O immediately, CPU "
+      "once the %d cores oversubscribe); relative error with MPL-aware "
+      "units stays near the MPL=1 level while idle-unit predictions "
+      "degrade monotonically; r_s stays strong at every MPL.\n",
+      MachineProfile::PC1().cores);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Extension bench (§3.2.2 future work): the GEE distinct-value estimator
+// for aggregate output cardinalities, compared against the paper's
+// optimizer fallback (Algorithm 1 lines 2-5).
+//
+// Shape to reproduce: GEE's aggregate-cardinality ratio error is no worse
+// than the optimizer's on uniform data and clearly better on skewed data
+// (where the optimizer's independence/ndistinct heuristics mislead), and
+// the tq-level correlation with GEE enabled does not regress.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/variance.h"
+#include "costfunc/fitter.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "math/stats.h"
+#include "sampling/estimator.h"
+
+using namespace uqp;
+using namespace uqp::bench;
+
+namespace {
+
+double RatioError(double est, double truth) {
+  est = std::max(est, 1.0);
+  truth = std::max(truth, 1.0);
+  return std::max(est / truth, truth / est);
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Extension: GEE aggregate-cardinality estimation vs optimizer");
+
+  for (double zipf : {0.0, 1.0}) {
+    HarnessOptions hopts;
+    hopts.profile = "1gb";
+    hopts.zipf = zipf;
+    ExperimentHarness harness(hopts);
+    const Database& db = harness.db();
+
+    auto queries = MakeWorkload(db, "tpch", 999, 28);
+    std::vector<Plan> plans;
+    Executor executor(&db);
+    std::vector<ExecResult> fulls;
+    for (auto& q : queries) {
+      auto plan = OptimizePlan(std::move(q.logical), db);
+      if (!plan.ok()) continue;
+      auto full = executor.Execute(*plan, ExecOptions{});
+      if (!full.ok()) continue;
+      plans.push_back(std::move(plan).value());
+      fulls.push_back(std::move(full).value());
+    }
+
+    SampleOptions so;
+    so.sampling_ratio = 0.05;
+    const SampleDb samples = SampleDb::Build(db, so);
+
+    std::printf("\n-- %s 1gb, TPCH, SR = 0.05 --\n",
+                zipf > 0.0 ? "skewed" : "uniform");
+    TablePrinter table({"mode", "mean ratio error of M_agg", "worst ratio",
+                        "aggregates"});
+    for (AggregateEstimateMode mode :
+         {AggregateEstimateMode::kOptimizer, AggregateEstimateMode::kGee}) {
+      SamplingEstimator estimator(&db, &samples, mode);
+      double err_acc = 0.0, err_max = 0.0;
+      int count = 0;
+      for (size_t i = 0; i < plans.size(); ++i) {
+        auto est = estimator.Estimate(plans[i]);
+        if (!est.ok()) continue;
+        for (const PlanNode* node : plans[i].NodesPreorder()) {
+          if (node->type != OpType::kAggregate || node->has_aggregate_below) {
+            continue;
+          }
+          const double truth =
+              fulls[i].ops[static_cast<size_t>(node->id)].out_rows;
+          const double estimate =
+              est->ops[static_cast<size_t>(node->id)].rho *
+              node->leaf_row_product;
+          const double err = RatioError(estimate, truth);
+          err_acc += err;
+          err_max = std::max(err_max, err);
+          ++count;
+        }
+      }
+      table.AddRow(
+          {mode == AggregateEstimateMode::kGee ? "GEE (extension)" : "optimizer",
+           Fmt(count > 0 ? err_acc / count : 0.0, 3), Fmt(err_max, 2),
+           std::to_string(count)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape: GEE's mean ratio error at or below the optimizer's, "
+      "with the gap widening on the skewed database.\n");
+  return 0;
+}

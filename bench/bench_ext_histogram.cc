@@ -1,0 +1,102 @@
+// Extension bench (§3.2): the histogram-based scan-selectivity alternative
+// the paper names as future work, compared against the sampling estimator.
+//
+// Shape to reproduce: the two variants are comparable on these workloads
+// — full-data equi-depth histograms with range pairing are accurate for
+// single-column ranges, which dominate MICRO/SELJOIN scan predicates. The
+// sampling estimator's structural advantages (unbiased under arbitrary
+// predicate correlation, variance that adapts to the data instead of a
+// fixed resolution heuristic, and a consistent treatment of joins) are
+// exactly the cases histograms cannot cover; see
+// GeeEstimator.BeatsOptimizerOnCorrelatedGroupColumns for the correlated
+// counterexample in test form.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/variance.h"
+#include "costfunc/fitter.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "sampling/estimator.h"
+
+using namespace uqp;
+using namespace uqp::bench;
+
+int main() {
+  PrintBanner("Extension: sampling vs histogram scan-selectivity estimation");
+
+  for (double zipf : {0.0, 1.0}) {
+    HarnessOptions hopts;
+    hopts.profile = "1gb";
+    hopts.zipf = zipf;
+    ExperimentHarness harness(hopts);
+    const Database& db = harness.db();
+    const CostUnits units = harness.UnitsFor("PC1");
+    SimulatedMachine machine(MachineProfile::PC1(), 555);
+
+    SampleOptions so;
+    so.sampling_ratio = 0.05;
+    const SampleDb samples = SampleDb::Build(db, so);
+    CostFunctionFitter fitter(&db);
+    Executor executor(&db);
+
+    std::printf("\n-- %s 1gb, SR = 0.05 --\n", zipf > 0.0 ? "skewed" : "uniform");
+    TablePrinter table({"workload", "r_s sampling", "r_s histogram",
+                        "rel err sampling", "rel err histogram"});
+    for (const char* wl : {"micro", "seljoin"}) {
+      auto queries = MakeWorkload(db, wl, 4242, 36);
+      std::vector<Plan> plans;
+      std::vector<double> actuals;
+      for (auto& q : queries) {
+        auto plan = OptimizePlan(std::move(q.logical), db);
+        if (!plan.ok()) continue;
+        auto full = executor.Execute(*plan, ExecOptions{});
+        if (!full.ok()) continue;
+        actuals.push_back(machine.ExecuteAveraged(*full, 5));
+        plans.push_back(std::move(plan).value());
+      }
+
+      std::vector<std::string> row = {wl};
+      double rel[2] = {0.0, 0.0};
+      double rs[2] = {0.0, 0.0};
+      int mode_idx = 0;
+      for (ScanEstimateMode mode :
+           {ScanEstimateMode::kSampling, ScanEstimateMode::kHistogram}) {
+        SamplingEstimator estimator(&db, &samples,
+                                    AggregateEstimateMode::kOptimizer, mode);
+        std::vector<QueryOutcome> outcomes;
+        for (size_t i = 0; i < plans.size(); ++i) {
+          auto est = estimator.Estimate(plans[i]);
+          if (!est.ok()) continue;
+          auto funcs = fitter.FitPlan(plans[i], *est);
+          if (!funcs.ok()) continue;
+          const VarianceEngine engine(&*est, &*funcs, &units);
+          const VarianceBreakdown b = engine.Compute();
+          QueryOutcome o;
+          o.predicted_mean = b.mean;
+          o.predicted_stddev = std::sqrt(std::max(0.0, b.variance));
+          o.actual_time = actuals[i];
+          outcomes.push_back(o);
+          rel[mode_idx] += std::fabs(b.mean - actuals[i]) / actuals[i];
+        }
+        rs[mode_idx] = Evaluate(outcomes).spearman;
+        rel[mode_idx] /= std::max<size_t>(1, outcomes.size());
+        ++mode_idx;
+      }
+      row.push_back(Fmt(rs[0], 4));
+      row.push_back(Fmt(rs[1], 4));
+      row.push_back(Fmt(rel[0], 4));
+      row.push_back(Fmt(rel[1], 4));
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape: comparable r_s and relative error across the grid. "
+      "Histograms earn their keep on single-column ranges over full-data "
+      "statistics; the sampling estimator's edge is structural — unbiased "
+      "under predicate correlation and joins, with calibrated rather than "
+      "heuristic variances (paper S3.2).\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces Figure 12 and Tables 6-9: quality of the sampling-based
+// selectivity estimates and of their estimated uncertainties, measured per
+// selective operator (selections and joins) across the benchmark queries.
+//
+//   Table 6: r_s (r_p) between estimated errors (sigma of rho) and actual
+//            errors |rho_est - rho_true|.
+//   Table 7: r_s (r_p) between estimated and actual selectivities.
+//   Table 8: mean relative error of the selectivity estimates.
+//   Table 9: r_s (r_p) restricted to operators with relative error > 0.2.
+//   Fig 12:  scatter of estimated vs actual selectivity.
+//
+// Shape to reproduce: Table 7 correlations ~1 (estimates essentially on
+// the diagonal); Table 8 relative errors shrink as SR grows; Table 6
+// correlations moderate (weaker than the t_q-level correlations, since
+// most errors are tiny); Table 9 correlations recover once attention is
+// restricted to the operators with substantial errors.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "math/stats.h"
+
+using namespace uqp;
+using namespace uqp::bench;
+
+namespace {
+
+struct SelData {
+  std::vector<double> est, truth, sigma, abs_err, rel_err;
+};
+
+SelData Collect(const EvaluationResult& result) {
+  SelData d;
+  for (const QueryRecord& r : result.records) {
+    for (size_t i = 0; i < r.op_sel_est.size(); ++i) {
+      d.est.push_back(r.op_sel_est[i]);
+      d.truth.push_back(r.op_sel_true[i]);
+      d.sigma.push_back(r.op_sel_sigma[i]);
+      d.abs_err.push_back(std::fabs(r.op_sel_est[i] - r.op_sel_true[i]));
+      d.rel_err.push_back(r.op_sel_true[i] > 0.0
+                              ? d.abs_err.back() / r.op_sel_true[i]
+                              : 0.0);
+    }
+  }
+  return d;
+}
+
+std::string Corr(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() < 3) return "N/A";
+  return Fmt(SpearmanCorrelation(a, b), 4) + " (" +
+         Fmt(PearsonCorrelation(a, b), 4) + ")";
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  PrintBanner("Figure 12 + Tables 6-9: selectivity estimate quality");
+
+  const std::vector<double> ratios =
+      cfg.full ? std::vector<double>{0.01, 0.05, 0.1, 0.2, 0.4}
+               : std::vector<double>{0.01, 0.05, 0.1, 0.2};
+
+  for (const auto& setting : ExperimentHarness::PaperSettings()) {
+    HarnessOptions options;
+    options.profile = setting.profile;
+    options.zipf = setting.zipf;
+    ExperimentHarness harness(options);
+    for (const std::string& wl : kWorkloads) {
+      auto st = harness.LoadWorkload(wl, cfg.SizeFor(wl, setting.profile));
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("\n-- %s --\n", setting.label.c_str());
+    TablePrinter table({"SR", "workload", "T6: sd vs err", "T7: est vs true",
+                        "T8: mean rel err", "T9: corr (rel err > 0.2)", "ops"});
+    for (double sr : ratios) {
+      for (const std::string& wl : kWorkloads) {
+        auto result = harness.Evaluate(wl, "PC1", sr);
+        if (!result.ok()) {
+          std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+          return 1;
+        }
+        const SelData d = Collect(*result);
+        // Table 9 subset.
+        SelData big;
+        for (size_t i = 0; i < d.rel_err.size(); ++i) {
+          if (d.rel_err[i] > 0.2) {
+            big.sigma.push_back(d.sigma[i]);
+            big.abs_err.push_back(d.abs_err[i]);
+          }
+        }
+        table.AddRow({Fmt(sr, 2), wl, Corr(d.sigma, d.abs_err),
+                      Corr(d.est, d.truth), Fmt(Mean(d.rel_err), 4),
+                      Corr(big.sigma, big.abs_err),
+                      std::to_string(d.est.size())});
+      }
+    }
+    table.Print();
+
+    // Figure 12 scatter (one representative slice per setting).
+    if (setting.label == "skewed-1gb") {
+      for (const std::string& wl : kWorkloads) {
+        auto result = harness.Evaluate(wl, "PC1", 0.05);
+        if (!result.ok()) continue;
+        const SelData d = Collect(*result);
+        std::printf("\n# Figure 12 scatter (%s, skewed 1GB, SR=0.05):"
+                    " est_sel true_sel\n", wl.c_str());
+        const size_t step = std::max<size_t>(1, d.est.size() / 60);
+        for (size_t i = 0; i < d.est.size(); i += step) {
+          std::printf("  %.6f %.6f\n", d.est[i], d.truth[i]);
+        }
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 12 / Tables 6-9): estimated vs actual "
+      "selectivities on the diagonal (T7 ~ 1); relative errors mostly < 0.2 "
+      "and shrinking with SR (T8); sd-vs-error correlation moderate overall "
+      "(T6) but strong on the subset with substantial errors (T9).\n");
+  return 0;
+}

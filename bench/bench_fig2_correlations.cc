@@ -1,0 +1,64 @@
+// Reproduces Figure 2 and Table 4: Spearman r_s and Pearson r_p between
+// the standard deviations of the predicted running-time distributions and
+// the actual prediction errors, across benchmarks x databases x machines x
+// sampling ratios.
+//
+// Paper shape to reproduce: strong positive correlations, with r_s above
+// 0.7 (mostly above 0.9) for the large majority of settings, and r_s / r_p
+// occasionally disagreeing (which motivates reporting both).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace uqp;
+using namespace uqp::bench;
+
+int main() {
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  PrintBanner("Figure 2 + Table 4: r_s (r_p) of sigma vs actual error");
+
+  for (const auto& setting : ExperimentHarness::PaperSettings()) {
+    if (!cfg.full && setting.profile == "10gb" && setting.zipf == 0.0) {
+      // Reduced grid: keep one 10gb setting (skewed, used by Fig 2c).
+    }
+    HarnessOptions options;
+    options.profile = setting.profile;
+    options.zipf = setting.zipf;
+    ExperimentHarness harness(options);
+
+    std::printf("\n-- %s --\n", setting.label.c_str());
+    TablePrinter table({"SR", "MICRO/PC1", "MICRO/PC2", "SELJOIN/PC1",
+                        "SELJOIN/PC2", "TPCH/PC1", "TPCH/PC2"});
+    for (const std::string& wl : kWorkloads) {
+      auto st = harness.LoadWorkload(wl, cfg.SizeFor(wl, setting.profile));
+      if (!st.ok()) {
+        std::fprintf(stderr, "load %s failed: %s\n", wl.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+    for (double sr : kSamplingRatios) {
+      std::vector<std::string> row = {Fmt(sr, 2)};
+      for (const std::string& wl : kWorkloads) {
+        for (const std::string& machine : kMachines) {
+          auto result = harness.Evaluate(wl, machine, sr);
+          if (!result.ok()) {
+            std::fprintf(stderr, "evaluate failed: %s\n",
+                         result.status().ToString().c_str());
+            return 1;
+          }
+          row.push_back(Fmt(result->summary.spearman, 4) + " (" +
+                        Fmt(result->summary.pearson, 4) + ")");
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nExpected shape (paper Table 4): strong positive correlation, r_s >= "
+      "0.7 in the large majority of cells.\n");
+  return 0;
+}

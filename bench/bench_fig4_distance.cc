@@ -1,0 +1,55 @@
+// Reproduces Figure 4 and Table 5: the distributional proximity metric
+// D_n — the average |Pr(alpha) - Pr_n(alpha)| between the model-implied
+// and empirical distributions of normalized prediction errors.
+//
+// Shape to reproduce: D_n below 0.3 in most settings, the majority below
+// 0.2; MICRO tends to the largest D_n (the predictor is over-confident on
+// trivially simple queries).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace uqp;
+using namespace uqp::bench;
+
+int main() {
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  PrintBanner("Figure 4 + Table 5: D_n across settings");
+
+  for (const auto& setting : ExperimentHarness::PaperSettings()) {
+    HarnessOptions options;
+    options.profile = setting.profile;
+    options.zipf = setting.zipf;
+    ExperimentHarness harness(options);
+    std::printf("\n-- %s --\n", setting.label.c_str());
+    TablePrinter table({"SR", "MICRO/PC1", "MICRO/PC2", "SELJOIN/PC1",
+                        "SELJOIN/PC2", "TPCH/PC1", "TPCH/PC2"});
+    for (const std::string& wl : kWorkloads) {
+      auto st = harness.LoadWorkload(wl, cfg.SizeFor(wl, setting.profile));
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    for (double sr : kSamplingRatios) {
+      std::vector<std::string> row = {Fmt(sr, 2)};
+      for (const std::string& wl : kWorkloads) {
+        for (const std::string& machine : kMachines) {
+          auto result = harness.Evaluate(wl, machine, sr);
+          if (!result.ok()) {
+            std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+            return 1;
+          }
+          row.push_back(Fmt(result->summary.dn, 4));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape (paper Table 5): D_n mostly <= 0.3, majority <= "
+      "0.2.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Figures 8 and 10: comparison of the complete framework (All)
+// against the simplified variants (paper §6.3.3):
+//   V2 NoVar[c] — ignore cost-unit uncertainty,
+//   V3 NoVar[X] — ignore selectivity uncertainty,
+//   V4 NoCov    — ignore covariances between selectivity estimates,
+// in terms of r_s for the TPCH queries at small sampling ratios.
+//
+// Shape to reproduce: dropping Var[c] hurts everywhere (large r_s drop);
+// dropping Var[X] hurts at sub-1% sampling ratios and stops mattering by
+// SR = 1%; dropping covariances usually matters little but occasionally
+// costs noticeably; All is the most robust variant.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace uqp;
+using namespace uqp::bench;
+
+namespace {
+
+void RunSetting(const char* title, const char* profile, double zipf,
+                const char* machine, const std::vector<double>& ratios,
+                int size) {
+  HarnessOptions options;
+  options.profile = profile;
+  options.zipf = zipf;
+  ExperimentHarness harness(options);
+  auto st = harness.LoadWorkload("tpch", size);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return;
+  }
+  std::printf("\n-- %s --\n", title);
+  TablePrinter table({"SR", "All", "NoVar[c]", "NoVar[X]", "NoCov"});
+  const PredictorVariant variants[] = {
+      PredictorVariant::kAll, PredictorVariant::kNoVarC,
+      PredictorVariant::kNoVarX, PredictorVariant::kNoCov};
+  for (double sr : ratios) {
+    std::vector<std::string> row = {Fmt(sr, 4)};
+    for (PredictorVariant v : variants) {
+      auto result = harness.Evaluate("tpch", machine, sr, v);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return;
+      }
+      row.push_back(Fmt(result->summary.spearman, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  PrintBanner("Figures 8 + 10: All vs NoVar[c] vs NoVar[X] vs NoCov (r_s, TPCH)");
+  RunSetting("Uniform 1GB, PC2 (Fig 8a)", "1gb", 0.0, "PC2",
+             {0.0005, 0.001, 0.005, 0.01}, cfg.SizeFor("tpch", "1gb"));
+  RunSetting("Uniform 10GB, PC1 (Fig 8b)", "10gb", 0.0, "PC1",
+             {0.0005, 0.001, 0.005, 0.01}, cfg.SizeFor("tpch", "10gb"));
+  RunSetting("Skewed 1GB, PC1 (Fig 10a)", "1gb", 1.0, "PC1",
+             {0.0005, 0.001, 0.005, 0.01}, cfg.SizeFor("tpch", "1gb"));
+  RunSetting("Skewed 10GB, PC2 (Fig 10b)", "10gb", 1.0, "PC2",
+             {0.0005, 0.001, 0.005, 0.01}, cfg.SizeFor("tpch", "10gb"));
+  std::printf(
+      "\nExpected shape (paper Figs. 8/10): NoVar[c] drops r_s by ~0.25-0.5 "
+      "everywhere; NoVar[X] drops it at SR < 1%% and converges to All by SR "
+      "= 1%%; NoCov is usually close to All with occasional drops; All is "
+      "the most robust.\n");
+  return 0;
+}

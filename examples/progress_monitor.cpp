@@ -1,0 +1,111 @@
+// Uncertainty-aware query progress indication (paper §6.5.2): a progress
+// indicator that calls the predictor for the REMAINING work of a running
+// query and reports error bars, not just a percentage.
+//
+// We simulate a pipeline of operators executing one at a time; at each
+// checkpoint the remaining-time distribution comes from re-assembling the
+// prediction over the not-yet-finished operators.
+//
+//   build/examples/progress_monitor
+
+#include <cstdio>
+#include <vector>
+
+#include "core/predictor.h"
+#include "cost/calibration.h"
+#include "datagen/tpch.h"
+#include "engine/planner.h"
+#include "hw/machine.h"
+#include "sampling/sample_db.h"
+#include "workload/common.h"
+
+using namespace uqp;
+
+int main() {
+  Database db = MakeTpchDatabase(TpchConfig::Profile("1gb"));
+  SimulatedMachine machine(MachineProfile::PC1(), 31);
+  Calibrator calibrator(&machine);
+  const CostUnits units = calibrator.Calibrate();
+  SampleOptions sample_options;
+  sample_options.sampling_ratio = 0.05;
+  const SampleDb samples = SampleDb::Build(db, sample_options);
+
+  // A 4-table join: lineitem x orders x customer x nation.
+  Rng rng(3);
+  ConstantPicker pick(&db, &rng);
+  JoinChainBuilder chain(&db);
+  chain.Start("lineitem", pick.LessEqAtFraction("lineitem", "l_shipdate", 0.4))
+      .Join("orders", nullptr, {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer", nullptr, {{"orders.o_custkey", "c_custkey"}})
+      .Join("nation", nullptr, {{"customer.c_nationkey", "n_nationkey"}});
+  auto plan_or = OptimizePlan(chain.Finish(), db);
+  if (!plan_or.ok()) return 1;
+  const Plan plan = std::move(plan_or).value();
+
+  Predictor predictor(&db, &samples, units);
+  auto pred_or = predictor.Predict(plan);
+  Executor executor(&db);
+  auto full_or = executor.Execute(plan, ExecOptions{});
+  if (!pred_or.ok() || !full_or.ok()) return 1;
+  const Prediction& pred = *pred_or;
+  const ExecResult& full = *full_or;
+
+  // Per-operator predicted time shares from the fitted cost functions.
+  const int nops = plan.num_operators();
+  std::vector<double> op_pred(nops, 0.0);
+  for (const OperatorCostFunctions& ocf : pred.cost_functions) {
+    const auto& est = pred.estimates;
+    const auto g = [&est](int var) {
+      return var >= 0 ? est.ops[static_cast<size_t>(var)].AsGaussian()
+                      : Gaussian(1.0, 0.0);
+    };
+    double t = 0.0;
+    for (int u = 0; u < kNumCostUnits; ++u) {
+      t += ocf.funcs[u]
+               .Distribution(g(ocf.var_own), g(ocf.var_left), g(ocf.var_right))
+               .mean *
+           units.Get(u).mean;
+    }
+    op_pred[static_cast<size_t>(ocf.node_id)] = t;
+  }
+  double total_pred = 0.0;
+  for (double t : op_pred) total_pred += t;
+
+  // Simulate execution operator by operator (leaf-to-root order = reverse
+  // id order in our preorder numbering) and report progress + remaining
+  // time with error bars at each checkpoint.
+  std::printf("query plan:\n%s\n", plan.ToString().c_str());
+  std::printf("predicted total: %.1f ms (sd %.1f)\n\n", pred.mean(), pred.stddev());
+  std::printf("%-28s %9s %14s %22s\n", "checkpoint", "progress",
+              "elapsed (ms)", "remaining (ms, 90% CI)");
+
+  const auto nodes = plan.NodesPreorder();
+  double elapsed = 0.0;
+  double done_pred = 0.0;
+  for (int id = nops - 1; id >= 0; --id) {
+    // "Run" operator id on the machine.
+    elapsed += machine.ExecuteOnce({full.ops[static_cast<size_t>(id)].actual});
+    done_pred += op_pred[static_cast<size_t>(id)];
+
+    // Remaining distribution: scale the full prediction to the share of
+    // predicted work left (a simple but honest remaining-work model).
+    const double share_left =
+        total_pred > 0.0 ? 1.0 - done_pred / total_pred : 0.0;
+    const Gaussian remaining(pred.mean() * share_left,
+                             pred.breakdown.variance * share_left * share_left);
+    const double z = NormalQuantile(0.95);
+    const double lo = std::max(0.0, remaining.mean - z * remaining.stddev());
+    const double hi = remaining.mean + z * remaining.stddev();
+
+    const PlanNode* node = nodes[static_cast<size_t>(id)];
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s done",
+                  OpTypeName(node->type));
+    std::printf("%-28s %8.0f%% %14.1f %10.1f [%7.1f, %8.1f]\n", label,
+                100.0 * (1.0 - share_left), elapsed, remaining.mean, lo, hi);
+  }
+  std::printf("\nactual total: %.1f ms — a naive indicator would only ever "
+              "say 'between 0%% and 100%%' (paper §6.5.2); the predictor "
+              "narrows the remaining-time band as work completes.\n", elapsed);
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "core/explain.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "math/gaussian.h"
+
+namespace uqp {
+
+std::vector<OperatorExplain> ExplainOperators(const Plan& plan,
+                                              const Prediction& prediction,
+                                              const CostUnits& units) {
+  std::vector<OperatorExplain> out;
+  const PlanEstimates& est = prediction.estimates;
+  auto gauss = [&est](int var) {
+    return var >= 0 ? est.ops[static_cast<size_t>(var)].AsGaussian()
+                    : Gaussian(1.0, 0.0);
+  };
+
+  double total = 0.0;
+  for (const PlanNode* node : plan.NodesPreorder()) {
+    const OperatorCostFunctions& ocf =
+        prediction.cost_functions[static_cast<size_t>(node->id)];
+    OperatorExplain op;
+    op.node_id = node->id;
+    op.op_type = node->type;
+    op.label = OpTypeName(node->type);
+    if (IsScan(node->type)) op.label += "(" + node->table_name + ")";
+    const SelectivityEstimate& sel = est.ops[static_cast<size_t>(node->id)];
+    op.selectivity = sel.rho;
+    op.selectivity_sd = std::sqrt(std::max(0.0, sel.variance));
+    op.from_optimizer = sel.from_optimizer;
+
+    // t_k = Σ_u f_u(X) * c_u with independent c's: mean and a marginal
+    // variance (within-operator selectivity terms treated jointly via the
+    // fitted distribution; cross-unit correlation through shared X's is
+    // captured at the query level, not re-attributed here).
+    double mean = 0.0, var = 0.0;
+    for (int u = 0; u < kNumCostUnits; ++u) {
+      const Gaussian f = ocf.funcs[u].Distribution(
+          gauss(ocf.var_own), gauss(ocf.var_left), gauss(ocf.var_right));
+      const Gaussian c = units.Get(u);
+      mean += f.mean * c.mean;
+      var += f.mean * f.mean * c.variance + c.mean * c.mean * f.variance +
+             c.variance * f.variance;
+    }
+    op.expected_ms = mean;
+    op.stddev_ms = std::sqrt(std::max(0.0, var));
+    total += mean;
+    out.push_back(std::move(op));
+  }
+  if (total > 0.0) {
+    for (OperatorExplain& op : out) op.share = op.expected_ms / total;
+  }
+  return out;
+}
+
+std::string RenderExplain(const Plan& plan, const Prediction& prediction,
+                          const CostUnits& units) {
+  const std::vector<OperatorExplain> ops =
+      ExplainOperators(plan, prediction, units);
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "predicted: %.1f ms, sd %.1f ms  (cost units %.0f%%, "
+                "selectivities %.0f%%, covariance bounds %.0f%%)\n",
+                prediction.mean(), prediction.stddev(),
+                100.0 * prediction.breakdown.var_cost_units /
+                    std::max(1e-12, prediction.breakdown.variance),
+                100.0 * prediction.breakdown.var_selectivity /
+                    std::max(1e-12, prediction.breakdown.variance),
+                100.0 * prediction.breakdown.var_cov_bounds /
+                    std::max(1e-12, prediction.breakdown.variance));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-26s %10s %8s %10s %14s\n", "operator",
+                "E[t] ms", "share", "sd ms", "selectivity");
+  out += buf;
+  for (const OperatorExplain& op : ops) {
+    std::snprintf(buf, sizeof(buf), "%-26s %10.2f %7.1f%% %10.2f %9.5f±%.5f%s\n",
+                  op.label.c_str(), op.expected_ms, 100.0 * op.share,
+                  op.stddev_ms, op.selectivity, op.selectivity_sd,
+                  op.from_optimizer ? " (optimizer)" : "");
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace uqp

@@ -1,0 +1,67 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace uqp {
+
+double QueryOutcome::error() const {
+  return std::fabs(predicted_mean - actual_time);
+}
+
+double QueryOutcome::normalized_error() const {
+  if (predicted_stddev <= 0.0) {
+    return error() == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return error() / predicted_stddev;
+}
+
+EvaluationSummary Evaluate(const std::vector<QueryOutcome>& outcomes) {
+  EvaluationSummary out;
+  out.num_queries = static_cast<int>(outcomes.size());
+  std::vector<double> normalized;
+  out.sigmas.reserve(outcomes.size());
+  out.errors.reserve(outcomes.size());
+  normalized.reserve(outcomes.size());
+  for (const QueryOutcome& q : outcomes) {
+    out.sigmas.push_back(q.predicted_stddev);
+    out.errors.push_back(q.error());
+    normalized.push_back(q.normalized_error());
+  }
+  out.spearman = SpearmanCorrelation(out.sigmas, out.errors);
+  out.pearson = PearsonCorrelation(out.sigmas, out.errors);
+  out.proximity = ComputeProximity(normalized);
+  out.dn = out.proximity.dn;
+  return out;
+}
+
+OutlierProbe ProbeOutlierRobustness(const std::vector<QueryOutcome>& outcomes) {
+  OutlierProbe probe;
+  const EvaluationSummary all = Evaluate(outcomes);
+  probe.spearman_all = all.spearman;
+  probe.pearson_all = all.pearson;
+  if (outcomes.size() < 3) {
+    probe.spearman_trimmed = all.spearman;
+    probe.pearson_trimmed = all.pearson;
+    return probe;
+  }
+  // Remove the rightmost scatter point (largest predicted σ).
+  size_t worst = 0;
+  for (size_t i = 1; i < outcomes.size(); ++i) {
+    if (outcomes[i].predicted_stddev > outcomes[worst].predicted_stddev) {
+      worst = i;
+    }
+  }
+  std::vector<QueryOutcome> trimmed;
+  trimmed.reserve(outcomes.size() - 1);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (i != worst) trimmed.push_back(outcomes[i]);
+  }
+  const EvaluationSummary rest = Evaluate(trimmed);
+  probe.spearman_trimmed = rest.spearman;
+  probe.pearson_trimmed = rest.pearson;
+  return probe;
+}
+
+}  // namespace uqp

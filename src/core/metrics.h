@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "math/stats.h"
+
+namespace uqp {
+
+/// One evaluated query: predicted distribution vs measured running time.
+struct QueryOutcome {
+  double predicted_mean = 0.0;    ///< μ_i (ms)
+  double predicted_stddev = 0.0;  ///< σ_i (ms)
+  double actual_time = 0.0;       ///< t_i (ms), averaged over runs
+
+  double error() const;            ///< e_i = |μ_i - t_i|
+  double normalized_error() const; ///< e'_i = e_i / σ_i (inf if σ_i = 0)
+};
+
+/// The paper's evaluation metrics over a set of queries (§6.3):
+///   r_s, r_p — Spearman / Pearson correlation between the predicted
+///              standard deviations σ_i and the actual errors e_i;
+///   D_n      — average distance between the model-implied Pr(α) and the
+///              empirical Pr_n(α) of normalized errors.
+struct EvaluationSummary {
+  int num_queries = 0;
+  double spearman = 0.0;
+  double pearson = 0.0;
+  double dn = 0.0;
+  ProximityResult proximity;
+
+  std::vector<double> sigmas;
+  std::vector<double> errors;
+};
+
+EvaluationSummary Evaluate(const std::vector<QueryOutcome>& outcomes);
+
+/// r_s / r_p after removing the single point with the largest σ (the
+/// outlier-robustness probe of Figure 3).
+struct OutlierProbe {
+  double spearman_all = 0.0;
+  double pearson_all = 0.0;
+  double spearman_trimmed = 0.0;
+  double pearson_trimmed = 0.0;
+};
+OutlierProbe ProbeOutlierRobustness(const std::vector<QueryOutcome>& outcomes);
+
+}  // namespace uqp

@@ -1,0 +1,89 @@
+#include "core/montecarlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "math/gaussian.h"
+#include "math/stats.h"
+
+namespace uqp {
+
+double MonteCarloResult::Quantile(double q) const {
+  UQP_CHECK(!samples.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double MonteCarloResult::KsDistanceToNormal(double normal_mean,
+                                            double normal_variance) const {
+  if (samples.empty()) return 1.0;
+  double ks = 0.0;
+  const double n = static_cast<double>(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double cdf = NormalCdf(samples[i], normal_mean, normal_variance);
+    const double emp_hi = static_cast<double>(i + 1) / n;
+    const double emp_lo = static_cast<double>(i) / n;
+    ks = std::max(ks, std::max(std::fabs(cdf - emp_hi), std::fabs(cdf - emp_lo)));
+  }
+  return ks;
+}
+
+MonteCarloResult SimulatePrediction(
+    const PlanEstimates& estimates,
+    const std::vector<OperatorCostFunctions>& cost_functions,
+    const CostUnits& units, const MonteCarloOptions& options) {
+  // Collect the distinct selectivity variables referenced by any cost
+  // function, so each is drawn once per iteration.
+  std::unordered_map<int, double> draw;  // variable (node id) -> value
+  std::vector<int> variables;
+  auto note_var = [&draw, &variables](int v) {
+    if (v >= 0 && draw.emplace(v, 0.0).second) variables.push_back(v);
+  };
+  for (const OperatorCostFunctions& ocf : cost_functions) {
+    note_var(ocf.var_own);
+    note_var(ocf.var_left);
+    note_var(ocf.var_right);
+  }
+
+  Rng rng(options.seed);
+  MonteCarloResult result;
+  result.samples.reserve(static_cast<size_t>(options.draws));
+  RunningStats stats;
+  for (int it = 0; it < options.draws; ++it) {
+    // Draw selectivities, truncated to [0, 1].
+    for (int v : variables) {
+      const Gaussian g = estimates.ops[static_cast<size_t>(v)].AsGaussian();
+      draw[v] = std::clamp(rng.NextGaussian(g.mean, g.stddev()), 0.0, 1.0);
+    }
+    // Draw cost units, truncated positive.
+    double c[kNumCostUnits];
+    for (int u = 0; u < kNumCostUnits; ++u) {
+      const Gaussian g = units.Get(u);
+      c[u] = std::max(0.0, rng.NextGaussian(g.mean, g.stddev()));
+    }
+    // Evaluate t_q through the fitted cost functions.
+    double t = 0.0;
+    for (const OperatorCostFunctions& ocf : cost_functions) {
+      const double x = ocf.var_own >= 0 ? draw[ocf.var_own] : 1.0;
+      const double xl = ocf.var_left >= 0 ? draw[ocf.var_left] : 1.0;
+      const double xr = ocf.var_right >= 0 ? draw[ocf.var_right] : 1.0;
+      for (int u = 0; u < kNumCostUnits; ++u) {
+        t += std::max(0.0, ocf.funcs[u].Eval(x, xl, xr)) * c[u];
+      }
+    }
+    result.samples.push_back(t);
+    stats.Add(t);
+  }
+  std::sort(result.samples.begin(), result.samples.end());
+  result.mean = stats.mean();
+  result.variance = stats.variance();
+  return result;
+}
+
+}  // namespace uqp

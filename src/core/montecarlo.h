@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "cost/units.h"
+#include "costfunc/fitter.h"
+#include "math/rng.h"
+#include "sampling/estimator.h"
+
+namespace uqp {
+
+/// Options for the Monte-Carlo reference predictor.
+struct MonteCarloOptions {
+  int draws = 4000;
+  uint64_t seed = 424242;
+};
+
+/// Empirical distribution of t_q from Monte-Carlo simulation.
+struct MonteCarloResult {
+  double mean = 0.0;
+  double variance = 0.0;
+  /// Sorted draws of t_q (ms).
+  std::vector<double> samples;
+
+  /// Empirical quantile, q in (0, 1).
+  double Quantile(double q) const;
+
+  /// Kolmogorov–Smirnov distance between the empirical distribution and
+  /// N(mean, variance) — the paper's asymptotic-normality claims
+  /// (Theorems 1/2, §5.2) predict this shrinks as sample sizes grow.
+  double KsDistanceToNormal(double normal_mean, double normal_variance) const;
+};
+
+/// Monte-Carlo reference for the analytic N(E[t_q], Var[t_q]) predictor.
+///
+/// Implements the fallback the paper sketches in §5.2.4 for cost models
+/// whose units are not normal (here the units *are* normal, so it doubles
+/// as a validation of the analytic machinery): repeatedly draw the cost
+/// units c and the selectivity variables X from their estimated
+/// distributions, evaluate t_q = Σ_c c · Σ_op f_{op,c}(X) through the
+/// fitted logical cost functions, and report the empirical distribution.
+///
+/// Selectivity variables shared between operators (a parent's Xl that IS
+/// its child's X) are drawn once per iteration, so those correlations are
+/// captured exactly; ancestor/descendant estimate pairs whose joint
+/// distribution is unknown (the upper-bounded pairs of §5.3.2) are drawn
+/// independently — the Monte-Carlo result therefore brackets the analytic
+/// variance from below while the bound-augmented analytic value brackets
+/// it from above.
+MonteCarloResult SimulatePrediction(
+    const PlanEstimates& estimates,
+    const std::vector<OperatorCostFunctions>& cost_functions,
+    const CostUnits& units, const MonteCarloOptions& options = MonteCarloOptions());
+
+}  // namespace uqp

@@ -1,0 +1,38 @@
+#include "core/predictor.h"
+
+#include <cmath>
+
+#include "math/gaussian.h"
+
+namespace uqp {
+
+double Prediction::ProbBelow(double t) const {
+  return NormalCdf(t, breakdown.mean, breakdown.variance);
+}
+
+void Prediction::ConfidenceInterval(double level, double* lo, double* hi) const {
+  const double alpha = NormalQuantile(0.5 + 0.5 * level);
+  const double sd = stddev();
+  *lo = breakdown.mean - alpha * sd;
+  *hi = breakdown.mean + alpha * sd;
+}
+
+StatusOr<Prediction> Predictor::Predict(const Plan& plan) const {
+  Prediction out;
+  UQP_ASSIGN_OR_RETURN(out.estimates, estimator_.Estimate(plan));
+  UQP_ASSIGN_OR_RETURN(out.cost_functions, fitter_.FitPlan(plan, out.estimates));
+  const VarianceEngine engine(&out.estimates, &out.cost_functions, &units_,
+                              options_.variant, options_.bound);
+  out.breakdown = engine.Compute();
+  return out;
+}
+
+VarianceBreakdown Predictor::Recompute(const Prediction& prediction,
+                                       PredictorVariant variant,
+                                       CovarianceBoundKind bound) const {
+  const VarianceEngine engine(&prediction.estimates, &prediction.cost_functions,
+                              &units_, variant, bound);
+  return engine.Compute();
+}
+
+}  // namespace uqp

@@ -1,0 +1,410 @@
+#include "core/variance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/gaussian.h"
+
+namespace uqp {
+
+const char* PredictorVariantName(PredictorVariant v) {
+  switch (v) {
+    case PredictorVariant::kAll:
+      return "All";
+    case PredictorVariant::kNoVarC:
+      return "NoVar[c]";
+    case PredictorVariant::kNoVarX:
+      return "NoVar[X]";
+    case PredictorVariant::kNoCov:
+      return "NoCov";
+  }
+  return "?";
+}
+
+VarianceEngine::VarianceEngine(
+    const PlanEstimates* estimates,
+    const std::vector<OperatorCostFunctions>* cost_functions,
+    const CostUnits* units, PredictorVariant variant, CovarianceBoundKind bound)
+    : estimates_(estimates),
+      cost_functions_(cost_functions),
+      units_(units),
+      variant_(variant),
+      bound_(bound) {}
+
+const SelectivityEstimate& VarianceEngine::Est(int var) const {
+  return estimates_->ops[static_cast<size_t>(var)];
+}
+
+Gaussian VarianceEngine::VarGaussian(int var) const {
+  Gaussian g = Est(var).AsGaussian();
+  if (variant_ == PredictorVariant::kNoVarX) g.variance = 0.0;
+  return g;
+}
+
+VarianceEngine::VarRelation VarianceEngine::Relation(int var_a, int var_b) const {
+  if (var_a == var_b) return VarRelation::kSame;
+  const SelectivityEstimate& a = Est(var_a);
+  const SelectivityEstimate& b = Est(var_b);
+  // Optimizer-derived estimates carry no sampling randomness: independent.
+  if (a.from_optimizer || b.from_optimizer) return VarRelation::kIndependent;
+  const bool a_in_b = a.leaf_begin >= b.leaf_begin && a.leaf_end <= b.leaf_end;
+  const bool b_in_a = b.leaf_begin >= a.leaf_begin && b.leaf_end <= a.leaf_end;
+  if (a_in_b || b_in_a) return VarRelation::kCorrelated;  // shared samples
+  // Distinct sample copies are bound per leaf occurrence, so estimates
+  // over disjoint leaf spans are independent (Lemma 1 / §5.1.2).
+  return VarRelation::kIndependent;
+}
+
+void VarianceEngine::AddTerm(std::vector<Term>* terms, double coef, int u,
+                             int pu, int v, int pv) const {
+  if (coef == 0.0) return;
+  Term t;
+  t.coef = coef;
+  if (u >= 0 && v >= 0 && u == v) {
+    // Same variable on both sides (possible when a pass-through child
+    // collapses Xl onto X): merge powers.
+    t.m = Monomial{u, pu + pv, -1, 0};
+  } else if (u >= 0 && v >= 0) {
+    if (u < v) {
+      t.m = Monomial{u, pu, v, pv};
+    } else {
+      t.m = Monomial{v, pv, u, pu};
+    }
+  } else if (u >= 0) {
+    t.m = Monomial{u, pu, -1, 0};
+  } else if (v >= 0) {
+    t.m = Monomial{v, pv, -1, 0};
+  } else {
+    t.m = Monomial{};
+  }
+  terms->push_back(t);
+}
+
+std::vector<VarianceEngine::Term> VarianceEngine::ExpandUnit(int cost_unit) const {
+  std::vector<Term> terms;
+  for (const OperatorCostFunctions& ocf : *cost_functions_) {
+    const FittedCostFunction& f = ocf.funcs[cost_unit];
+    const int x = ocf.var_own;
+    const int l = ocf.var_left;
+    const int r = ocf.var_right;
+    switch (f.type) {
+      case CostFuncType::kConstant:
+        AddTerm(&terms, f.b[0], -1, 0, -1, 0);
+        break;
+      case CostFuncType::kLinearOutput:
+        AddTerm(&terms, f.b[0], x, 1, -1, 0);
+        AddTerm(&terms, f.b[1], -1, 0, -1, 0);
+        break;
+      case CostFuncType::kLinearLeft:
+        AddTerm(&terms, f.b[0], l, 1, -1, 0);
+        AddTerm(&terms, f.b[1], -1, 0, -1, 0);
+        break;
+      case CostFuncType::kQuadraticLeft:
+        AddTerm(&terms, f.b[0], l, 2, -1, 0);
+        AddTerm(&terms, f.b[1], l, 1, -1, 0);
+        AddTerm(&terms, f.b[2], -1, 0, -1, 0);
+        break;
+      case CostFuncType::kLinearBoth:
+        AddTerm(&terms, f.b[0], l, 1, -1, 0);
+        AddTerm(&terms, f.b[1], r, 1, -1, 0);
+        AddTerm(&terms, f.b[2], -1, 0, -1, 0);
+        break;
+      case CostFuncType::kBilinear:
+        AddTerm(&terms, f.b[0], l, 1, r, 1);
+        AddTerm(&terms, f.b[1], l, 1, -1, 0);
+        AddTerm(&terms, f.b[2], r, 1, -1, 0);
+        AddTerm(&terms, f.b[3], -1, 0, -1, 0);
+        break;
+    }
+  }
+  return terms;
+}
+
+double VarianceEngine::MonoMean(const Monomial& m) const {
+  double acc = 1.0;
+  if (m.u >= 0) {
+    const Gaussian g = VarGaussian(m.u);
+    acc *= NormalMoment(g.mean, g.variance, m.pu);
+  }
+  if (m.v >= 0) {
+    const Gaussian g = VarGaussian(m.v);
+    acc *= NormalMoment(g.mean, g.variance, m.pv);
+  }
+  return acc;
+}
+
+double VarianceEngine::MonoVar(const Monomial& m) const {
+  // Variables within a monomial are independent (children of a join use
+  // distinct sample copies): Var[Π Xi^pi] = Π E[Xi^2pi] - Π E[Xi^pi]².
+  double e2 = 1.0, e1sq = 1.0;
+  if (m.u >= 0) {
+    const Gaussian g = VarGaussian(m.u);
+    e2 *= NormalMoment(g.mean, g.variance, 2 * m.pu);
+    const double e = NormalMoment(g.mean, g.variance, m.pu);
+    e1sq *= e * e;
+  }
+  if (m.v >= 0) {
+    const Gaussian g = VarGaussian(m.v);
+    e2 *= NormalMoment(g.mean, g.variance, 2 * m.pv);
+    const double e = NormalMoment(g.mean, g.variance, m.pv);
+    e1sq *= e * e;
+  }
+  return std::max(0.0, e2 - e1sq);
+}
+
+double VarianceEngine::PairCovarianceBound(int var_desc, int var_anc,
+                                           int pow_desc, int pow_anc) const {
+  const SelectivityEstimate& d = Est(var_desc);
+  const SelectivityEstimate& a = Est(var_anc);
+  const CovarianceBounds bounds = SamplingEstimator::CovarianceBoundsFor(
+      d, a, estimates_->leaf_sample_rows);
+  double base = 0.0;
+  switch (bound_) {
+    case CovarianceBoundKind::kBest:
+      base = bounds.best();
+      break;
+    case CovarianceBoundKind::kB1:
+      base = bounds.b1;
+      break;
+    case CovarianceBoundKind::kB2:
+      base = bounds.b2;
+      break;
+    case CovarianceBoundKind::kB3:
+      base = bounds.b3;
+      break;
+  }
+  if (pow_desc == 1 && pow_anc == 1) return base;
+
+  // Squared terms: Theorem 9 / Theorem 10-style bounds
+  //   |Cov(ρ², ρ')|  <= f10(n,m) h(ρ) g(ρ')
+  //   |Cov(ρ², ρ'²)| <= f9(n,m)  h(ρ) h(ρ')
+  // using the large-n approximations f10 ≈ (K + 2m)√(KK')/n²,
+  // f9 ≈ (K + K' + 4m)√(KK')/n².
+  auto g = [](double rho) { return std::sqrt(std::max(0.0, rho * (1.0 - rho))); };
+  auto h = [&g](double rho) {
+    return g(rho) * std::sqrt(std::max(0.0, rho - rho * rho + 1.0));
+  };
+  double n_min = 1e30;
+  for (int k = d.leaf_begin; k < d.leaf_end; ++k) {
+    n_min = std::min(n_min,
+                     estimates_->leaf_sample_rows[static_cast<size_t>(k)]);
+  }
+  if (n_min < 2.0) n_min = 2.0;
+  const double kd = static_cast<double>(d.leaf_end - d.leaf_begin);
+  const double ka = static_cast<double>(a.leaf_end - a.leaf_begin);
+  const double m = kd;  // shared relations = descendant's leaves
+  double f = 0.0;
+  double magnitude = 0.0;
+  if (pow_desc == 2 && pow_anc == 2) {
+    f = (kd + ka + 4.0 * m) * std::sqrt(kd * ka) / (n_min * n_min);
+    magnitude = h(d.rho) * h(a.rho);
+  } else {
+    // One squared side, one linear side.
+    const double sq_k = pow_desc == 2 ? kd : ka;
+    f = (sq_k + 2.0 * m) * std::sqrt(kd * ka) / (n_min * n_min);
+    magnitude = pow_desc == 2 ? h(d.rho) * g(a.rho) : g(d.rho) * h(a.rho);
+  }
+  const double theorem_bound = f * magnitude;
+
+  // Generic fallback: correlation-scaled Cauchy–Schwarz using the linear
+  // correlation bound.
+  const Gaussian gd = VarGaussian(var_desc);
+  const Gaussian ga = VarGaussian(var_anc);
+  double r = 0.0;
+  if (gd.variance > 0.0 && ga.variance > 0.0) {
+    r = std::min(1.0, base / std::sqrt(gd.variance * ga.variance));
+  }
+  const double var_d = std::max(
+      0.0, NormalMoment(gd.mean, gd.variance, 2 * pow_desc) -
+               NormalMoment(gd.mean, gd.variance, pow_desc) *
+                   NormalMoment(gd.mean, gd.variance, pow_desc));
+  const double var_a = std::max(
+      0.0, NormalMoment(ga.mean, ga.variance, 2 * pow_anc) -
+               NormalMoment(ga.mean, ga.variance, pow_anc) *
+                   NormalMoment(ga.mean, ga.variance, pow_anc));
+  const double generic_bound = r * std::sqrt(var_d * var_a);
+  return std::min(theorem_bound, generic_bound);
+}
+
+double VarianceEngine::MonoCov(const Monomial& a, const Monomial& b,
+                               bool* bounded) const {
+  *bounded = false;
+  // Constant monomials have zero covariance with anything.
+  if (a.u < 0 || b.u < 0) return 0.0;
+
+  // Gather (var, power) lists.
+  struct VP {
+    int var;
+    int pow;
+  };
+  VP av[2];
+  int an = 0;
+  if (a.u >= 0) av[an++] = {a.u, a.pu};
+  if (a.v >= 0) av[an++] = {a.v, a.pv};
+  VP bv[2];
+  int bn = 0;
+  if (b.u >= 0) bv[bn++] = {b.u, b.pu};
+  if (b.v >= 0) bv[bn++] = {b.v, b.pv};
+
+  // Check every cross pair of *distinct* variables for correlation.
+  bool any_correlated = false;
+  for (int i = 0; i < an && !any_correlated; ++i) {
+    for (int j = 0; j < bn; ++j) {
+      if (av[i].var == bv[j].var) continue;
+      const VarRelation rel = Relation(av[i].var, bv[j].var);
+      if (rel == VarRelation::kCorrelated) {
+        any_correlated = true;
+        break;
+      }
+    }
+  }
+
+  if (!any_correlated) {
+    // Exact: merge powers per variable; E factorizes over distinct vars.
+    // Cov = E[AB] - E[A] E[B].
+    double eab = 1.0;
+    // Collect union of variables.
+    int vars[4];
+    int nv = 0;
+    auto add_var = [&vars, &nv](int v) {
+      for (int i = 0; i < nv; ++i) {
+        if (vars[i] == v) return;
+      }
+      vars[nv++] = v;
+    };
+    for (int i = 0; i < an; ++i) add_var(av[i].var);
+    for (int j = 0; j < bn; ++j) add_var(bv[j].var);
+    bool shares_variable = false;
+    for (int i = 0; i < nv; ++i) {
+      int p = 0;
+      for (int k = 0; k < an; ++k) {
+        if (av[k].var == vars[i]) p += av[k].pow;
+      }
+      bool in_b = false;
+      for (int k = 0; k < bn; ++k) {
+        if (bv[k].var == vars[i]) {
+          p += bv[k].pow;
+          in_b = true;
+        }
+      }
+      bool in_a = false;
+      for (int k = 0; k < an; ++k) {
+        if (av[k].var == vars[i]) in_a = true;
+      }
+      if (in_a && in_b) shares_variable = true;
+      const Gaussian g = VarGaussian(vars[i]);
+      eab *= NormalMoment(g.mean, g.variance, p);
+    }
+    if (!shares_variable) return 0.0;  // fully independent monomials
+    return eab - MonoMean(a) * MonoMean(b);
+  }
+
+  if (variant_ == PredictorVariant::kNoCov ||
+      variant_ == PredictorVariant::kNoVarX) {
+    return 0.0;  // V4 drops cross-estimate covariances entirely
+  }
+  *bounded = true;
+
+  // Upper bound. Identify the dominant correlated pair and scale by the
+  // remaining (independent) factors' means.
+  double best = 0.0;
+  for (int i = 0; i < an; ++i) {
+    for (int j = 0; j < bn; ++j) {
+      if (av[i].var == bv[j].var) continue;
+      if (Relation(av[i].var, bv[j].var) != VarRelation::kCorrelated) continue;
+      // Determine descendant vs ancestor by span containment.
+      const SelectivityEstimate& ea = Est(av[i].var);
+      const SelectivityEstimate& eb = Est(bv[j].var);
+      const bool a_desc = ea.leaf_begin >= eb.leaf_begin && ea.leaf_end <= eb.leaf_end;
+      const double pair_bound =
+          a_desc ? PairCovarianceBound(av[i].var, bv[j].var, av[i].pow, bv[j].pow)
+                 : PairCovarianceBound(bv[j].var, av[i].var, bv[j].pow, av[i].pow);
+      // Scale by the expected value of the remaining factors.
+      double scale = 1.0;
+      for (int k = 0; k < an; ++k) {
+        if (k == i) continue;
+        const Gaussian g = VarGaussian(av[k].var);
+        scale *= NormalMoment(g.mean, g.variance, av[k].pow);
+      }
+      for (int k = 0; k < bn; ++k) {
+        if (k == j) continue;
+        const Gaussian g = VarGaussian(bv[k].var);
+        scale *= NormalMoment(g.mean, g.variance, bv[k].pow);
+      }
+      best = std::max(best, pair_bound * scale);
+    }
+  }
+  // Never exceed the unconditional Cauchy–Schwarz bound.
+  const double cs = std::sqrt(MonoVar(a) * MonoVar(b));
+  return std::min(best, cs);
+}
+
+VarianceBreakdown VarianceEngine::Compute() const {
+  VarianceBreakdown out;
+
+  std::vector<Term> unit_terms[kNumCostUnits];
+  double e_g[kNumCostUnits];
+  for (int c = 0; c < kNumCostUnits; ++c) {
+    unit_terms[c] = ExpandUnit(c);
+    double acc = 0.0;
+    for (const Term& t : unit_terms[c]) acc += t.coef * MonoMean(t.m);
+    e_g[c] = std::max(0.0, acc);
+    out.expected_work[c] = e_g[c];
+  }
+
+  double mu_c[kNumCostUnits], var_c[kNumCostUnits];
+  for (int c = 0; c < kNumCostUnits; ++c) {
+    mu_c[c] = units_->Get(c).mean;
+    var_c[c] = variant_ == PredictorVariant::kNoVarC ? 0.0 : units_->Get(c).variance;
+  }
+
+  // E[t_q] = Σ_c E[G_c] μ_c.
+  for (int c = 0; c < kNumCostUnits; ++c) out.mean += e_g[c] * mu_c[c];
+
+  // Var[G_c] and Cov(G_c, G_c'), splitting exact vs bounded parts.
+  double cov_g_exact[kNumCostUnits][kNumCostUnits];
+  double cov_g_bound[kNumCostUnits][kNumCostUnits];
+  for (int c = 0; c < kNumCostUnits; ++c) {
+    for (int d = c; d < kNumCostUnits; ++d) {
+      double exact = 0.0, bound_part = 0.0;
+      for (const Term& ta : unit_terms[c]) {
+        for (const Term& tb : unit_terms[d]) {
+          bool bounded = false;
+          const double cov = MonoCov(ta.m, tb.m, &bounded);
+          if (cov == 0.0) continue;
+          if (bounded) {
+            // Bounds are on |Cov|; adding the positive bound is the
+            // conservative choice of Algorithm 3.
+            bound_part += std::fabs(ta.coef * tb.coef) * cov;
+          } else {
+            exact += ta.coef * tb.coef * cov;
+          }
+        }
+      }
+      cov_g_exact[c][d] = cov_g_exact[d][c] = exact;
+      cov_g_bound[c][d] = cov_g_bound[d][c] = bound_part;
+    }
+  }
+
+  for (int c = 0; c < kNumCostUnits; ++c) {
+    // Var[G_c c] = E[G_c]² Var[c] + (μ_c² + Var[c]) Var[G_c].
+    out.var_cost_units += e_g[c] * e_g[c] * var_c[c];
+    const double scale = mu_c[c] * mu_c[c] + var_c[c];
+    out.var_selectivity += scale * std::max(0.0, cov_g_exact[c][c]);
+    out.var_cov_bounds += scale * cov_g_bound[c][c];
+    for (int d = 0; d < kNumCostUnits; ++d) {
+      if (d == c) continue;
+      // Cov(G_c c, G_d c') = μ_c μ_d Cov(G_c, G_d).
+      out.var_selectivity += mu_c[c] * mu_c[d] * cov_g_exact[c][d];
+      out.var_cov_bounds += mu_c[c] * mu_c[d] * cov_g_bound[c][d];
+    }
+  }
+  // Exact cross-unit covariances can be negative in principle; clamp the
+  // aggregate at zero.
+  out.var_selectivity = std::max(0.0, out.var_selectivity);
+  out.variance = out.var_cost_units + out.var_selectivity + out.var_cov_bounds;
+  return out;
+}
+
+}  // namespace uqp

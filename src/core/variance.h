@@ -1,0 +1,109 @@
+#pragma once
+
+#include <vector>
+
+#include "cost/units.h"
+#include "costfunc/fitter.h"
+#include "sampling/estimator.h"
+
+namespace uqp {
+
+/// Which predictor variant to run (paper §6.3.3).
+enum class PredictorVariant {
+  kAll,     ///< V1: the complete framework
+  kNoVarC,  ///< V2: ignore cost-unit uncertainty (Var[c] = 0)
+  kNoVarX,  ///< V3: ignore selectivity uncertainty (Var[X] = 0)
+  kNoCov,   ///< V4: ignore covariances between selectivity estimates
+};
+
+const char* PredictorVariantName(PredictorVariant v);
+
+/// Which covariance upper bound Algorithm 3 adds for the pairs it cannot
+/// compute directly (§5.3.2 / A.8 ablation).
+enum class CovarianceBoundKind {
+  kBest,  ///< min of all applicable bounds (default)
+  kB1,    ///< sqrt(S²_ρ(m,n) S²_ρ'(m,n))
+  kB2,    ///< sqrt(Var[ρ] Var[ρ'])
+  kB3,    ///< f(n,m) g(ρ) g(ρ')
+};
+
+/// The predicted running-time distribution and its decomposition.
+struct VarianceBreakdown {
+  double mean = 0.0;      ///< E[t_q] (ms) — the point prediction
+  double variance = 0.0;  ///< Var[t_q] (ms²)
+
+  /// Contribution Σ_c E[G_c]² Var[c] (uncertainty in the cost units).
+  double var_cost_units = 0.0;
+  /// Contribution of selectivity uncertainty through exactly computed
+  /// (co)variances: Σ_c (μ_c² + σ_c²) Var[G_c] + cross-unit terms.
+  double var_selectivity = 0.0;
+  /// Portion added through covariance *upper bounds* (Algorithm 3's
+  /// CovOpsUb) rather than direct computation.
+  double var_cov_bounds = 0.0;
+
+  /// E[G_c]: expected total work per cost unit (counter units).
+  double expected_work[kNumCostUnits] = {0, 0, 0, 0, 0};
+
+  Gaussian AsGaussian() const { return Gaussian(mean, variance); }
+};
+
+/// Computes N(E[t_q], Var[t_q]) from the fitted cost functions, the
+/// selectivity distributions and the calibrated cost units (paper §5).
+///
+/// Internally each G_c = Σ_op f_{op,c} is expanded into a polynomial over
+/// the selectivity variables with monomials {1, X, X², X_u X_v}. Monomial
+/// covariances are computed exactly from normal moments whenever every
+/// cross pair of distinct variables is independent (disjoint leaf spans or
+/// optimizer-derived estimates — Lemmas 1-3), and upper-bounded otherwise
+/// (nested subtrees sharing sample relations — Theorems 7-10).
+class VarianceEngine {
+ public:
+  VarianceEngine(const PlanEstimates* estimates,
+                 const std::vector<OperatorCostFunctions>* cost_functions,
+                 const CostUnits* units,
+                 PredictorVariant variant = PredictorVariant::kAll,
+                 CovarianceBoundKind bound = CovarianceBoundKind::kBest);
+
+  VarianceBreakdown Compute() const;
+
+ private:
+  struct Monomial {
+    // X_u^pu * X_v^pv with u < v; u = -1 means the constant monomial,
+    // v = -1 means a single-variable monomial.
+    int u = -1;
+    int pu = 0;
+    int v = -1;
+    int pv = 0;
+  };
+  struct Term {
+    double coef = 0.0;
+    Monomial m;
+  };
+
+  enum class VarRelation { kSame, kIndependent, kCorrelated };
+
+  VarRelation Relation(int var_a, int var_b) const;
+  const SelectivityEstimate& Est(int var) const;
+  Gaussian VarGaussian(int var) const;
+
+  void AddTerm(std::vector<Term>* terms, double coef, int u, int pu, int v,
+               int pv) const;
+  std::vector<Term> ExpandUnit(int cost_unit) const;
+
+  double MonoMean(const Monomial& m) const;
+  double MonoVar(const Monomial& m) const;
+  /// Covariance of two monomials; *bounded set true when an upper bound
+  /// (not an exact value) was used.
+  double MonoCov(const Monomial& a, const Monomial& b, bool* bounded) const;
+
+  double PairCovarianceBound(int var_desc, int var_anc, int pow_desc,
+                             int pow_anc) const;
+
+  const PlanEstimates* estimates_;
+  const std::vector<OperatorCostFunctions>* cost_functions_;
+  const CostUnits* units_;
+  PredictorVariant variant_;
+  CovarianceBoundKind bound_;
+};
+
+}  // namespace uqp

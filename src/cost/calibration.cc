@@ -1,0 +1,107 @@
+#include "cost/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/stats.h"
+
+namespace uqp {
+
+namespace {
+
+Gaussian FitFromSamples(const std::vector<double>& samples) {
+  Gaussian g;
+  g.mean = Mean(samples);
+  g.variance = SampleVariance(samples);
+  return g;
+}
+
+}  // namespace
+
+CalibrationReport Calibrator::CalibrateWithReportAt(
+    int concurrency, const CalibrationOptions& options) {
+  UQP_CHECK(!options.tuple_counts.empty());
+  UQP_CHECK(options.repetitions_per_size >= 2);
+  UQP_CHECK(concurrency >= 1);
+  CalibrationReport report;
+
+  auto run = [this, concurrency](const ResourceVector& counters) {
+    return machine_->ExecuteOnce({counters}, concurrency);
+  };
+
+  // --- c_t: in-memory SELECT * ---
+  for (double n : options.tuple_counts) {
+    for (int rep = 0; rep < options.repetitions_per_size; ++rep) {
+      ResourceVector rv;
+      rv.nt = n;
+      const double tau = run(rv);
+      report.samples[kCostTuple].push_back(tau / n);
+    }
+  }
+  const Gaussian ct = FitFromSamples(report.samples[kCostTuple]);
+
+  // --- c_o: in-memory aggregation (nt = N, no = 2N) ---
+  for (double n : options.tuple_counts) {
+    for (int rep = 0; rep < options.repetitions_per_size; ++rep) {
+      ResourceVector rv;
+      rv.nt = n;
+      rv.no = 2.0 * n;
+      const double tau = run(rv);
+      report.samples[kCostOperator].push_back(
+          std::max(0.0, tau - n * ct.mean) / (2.0 * n));
+    }
+  }
+  const Gaussian co = FitFromSamples(report.samples[kCostOperator]);
+
+  // --- c_i: in-memory index traversal (nt = N, ni = N) ---
+  for (double n : options.tuple_counts) {
+    for (int rep = 0; rep < options.repetitions_per_size; ++rep) {
+      ResourceVector rv;
+      rv.nt = n;
+      rv.ni = n;
+      const double tau = run(rv);
+      report.samples[kCostIndexTuple].push_back(
+          std::max(0.0, tau - n * ct.mean) / n);
+    }
+  }
+  const Gaussian ci = FitFromSamples(report.samples[kCostIndexTuple]);
+
+  // --- c_s: cold sequential scan (ns = P, nt = N, no = N) ---
+  for (double n : options.tuple_counts) {
+    const double pages = std::max(1.0, n / options.rows_per_page);
+    for (int rep = 0; rep < options.repetitions_per_size; ++rep) {
+      ResourceVector rv;
+      rv.ns = pages;
+      rv.nt = n;
+      rv.no = n;
+      const double tau = run(rv);
+      report.samples[kCostSeqPage].push_back(
+          std::max(0.0, tau - n * (ct.mean + co.mean)) / pages);
+    }
+  }
+  const Gaussian cs = FitFromSamples(report.samples[kCostSeqPage]);
+
+  // --- c_r: cold unclustered index scan (nr = N, nt = N, ni = N) ---
+  for (double n : options.tuple_counts) {
+    for (int rep = 0; rep < options.repetitions_per_size; ++rep) {
+      ResourceVector rv;
+      rv.nr = n;
+      rv.nt = n;
+      rv.ni = n;
+      const double tau = run(rv);
+      report.samples[kCostRandPage].push_back(
+          std::max(0.0, tau - n * (ct.mean + ci.mean)) / n);
+    }
+  }
+  const Gaussian cr = FitFromSamples(report.samples[kCostRandPage]);
+
+  report.units.Get(kCostSeqPage) = cs;
+  report.units.Get(kCostRandPage) = cr;
+  report.units.Get(kCostTuple) = ct;
+  report.units.Get(kCostIndexTuple) = ci;
+  report.units.Get(kCostOperator) = co;
+  return report;
+}
+
+}  // namespace uqp

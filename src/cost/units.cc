@@ -1,0 +1,56 @@
+#include "cost/units.h"
+
+#include <cstdio>
+
+namespace uqp {
+
+const char* CostUnitName(int unit) {
+  switch (unit) {
+    case kCostSeqPage:
+      return "sequential page I/O";
+    case kCostRandPage:
+      return "random page I/O";
+    case kCostTuple:
+      return "CPU per tuple";
+    case kCostIndexTuple:
+      return "CPU per index tuple";
+    case kCostOperator:
+      return "CPU per operation";
+  }
+  return "?";
+}
+
+const char* CostUnitSymbol(int unit) {
+  switch (unit) {
+    case kCostSeqPage:
+      return "c_s";
+    case kCostRandPage:
+      return "c_r";
+    case kCostTuple:
+      return "c_t";
+    case kCostIndexTuple:
+      return "c_i";
+    case kCostOperator:
+      return "c_o";
+  }
+  return "?";
+}
+
+CostUnits CostUnits::WithoutVariance() const {
+  CostUnits out = *this;
+  for (auto& g : out.units) g.variance = 0.0;
+  return out;
+}
+
+std::string CostUnits::ToString() const {
+  std::string out;
+  char buf[128];
+  for (int u = 0; u < kNumCostUnits; ++u) {
+    std::snprintf(buf, sizeof(buf), "%s = %.6g ms (sd %.3g)\n",
+                  CostUnitSymbol(u), units[u].mean, units[u].stddev());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace uqp

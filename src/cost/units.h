@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "math/gaussian.h"
+
+namespace uqp {
+
+/// Indexes of the five PostgreSQL cost units (paper Table 1).
+enum CostUnit : int {
+  kCostSeqPage = 0,   ///< c_s — I/O cost to sequentially access a page
+  kCostRandPage = 1,  ///< c_r — I/O cost to randomly access a page
+  kCostTuple = 2,     ///< c_t — CPU cost to process a tuple
+  kCostIndexTuple = 3,///< c_i — CPU cost to process a tuple via index access
+  kCostOperator = 4,  ///< c_o — CPU cost to perform an operation (e.g. hash)
+};
+inline constexpr int kNumCostUnits = 5;
+
+const char* CostUnitName(int unit);
+const char* CostUnitSymbol(int unit);
+
+/// Calibrated cost units as random variables (paper §3.1): each unit is
+/// modeled N(mu, sigma^2), estimated from repeated calibration-query runs.
+struct CostUnits {
+  Gaussian units[kNumCostUnits];
+
+  const Gaussian& Get(int unit) const { return units[unit]; }
+  Gaussian& Get(int unit) { return units[unit]; }
+
+  /// Point-estimate view (means only), for the planner.
+  double MeanDot(double ns, double nr, double nt, double ni, double no) const {
+    return ns * units[0].mean + nr * units[1].mean + nt * units[2].mean +
+           ni * units[3].mean + no * units[4].mean;
+  }
+
+  /// Returns a copy with all variances zeroed (the NoVar[c] ablation,
+  /// paper §6.3.3 V2).
+  CostUnits WithoutVariance() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace uqp

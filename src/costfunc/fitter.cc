@@ -1,0 +1,191 @@
+#include "costfunc/fitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "cost/units.h"
+#include "math/nnls.h"
+
+namespace uqp {
+
+namespace {
+
+/// Grid points over the likely range of a selectivity: [μ - 3σ, μ + 3σ]
+/// clamped to [0, 1] (paper §4.2; Pr(X in I) ≈ 0.997). Degenerate
+/// intervals are widened slightly for numerical conditioning.
+std::vector<double> GridPoints(const Gaussian& g, int subintervals) {
+  double lo = g.mean - 3.0 * g.stddev();
+  double hi = g.mean + 3.0 * g.stddev();
+  lo = std::clamp(lo, 0.0, 1.0);
+  hi = std::clamp(hi, 0.0, 1.0);
+  if (hi - lo < 1e-9) {
+    const double pad = std::max(1e-4, 0.05 * std::max(g.mean, 1e-3));
+    lo = std::clamp(g.mean - pad, 0.0, 1.0);
+    hi = std::clamp(g.mean + pad, 0.0, 1.0);
+    if (hi - lo < 1e-9) hi = std::min(1.0, lo + 1e-4);
+  }
+  std::vector<double> points;
+  points.reserve(static_cast<size_t>(subintervals) + 1);
+  for (int i = 0; i <= subintervals; ++i) {
+    points.push_back(lo + (hi - lo) * static_cast<double>(i) / subintervals);
+  }
+  return points;
+}
+
+/// The cost-model oracle: expected counter value for one operator at a
+/// selectivity point. Cardinalities are reconstructed from selectivities
+/// via the leaf-row products (Nl = |Rl| Xl etc., paper §4.1).
+class Oracle {
+ public:
+  Oracle(const PlanNode& node, const Database& db, const EngineConfig& engine)
+      : node_(node), engine_(engine) {
+    ctx_.type = node.type;
+    ctx_.qual_ops = PredicateOpCount(node.predicate.get());
+    if (IsScan(node.type)) {
+      const Table& t = db.GetTable(node.table_name);
+      ctx_.table_rows = static_cast<double>(t.num_rows());
+      ctx_.table_pages = static_cast<double>(t.num_pages());
+      ctx_.index_range_ratio = IndexRangeRatio(node, db);
+    }
+    if (node.left != nullptr) {
+      ctx_.left_width = node.left->output_schema.TupleWidthBytes();
+    }
+    if (node.right != nullptr) {
+      ctx_.right_width = node.right->output_schema.TupleWidthBytes();
+    }
+  }
+
+  double Counter(int cost_unit, double x, double xl, double xr) const {
+    OperatorContext ctx = ctx_;
+    ctx.out_rows = std::max(0.0, x) * node_.leaf_row_product;
+    if (node_.left != nullptr) {
+      ctx.left_rows = std::max(0.0, xl) * node_.left->leaf_row_product;
+    }
+    if (node_.right != nullptr) {
+      ctx.right_rows = std::max(0.0, xr) * node_.right->leaf_row_product;
+    }
+    return EstimateResources(ctx, engine_).Get(cost_unit);
+  }
+
+ private:
+  const PlanNode& node_;
+  EngineConfig engine_;
+  OperatorContext ctx_;
+};
+
+struct FitPoint {
+  double x, xl, xr;
+  double f;
+};
+
+StatusOr<std::vector<double>> FitCoefficients(CostFuncType type,
+                                              const std::vector<FitPoint>& pts) {
+  const int ncoef = CostFuncNumCoefficients(type);
+  if (type == CostFuncType::kConstant) {
+    // Single coefficient: the oracle value itself.
+    return std::vector<double>{pts.empty() ? 0.0 : pts[0].f};
+  }
+  NnlsProblem problem;
+  problem.rows = static_cast<int>(pts.size());
+  problem.cols = ncoef;
+  problem.nonnegative.assign(static_cast<size_t>(ncoef), true);
+  problem.nonnegative[static_cast<size_t>(ncoef) - 1] = false;  // constant free
+  problem.a.reserve(pts.size() * static_cast<size_t>(ncoef));
+  problem.y.reserve(pts.size());
+  for (const FitPoint& p : pts) {
+    switch (type) {
+      case CostFuncType::kLinearOutput:
+        problem.a.insert(problem.a.end(), {p.x, 1.0});
+        break;
+      case CostFuncType::kLinearLeft:
+        problem.a.insert(problem.a.end(), {p.xl, 1.0});
+        break;
+      case CostFuncType::kQuadraticLeft:
+        problem.a.insert(problem.a.end(), {p.xl * p.xl, p.xl, 1.0});
+        break;
+      case CostFuncType::kLinearBoth:
+        problem.a.insert(problem.a.end(), {p.xl, p.xr, 1.0});
+        break;
+      case CostFuncType::kBilinear:
+        problem.a.insert(problem.a.end(), {p.xl * p.xr, p.xl, p.xr, 1.0});
+        break;
+      case CostFuncType::kConstant:
+        break;
+    }
+    problem.y.push_back(p.f);
+  }
+  UQP_ASSIGN_OR_RETURN(NnlsResult result, SolveNnls(problem));
+  return result.coefficients;
+}
+
+}  // namespace
+
+StatusOr<OperatorCostFunctions> CostFunctionFitter::FitNode(
+    const PlanNode& node, const PlanEstimates& estimates) const {
+  OperatorCostFunctions out;
+  out.node_id = node.id;
+  out.op_type = node.type;
+  out.var_own = estimates.variable_of_node[static_cast<size_t>(node.id)];
+  const Gaussian gx = estimates.ops[static_cast<size_t>(node.id)].AsGaussian();
+  Gaussian gl(1.0, 0.0), gr(1.0, 0.0);
+  if (node.left != nullptr) {
+    out.var_left = estimates.variable_of_node[static_cast<size_t>(node.left->id)];
+    gl = estimates.ops[static_cast<size_t>(node.left->id)].AsGaussian();
+  }
+  if (node.right != nullptr) {
+    out.var_right = estimates.variable_of_node[static_cast<size_t>(node.right->id)];
+    gr = estimates.ops[static_cast<size_t>(node.right->id)].AsGaussian();
+  }
+
+  const Oracle oracle(node, *db_, options_.engine);
+  for (int unit = 0; unit < kNumCostUnits; ++unit) {
+    const CostFuncType type = CostFunctionTypeFor(node.type, unit);
+    std::vector<FitPoint> pts;
+    switch (type) {
+      case CostFuncType::kConstant:
+        pts.push_back({gx.mean, gl.mean, gr.mean,
+                       oracle.Counter(unit, gx.mean, gl.mean, gr.mean)});
+        break;
+      case CostFuncType::kLinearOutput:
+        for (double x : GridPoints(gx, options_.grid_1d)) {
+          pts.push_back({x, gl.mean, gr.mean,
+                         oracle.Counter(unit, x, gl.mean, gr.mean)});
+        }
+        break;
+      case CostFuncType::kLinearLeft:
+      case CostFuncType::kQuadraticLeft:
+        for (double xl : GridPoints(gl, options_.grid_1d)) {
+          pts.push_back({gx.mean, xl, gr.mean,
+                         oracle.Counter(unit, gx.mean, xl, gr.mean)});
+        }
+        break;
+      case CostFuncType::kLinearBoth:
+      case CostFuncType::kBilinear:
+        for (double xl : GridPoints(gl, options_.grid_2d)) {
+          for (double xr : GridPoints(gr, options_.grid_2d)) {
+            pts.push_back({gx.mean, xl, xr,
+                           oracle.Counter(unit, gx.mean, xl, xr)});
+          }
+        }
+        break;
+    }
+    UQP_ASSIGN_OR_RETURN(std::vector<double> coefs, FitCoefficients(type, pts));
+    out.funcs[unit].type = type;
+    out.funcs[unit].b = std::move(coefs);
+  }
+  return out;
+}
+
+StatusOr<std::vector<OperatorCostFunctions>> CostFunctionFitter::FitPlan(
+    const Plan& plan, const PlanEstimates& estimates) const {
+  std::vector<OperatorCostFunctions> out(
+      static_cast<size_t>(plan.num_operators()));
+  for (const PlanNode* node : plan.NodesPreorder()) {
+    UQP_ASSIGN_OR_RETURN(out[static_cast<size_t>(node->id)],
+                         FitNode(*node, estimates));
+  }
+  return out;
+}
+
+}  // namespace uqp

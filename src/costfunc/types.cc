@@ -1,0 +1,133 @@
+#include "costfunc/types.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "cost/units.h"
+
+namespace uqp {
+
+const char* CostFuncTypeName(CostFuncType t) {
+  switch (t) {
+    case CostFuncType::kConstant:
+      return "C1";
+    case CostFuncType::kLinearOutput:
+      return "C2";
+    case CostFuncType::kLinearLeft:
+      return "C3";
+    case CostFuncType::kQuadraticLeft:
+      return "C4";
+    case CostFuncType::kLinearBoth:
+      return "C5";
+    case CostFuncType::kBilinear:
+      return "C6";
+  }
+  return "?";
+}
+
+int CostFuncNumCoefficients(CostFuncType t) {
+  switch (t) {
+    case CostFuncType::kConstant:
+      return 1;
+    case CostFuncType::kLinearOutput:
+    case CostFuncType::kLinearLeft:
+      return 2;
+    case CostFuncType::kQuadraticLeft:
+    case CostFuncType::kLinearBoth:
+      return 3;
+    case CostFuncType::kBilinear:
+      return 4;
+  }
+  return 1;
+}
+
+CostFuncType CostFunctionTypeFor(OpType op, int cost_unit) {
+  // Unreferenced counters fall through to kConstant and fit to 0.
+  switch (op) {
+    case OpType::kSeqScan:
+      return CostFuncType::kConstant;  // pages/tuples/quals fixed by |R|
+    case OpType::kIndexScan:
+      return CostFuncType::kLinearOutput;  // nr, ni, nt, no all ~ M
+    case OpType::kHashJoin:
+    case OpType::kMergeJoin:
+      // Output assembly is charged per emitted tuple; everything else is
+      // linear in the input cardinalities.
+      return cost_unit == kCostTuple ? CostFuncType::kLinearOutput
+                                     : CostFuncType::kLinearBoth;
+    case OpType::kNestLoopJoin:
+      return cost_unit == kCostTuple ? CostFuncType::kLinearOutput
+                                     : CostFuncType::kBilinear;
+    case OpType::kSort:
+      // The N log N comparison count is approximated by a quadratic
+      // polynomial (§4.1's argument for C4).
+      return cost_unit == kCostOperator ? CostFuncType::kQuadraticLeft
+                                        : CostFuncType::kLinearLeft;
+    case OpType::kAggregate:
+      return cost_unit == kCostTuple ? CostFuncType::kLinearOutput
+                                     : CostFuncType::kLinearLeft;
+    case OpType::kMaterialize:
+      return CostFuncType::kLinearLeft;
+  }
+  return CostFuncType::kConstant;
+}
+
+double FittedCostFunction::Eval(double x, double xl, double xr) const {
+  switch (type) {
+    case CostFuncType::kConstant:
+      return b[0];
+    case CostFuncType::kLinearOutput:
+      return b[0] * x + b[1];
+    case CostFuncType::kLinearLeft:
+      return b[0] * xl + b[1];
+    case CostFuncType::kQuadraticLeft:
+      return b[0] * xl * xl + b[1] * xl + b[2];
+    case CostFuncType::kLinearBoth:
+      return b[0] * xl + b[1] * xr + b[2];
+    case CostFuncType::kBilinear:
+      return b[0] * xl * xr + b[1] * xl + b[2] * xr + b[3];
+  }
+  return 0.0;
+}
+
+Gaussian FittedCostFunction::Distribution(const Gaussian& x, const Gaussian& xl,
+                                          const Gaussian& xr) const {
+  switch (type) {
+    case CostFuncType::kConstant:
+      return Gaussian(b[0], 0.0);
+    case CostFuncType::kLinearOutput:
+      return Gaussian(b[0] * x.mean + b[1], b[0] * b[0] * x.variance);
+    case CostFuncType::kLinearLeft:
+      return Gaussian(b[0] * xl.mean + b[1], b[0] * b[0] * xl.variance);
+    case CostFuncType::kQuadraticLeft: {
+      const double mean =
+          b[0] * NormalMoment(xl.mean, xl.variance, 2) + b[1] * xl.mean + b[2];
+      return Gaussian(mean, QuadraticFormVariance(b[0], b[1], xl.mean, xl.variance));
+    }
+    case CostFuncType::kLinearBoth:
+      return Gaussian(b[0] * xl.mean + b[1] * xr.mean + b[2],
+                      b[0] * b[0] * xl.variance + b[1] * b[1] * xr.variance);
+    case CostFuncType::kBilinear: {
+      const double mean =
+          b[0] * xl.mean * xr.mean + b[1] * xl.mean + b[2] * xr.mean + b[3];
+      return Gaussian(mean, BilinearFormVariance(b[0], b[1], b[2], xl.mean,
+                                                 xl.variance, xr.mean,
+                                                 xr.variance));
+    }
+  }
+  return Gaussian();
+}
+
+std::string FittedCostFunction::ToString() const {
+  std::string out = CostFuncTypeName(type);
+  out += "[";
+  char buf[32];
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (i > 0) out += ", ";
+    std::snprintf(buf, sizeof(buf), "%.4g", b[i]);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace uqp

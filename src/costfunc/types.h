@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+#include "math/gaussian.h"
+
+namespace uqp {
+
+/// The six logical cost function shapes of paper §4.1, in selectivity form
+/// (C1'–C6'). X is the operator's own selectivity, Xl / Xr the selectivity
+/// variables of its left / right child subtree.
+enum class CostFuncType {
+  kConstant,       ///< C1': f = b0
+  kLinearOutput,   ///< C2': f = b0 X + b1
+  kLinearLeft,     ///< C3': f = b0 Xl + b1
+  kQuadraticLeft,  ///< C4': f = b0 Xl² + b1 Xl + b2
+  kLinearBoth,     ///< C5': f = b0 Xl + b1 Xr + b2
+  kBilinear,       ///< C6': f = b0 Xl Xr + b1 Xl + b2 Xr + b3
+};
+
+const char* CostFuncTypeName(CostFuncType t);
+
+/// Number of coefficients of each shape.
+int CostFuncNumCoefficients(CostFuncType t);
+
+/// The static (operator type, cost unit) -> shape mapping (§4.1's analysis
+/// of representative operators). Cost units indexed as in cost/units.h
+/// (0..4 = ns, nr, nt, ni, no).
+CostFuncType CostFunctionTypeFor(OpType op, int cost_unit);
+
+/// A fitted logical cost function for one (operator, cost unit).
+struct FittedCostFunction {
+  CostFuncType type = CostFuncType::kConstant;
+  std::vector<double> b;
+
+  /// Point evaluation.
+  double Eval(double x, double xl, double xr) const;
+
+  /// The asymptotic-normal approximation fN ~ N(E[f], Var[f]) of §5.2.1,
+  /// given the (independent) Gaussian selectivities. Quadratic and
+  /// bilinear shapes use Lemma 4 / Lemma 8.
+  Gaussian Distribution(const Gaussian& x, const Gaussian& xl,
+                        const Gaussian& xr) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace uqp

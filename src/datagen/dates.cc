@@ -1,0 +1,49 @@
+#include "datagen/dates.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+// Howard Hinnant's days_from_civil algorithm.
+int64_t DayNumber(int year, int month, int day) {
+  const int y = year - (month <= 2 ? 1 : 0);
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(day) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+int64_t ParseDate(const std::string& iso) {
+  int y = 0, m = 0, d = 0;
+  const int parsed = std::sscanf(iso.c_str(), "%d-%d-%d", &y, &m, &d);
+  UQP_CHECK(parsed == 3 && m >= 1 && m <= 12 && d >= 1 && d <= 31)
+      << "bad date literal: " << iso;
+  return DayNumber(y, m, d);
+}
+
+std::string FormatDate(int64_t day_number) {
+  // civil_from_days.
+  int64_t z = day_number + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  const int64_t year = y + (m <= 2 ? 1 : 0);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02u", static_cast<long long>(year), m, d);
+  return buf;
+}
+
+int64_t TpchDateMin() { return DayNumber(1992, 1, 1); }
+int64_t TpchDateMax() { return DayNumber(1998, 12, 31); }
+
+}  // namespace uqp

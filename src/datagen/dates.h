@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace uqp {
+
+/// Dates are stored as int64 day numbers (days since 1970-01-01) so date
+/// columns support range predicates through the ordinary numeric path.
+/// TPC-H dates span 1992-01-01 .. 1998-12-31.
+
+/// Day number for a civil date (proleptic Gregorian).
+int64_t DayNumber(int year, int month, int day);
+
+/// Parses "YYYY-MM-DD" into a day number; aborts on malformed input
+/// (only used with literal constants in templates/tests).
+int64_t ParseDate(const std::string& iso);
+
+/// Renders a day number back to "YYYY-MM-DD".
+std::string FormatDate(int64_t day_number);
+
+/// TPC-H date range endpoints.
+int64_t TpchDateMin();
+int64_t TpchDateMax();
+
+}  // namespace uqp

@@ -1,0 +1,353 @@
+#include "datagen/tpch.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "datagen/dates.h"
+#include "math/rng.h"
+#include "math/zipf.h"
+
+namespace uqp {
+
+TpchConfig TpchConfig::Profile(const std::string& name, double zipf_z,
+                               uint64_t seed) {
+  TpchConfig cfg;
+  cfg.zipf_z = zipf_z;
+  cfg.seed = seed;
+  if (name == "1gb") {
+    cfg.scale = 1.0;
+  } else if (name == "10gb") {
+    cfg.scale = 10.0;
+  } else if (name == "tiny") {
+    cfg.scale = 0.1;
+  } else {
+    UQP_CHECK(false) << "unknown TPC-H profile: " << name;
+  }
+  return cfg;
+}
+
+TpchCardinalities CardinalitiesFor(double scale) {
+  TpchCardinalities c;
+  c.supplier = std::max<int64_t>(10, static_cast<int64_t>(100 * scale));
+  c.customer = std::max<int64_t>(30, static_cast<int64_t>(1500 * scale));
+  c.part = std::max<int64_t>(40, static_cast<int64_t>(2000 * scale));
+  c.partsupp = 4 * c.part;
+  c.orders = std::max<int64_t>(100, static_cast<int64_t>(15000 * scale));
+  c.lineitem_approx = 4 * c.orders;
+  return c;
+}
+
+namespace tpch {
+
+namespace {
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                             "5-LOW"};
+const char* kReturnFlags[] = {"R", "A", "N"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+const char* kTypeSyllable1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                                "ECONOMY", "PROMO"};
+const char* kTypeSyllable2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                                "BRUSHED"};
+const char* kTypeSyllable3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainerSyllable1[] = {"SM", "MED", "LG", "JUMBO", "WRAP",
+                                     "SMALL", "STANDARD", "PROMO"};
+const char* kContainerSyllable2[] = {"CASE", "BOX", "BAG", "JAR", "PKG"};
+}  // namespace
+
+std::string SegmentName(int i) { return kSegments[i % kNumSegments]; }
+
+std::string BrandName(int i) {
+  // Brand#MN with M,N in 1..5 (25 brands).
+  const int m = (i / 5) % 5 + 1;
+  const int n = i % 5 + 1;
+  return "Brand#" + std::to_string(m) + std::to_string(n);
+}
+
+std::string TypeName(int i) {
+  const int a = i % 6;
+  const int b = (i / 6) % 5;
+  const int c = (i / 30) % 5;
+  return std::string(kTypeSyllable1[a]) + " " + kTypeSyllable2[b] + " " +
+         kTypeSyllable3[c];
+}
+
+std::string ContainerName(int i) {
+  const int a = i % 8;
+  const int b = (i / 8) % 5;
+  return std::string(kContainerSyllable1[a]) + " " + kContainerSyllable2[b];
+}
+
+std::string ShipModeName(int i) { return kShipModes[i % kNumShipModes]; }
+std::string PriorityName(int i) { return kPriorities[i % kNumPriorities]; }
+std::string ReturnFlagName(int i) { return kReturnFlags[i % kNumReturnFlags]; }
+std::string NationName(int i) { return kNations[i % 25]; }
+std::string RegionName(int i) { return kRegions[i % 5]; }
+
+}  // namespace tpch
+
+namespace {
+
+/// Draws either uniformly or Zipf-skewed from [0, n). For skewed draws the
+/// rank order is scrambled by a fixed multiplicative permutation so skew
+/// doesn't trivially align with key order.
+class SkewedDomain {
+ public:
+  SkewedDomain(int64_t n, double z)
+      : n_(n), zipf_(z > 0.0 ? std::make_unique<ZipfDistribution>(
+                                   static_cast<uint64_t>(n), z)
+                            : nullptr) {}
+
+  int64_t Draw(Rng* rng) const {
+    if (zipf_ == nullptr) return rng->NextInt(0, n_ - 1);
+    const int64_t rank = static_cast<int64_t>(zipf_->Sample(rng));
+    // Scramble with a multiplier coprime to n.
+    return (rank * 2654435761LL + 12345) % n_;
+  }
+
+ private:
+  int64_t n_;
+  std::unique_ptr<ZipfDistribution> zipf_;
+};
+
+}  // namespace
+
+Database MakeTpchDatabase(const TpchConfig& config) {
+  const TpchCardinalities card = CardinalitiesFor(config.scale);
+  Rng rng(config.seed);
+  Database db("tpch");
+
+  const int64_t date_min = TpchDateMin();
+  const int64_t date_span = TpchDateMax() - date_min;
+
+  // ----- region -----
+  {
+    Table t("region", Schema({{"r_regionkey", ValueType::kInt64},
+                              {"r_name", ValueType::kString, 12}}));
+    for (int64_t k = 0; k < card.region; ++k) {
+      t.AppendRow({Value::Int64(k), Value::String(tpch::RegionName(static_cast<int>(k)))});
+    }
+    t.DeclareIndex(0);
+    db.AddTable(std::move(t));
+  }
+
+  // ----- nation -----
+  {
+    Table t("nation", Schema({{"n_nationkey", ValueType::kInt64},
+                              {"n_name", ValueType::kString, 16},
+                              {"n_regionkey", ValueType::kInt64}}));
+    for (int64_t k = 0; k < card.nation; ++k) {
+      t.AppendRow({Value::Int64(k),
+                   Value::String(tpch::NationName(static_cast<int>(k))),
+                   Value::Int64(k % card.region)});
+    }
+    t.DeclareIndex(0);
+    db.AddTable(std::move(t));
+  }
+
+  // ----- supplier -----
+  {
+    Table t("supplier", Schema({{"s_suppkey", ValueType::kInt64},
+                                {"s_name", ValueType::kString, 18},
+                                {"s_nationkey", ValueType::kInt64},
+                                {"s_acctbal", ValueType::kDouble}}));
+    t.Reserve(card.supplier);
+    SkewedDomain nations(card.nation, config.zipf_z);
+    for (int64_t k = 0; k < card.supplier; ++k) {
+      t.AppendRow({Value::Int64(k),
+                   Value::String("Supplier#" + std::to_string(k)),
+                   Value::Int64(nations.Draw(&rng)),
+                   Value::Double(-999.99 + rng.NextDouble() * 10998.98)});
+    }
+    t.DeclareIndex(0);
+    t.DeclareIndex(2);
+    t.DeclareIndex(3);
+    db.AddTable(std::move(t));
+  }
+
+  // ----- customer -----
+  {
+    Table t("customer", Schema({{"c_custkey", ValueType::kInt64},
+                                {"c_name", ValueType::kString, 18},
+                                {"c_nationkey", ValueType::kInt64},
+                                {"c_mktsegment", ValueType::kString, 10},
+                                {"c_acctbal", ValueType::kDouble}}));
+    t.Reserve(card.customer);
+    SkewedDomain nations(card.nation, config.zipf_z);
+    SkewedDomain segments(tpch::kNumSegments, config.zipf_z);
+    for (int64_t k = 0; k < card.customer; ++k) {
+      t.AppendRow({Value::Int64(k),
+                   Value::String("Customer#" + std::to_string(k)),
+                   Value::Int64(nations.Draw(&rng)),
+                   Value::String(tpch::SegmentName(
+                       static_cast<int>(segments.Draw(&rng)))),
+                   Value::Double(-999.99 + rng.NextDouble() * 10998.98)});
+    }
+    t.DeclareIndex(0);
+    t.DeclareIndex(2);
+    t.DeclareIndex(4);
+    db.AddTable(std::move(t));
+  }
+
+  // ----- part -----
+  {
+    Table t("part", Schema({{"p_partkey", ValueType::kInt64},
+                            {"p_name", ValueType::kString, 24},
+                            {"p_brand", ValueType::kString, 10},
+                            {"p_type", ValueType::kString, 24},
+                            {"p_size", ValueType::kInt64},
+                            {"p_container", ValueType::kString, 10},
+                            {"p_retailprice", ValueType::kDouble}}));
+    t.Reserve(card.part);
+    SkewedDomain brands(tpch::kNumBrands, config.zipf_z);
+    SkewedDomain types(tpch::kNumTypes, config.zipf_z);
+    SkewedDomain containers(tpch::kNumContainers, config.zipf_z);
+    SkewedDomain sizes(50, config.zipf_z);
+    for (int64_t k = 0; k < card.part; ++k) {
+      const double price = 900.0 + (static_cast<double>(k % 1000) / 10.0) +
+                           100.0 * rng.NextDouble();
+      t.AppendRow(
+          {Value::Int64(k), Value::String("Part#" + std::to_string(k)),
+           Value::String(tpch::BrandName(static_cast<int>(brands.Draw(&rng)))),
+           Value::String(tpch::TypeName(static_cast<int>(types.Draw(&rng)))),
+           Value::Int64(1 + sizes.Draw(&rng)),
+           Value::String(
+               tpch::ContainerName(static_cast<int>(containers.Draw(&rng)))),
+           Value::Double(price)});
+    }
+    t.DeclareIndex(0);
+    t.DeclareIndex(4);
+    t.DeclareIndex(6);
+    db.AddTable(std::move(t));
+  }
+
+  // ----- partsupp -----
+  {
+    Table t("partsupp", Schema({{"ps_partkey", ValueType::kInt64},
+                                {"ps_suppkey", ValueType::kInt64},
+                                {"ps_availqty", ValueType::kInt64},
+                                {"ps_supplycost", ValueType::kDouble}}));
+    t.Reserve(card.partsupp);
+    for (int64_t p = 0; p < card.part; ++p) {
+      for (int j = 0; j < 4; ++j) {
+        const int64_t s =
+            (p + (j * (card.supplier / 4 + 1))) % card.supplier;
+        t.AppendRow({Value::Int64(p), Value::Int64(s),
+                     Value::Int64(1 + rng.NextInt(0, 9998)),
+                     Value::Double(1.0 + rng.NextDouble() * 999.0)});
+      }
+    }
+    t.DeclareIndex(0);
+    t.DeclareIndex(1);
+    t.DeclareIndex(3);
+    db.AddTable(std::move(t));
+  }
+
+  // ----- orders -----
+  std::vector<int64_t> order_dates(static_cast<size_t>(card.orders));
+  {
+    Table t("orders", Schema({{"o_orderkey", ValueType::kInt64},
+                              {"o_custkey", ValueType::kInt64},
+                              {"o_orderstatus", ValueType::kString, 4},
+                              {"o_totalprice", ValueType::kDouble},
+                              {"o_orderdate", ValueType::kInt64},
+                              {"o_orderpriority", ValueType::kString, 16},
+                              {"o_shippriority", ValueType::kInt64}}));
+    t.Reserve(card.orders);
+    SkewedDomain customers(card.customer, config.zipf_z);
+    SkewedDomain priorities(tpch::kNumPriorities, config.zipf_z);
+    SkewedDomain dates(date_span - 120, config.zipf_z);
+    for (int64_t k = 0; k < card.orders; ++k) {
+      const int64_t odate = date_min + dates.Draw(&rng);
+      order_dates[static_cast<size_t>(k)] = odate;
+      const char* status = odate + 120 < TpchDateMax() ? "F" : "O";
+      t.AppendRow({Value::Int64(k), Value::Int64(customers.Draw(&rng)),
+                   Value::String(status),
+                   Value::Double(1000.0 + rng.NextDouble() * 450000.0),
+                   Value::Int64(odate),
+                   Value::String(tpch::PriorityName(
+                       static_cast<int>(priorities.Draw(&rng)))),
+                   Value::Int64(0)});
+    }
+    t.DeclareIndex(0);
+    t.DeclareIndex(1);
+    t.DeclareIndex(3);
+    t.DeclareIndex(4);
+    db.AddTable(std::move(t));
+  }
+
+  // ----- lineitem -----
+  {
+    Table t("lineitem", Schema({{"l_orderkey", ValueType::kInt64},
+                                {"l_partkey", ValueType::kInt64},
+                                {"l_suppkey", ValueType::kInt64},
+                                {"l_linenumber", ValueType::kInt64},
+                                {"l_quantity", ValueType::kDouble},
+                                {"l_extendedprice", ValueType::kDouble},
+                                {"l_discount", ValueType::kDouble},
+                                {"l_tax", ValueType::kDouble},
+                                {"l_returnflag", ValueType::kString, 2},
+                                {"l_linestatus", ValueType::kString, 2},
+                                {"l_shipdate", ValueType::kInt64},
+                                {"l_commitdate", ValueType::kInt64},
+                                {"l_receiptdate", ValueType::kInt64},
+                                {"l_shipmode", ValueType::kString, 10},
+                                {"l_shipinstruct", ValueType::kString, 24}}));
+    t.Reserve(card.lineitem_approx);
+    SkewedDomain parts(card.part, config.zipf_z);
+    SkewedDomain suppliers(card.supplier, config.zipf_z);
+    SkewedDomain quantities(50, config.zipf_z);
+    SkewedDomain modes(tpch::kNumShipModes, config.zipf_z);
+    const char* instructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+    for (int64_t o = 0; o < card.orders; ++o) {
+      const int lines = static_cast<int>(1 + rng.NextInt(0, 6));
+      for (int ln = 0; ln < lines; ++ln) {
+        const int64_t odate = order_dates[static_cast<size_t>(o)];
+        const int64_t shipdate = odate + 1 + rng.NextInt(0, 120);
+        const int64_t commitdate = odate + 30 + rng.NextInt(0, 60);
+        const int64_t receiptdate = shipdate + 1 + rng.NextInt(0, 30);
+        const double quantity = static_cast<double>(1 + quantities.Draw(&rng));
+        const double price = quantity * (900.0 + rng.NextDouble() * 200.0);
+        const char* rflag;
+        if (receiptdate <= DayNumber(1995, 6, 17)) {
+          rflag = rng.NextBool(0.5) ? "R" : "A";
+        } else {
+          rflag = "N";
+        }
+        const char* lstatus = shipdate > DayNumber(1995, 6, 17) ? "O" : "F";
+        t.AppendRow(
+            {Value::Int64(o), Value::Int64(parts.Draw(&rng)),
+             Value::Int64(suppliers.Draw(&rng)), Value::Int64(ln + 1),
+             Value::Double(quantity), Value::Double(price),
+             Value::Double(static_cast<double>(rng.NextInt(0, 10)) / 100.0),
+             Value::Double(static_cast<double>(rng.NextInt(0, 8)) / 100.0),
+             Value::String(rflag), Value::String(lstatus),
+             Value::Int64(shipdate), Value::Int64(commitdate),
+             Value::Int64(receiptdate),
+             Value::String(tpch::ShipModeName(static_cast<int>(modes.Draw(&rng)))),
+             Value::String(instructs[rng.NextInt(0, 3)])});
+      }
+    }
+    t.DeclareIndex(0);
+    t.DeclareIndex(1);
+    t.DeclareIndex(2);
+    t.DeclareIndex(4);
+    t.DeclareIndex(10);
+    t.DeclareIndex(12);
+    db.AddTable(std::move(t));
+  }
+
+  db.AnalyzeAll(config.histogram_buckets);
+  return db;
+}
+
+}  // namespace uqp

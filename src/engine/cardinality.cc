@@ -1,0 +1,224 @@
+#include "engine/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+namespace {
+
+void FlattenConjunction(const Expr* e, std::vector<const Expr*>* conjuncts) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kAnd) {
+    FlattenConjunction(e->lhs.get(), conjuncts);
+    FlattenConjunction(e->rhs.get(), conjuncts);
+    return;
+  }
+  conjuncts->push_back(e);
+}
+
+bool IsNumericRangeCmp(const Expr* e, const TableStats& stats) {
+  if (e->kind != Expr::Kind::kCmp) return false;
+  if (e->op == CmpOp::kEq || e->op == CmpOp::kNe) return false;
+  if (e->constant.type == ValueType::kString) return false;
+  if (e->column < 0 || e->column >= static_cast<int>(stats.columns.size())) {
+    return false;
+  }
+  const ColumnStats& cs = stats.columns[static_cast<size_t>(e->column)];
+  return cs.numeric && !cs.histogram.empty();
+}
+
+}  // namespace
+
+double CardinalityEstimator::PredicateSelectivityOnStats(
+    const Expr* e, const TableStats& stats) const {
+  if (e == nullptr) return 1.0;
+  switch (e->kind) {
+    case Expr::Kind::kCmpCol:
+      // Column-to-column comparison: PostgreSQL-style default guess.
+      return e->op == CmpOp::kEq ? 0.005 : 0.333;
+    case Expr::Kind::kAnd: {
+      // PostgreSQL-style clauselist estimation: pair up range conjuncts on
+      // the same column into interval selectivities instead of blindly
+      // multiplying endpoint selectivities (which badly overestimates
+      // narrow BETWEENs), then apply independence across columns.
+      std::vector<const Expr*> conjuncts;
+      FlattenConjunction(e, &conjuncts);
+      struct Interval {
+        double lo = -std::numeric_limits<double>::infinity();
+        double hi = std::numeric_limits<double>::infinity();
+      };
+      std::map<int, Interval> ranges;
+      double sel = 1.0;
+      for (const Expr* c : conjuncts) {
+        if (IsNumericRangeCmp(c, stats)) {
+          Interval& iv = ranges[c->column];
+          const double v = c->constant.AsDouble();
+          switch (c->op) {
+            case CmpOp::kLe:
+            case CmpOp::kLt:
+              iv.hi = std::min(iv.hi, v);
+              break;
+            case CmpOp::kGe:
+            case CmpOp::kGt:
+              iv.lo = std::max(iv.lo, v);
+              break;
+            default:
+              break;
+          }
+        } else {
+          sel *= PredicateSelectivityOnStats(c, stats);
+        }
+      }
+      const double min_sel =
+          stats.row_count > 0 ? 1.0 / static_cast<double>(stats.row_count) : 1e-9;
+      for (const auto& [col, iv] : ranges) {
+        const ColumnStats& cs = stats.columns[static_cast<size_t>(col)];
+        double rsel;
+        if (iv.lo > iv.hi) {
+          rsel = min_sel;
+        } else {
+          rsel = cs.histogram.FractionRange(std::max(iv.lo, cs.histogram.min()),
+                                            std::min(iv.hi, cs.histogram.max()));
+        }
+        sel *= std::max(min_sel, rsel);
+      }
+      return std::clamp(sel, 0.0, 1.0);
+    }
+    case Expr::Kind::kOr: {
+      const double a = PredicateSelectivityOnStats(e->lhs.get(), stats);
+      const double b = PredicateSelectivityOnStats(e->rhs.get(), stats);
+      return std::clamp(a + b - a * b, 0.0, 1.0);
+    }
+    case Expr::Kind::kNot:
+      return 1.0 - PredicateSelectivityOnStats(e->lhs.get(), stats);
+    case Expr::Kind::kCmp: {
+      if (e->column < 0 || e->column >= static_cast<int>(stats.columns.size())) {
+        return 0.333;  // default guess, PostgreSQL-style
+      }
+      const ColumnStats& cs = stats.columns[static_cast<size_t>(e->column)];
+      if (!cs.numeric) {
+        // String equality via frequency map.
+        if (e->op == CmpOp::kEq || e->op == CmpOp::kNe) {
+          double freq = 0.0;
+          auto it = cs.string_freq.find(e->constant.s);
+          if (it != cs.string_freq.end() && stats.row_count > 0) {
+            freq = static_cast<double>(it->second) /
+                   static_cast<double>(stats.row_count);
+          }
+          return e->op == CmpOp::kEq ? freq : 1.0 - freq;
+        }
+        return 0.333;
+      }
+      const double v = e->constant.AsDouble();
+      const auto& h = cs.histogram;
+      if (h.empty()) return 0.333;
+      const double eq =
+          cs.num_distinct > 0 ? 1.0 / static_cast<double>(cs.num_distinct) : 0.0;
+      switch (e->op) {
+        case CmpOp::kEq:
+          return eq;
+        case CmpOp::kNe:
+          return 1.0 - eq;
+        case CmpOp::kLe:
+          return h.FractionLessEq(v);
+        case CmpOp::kLt:
+          return std::max(0.0, h.FractionLessEq(v) - eq);
+        case CmpOp::kGe:
+          return std::max(0.0, 1.0 - h.FractionLessEq(v) + eq);
+        case CmpOp::kGt:
+          return std::max(0.0, 1.0 - h.FractionLessEq(v));
+      }
+      return 0.333;
+    }
+  }
+  return 0.333;
+}
+
+double CardinalityEstimator::PredicateSelectivity(const Expr* e,
+                                                  const std::string& table) const {
+  if (e == nullptr) return 1.0;
+  return PredicateSelectivityOnStats(e, db_->catalog().Get(table));
+}
+
+double CardinalityEstimator::ColumnDistinct(const ColumnOrigin& origin,
+                                            double available_rows) const {
+  if (origin.table.empty() || origin.column < 0) {
+    return std::max(1.0, available_rows);
+  }
+  const TableStats& stats = db_->catalog().Get(origin.table);
+  if (origin.column >= static_cast<int>(stats.columns.size())) {
+    return std::max(1.0, available_rows);
+  }
+  const double d = static_cast<double>(
+      stats.columns[static_cast<size_t>(origin.column)].num_distinct);
+  return std::max(1.0, std::min(d, std::max(1.0, available_rows)));
+}
+
+double CardinalityEstimator::EstimateNode(
+    const PlanNode* node, std::vector<double>* rows_by_id,
+    std::vector<ColumnOrigin>* origins) const {
+  double rows = 0.0;
+  if (IsScan(node->type)) {
+    const TableStats& stats = db_->catalog().Get(node->table_name);
+    const double sel = PredicateSelectivityOnStats(node->predicate.get(), stats);
+    rows = std::max(1.0, sel * static_cast<double>(stats.row_count));
+    origins->clear();
+    for (int c = 0; c < node->output_schema.num_columns(); ++c) {
+      origins->push_back(ColumnOrigin{node->table_name, c});
+    }
+  } else if (IsJoin(node->type)) {
+    std::vector<ColumnOrigin> left_origins, right_origins;
+    const double nl = EstimateNode(node->left.get(), rows_by_id, &left_origins);
+    const double nr = EstimateNode(node->right.get(), rows_by_id, &right_origins);
+    double sel = 1.0;
+    for (const auto& [lc, rc] : node->join_keys) {
+      const double dl = ColumnDistinct(left_origins[static_cast<size_t>(lc)], nl);
+      const double dr = ColumnDistinct(right_origins[static_cast<size_t>(rc)], nr);
+      sel *= 1.0 / std::max(dl, dr);
+    }
+    if (node->join_keys.empty()) sel = 1.0;  // cross product
+    if (node->predicate != nullptr) {
+      sel *= 0.333;  // residual predicate default
+    }
+    rows = std::max(1.0, nl * nr * sel);
+    *origins = left_origins;
+    origins->insert(origins->end(), right_origins.begin(), right_origins.end());
+  } else if (node->type == OpType::kAggregate) {
+    std::vector<ColumnOrigin> child_origins;
+    const double nl = EstimateNode(node->left.get(), rows_by_id, &child_origins);
+    double groups = 1.0;
+    for (int c : node->group_columns) {
+      groups *= ColumnDistinct(child_origins[static_cast<size_t>(c)], nl);
+    }
+    rows = node->group_columns.empty() ? 1.0 : std::max(1.0, std::min(groups, nl));
+    origins->clear();
+    for (int c : node->group_columns) {
+      origins->push_back(child_origins[static_cast<size_t>(c)]);
+    }
+    for (size_t i = 0; i < node->aggregates.size(); ++i) {
+      origins->push_back(ColumnOrigin{});
+    }
+  } else {
+    // Pass-through: sort / materialize.
+    rows = EstimateNode(node->left.get(), rows_by_id, origins);
+  }
+  (*rows_by_id)[static_cast<size_t>(node->id)] = rows;
+  return rows;
+}
+
+std::vector<double> CardinalityEstimator::EstimatePlan(const Plan& plan) const {
+  UQP_CHECK(plan.root() != nullptr && plan.root()->id == 0)
+      << "plan must be finalized before estimation";
+  std::vector<double> rows(static_cast<size_t>(plan.num_operators()), 0.0);
+  std::vector<ColumnOrigin> origins;
+  EstimateNode(plan.root(), &rows, &origins);
+  return rows;
+}
+
+}  // namespace uqp

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+#include "storage/database.h"
+
+namespace uqp {
+
+/// The optimizer's histogram-based cardinality estimator.
+///
+/// This is the classic System-R-style estimator: per-predicate
+/// selectivities from catalog histograms assuming attribute independence,
+/// equi-join selectivity 1/max(d_left, d_right). The paper uses it two
+/// ways: (a) the planner costs candidate plans with it, and (b) Algorithm 1
+/// falls back to it (with variance 0) for operators above aggregates, where
+/// the sampling estimator does not apply.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Database* db) : db_(db) {}
+
+  /// Estimated output rows per operator, indexed by node id. The plan must
+  /// be finalized.
+  std::vector<double> EstimatePlan(const Plan& plan) const;
+
+  /// Selectivity of a predicate over a base table (1.0 for null predicate).
+  double PredicateSelectivity(const Expr* e, const std::string& table) const;
+
+ private:
+  struct ColumnOrigin {
+    std::string table;  ///< empty if synthesized (e.g. aggregate output)
+    int column = -1;
+  };
+
+  double EstimateNode(const PlanNode* node, std::vector<double>* rows_by_id,
+                      std::vector<ColumnOrigin>* origins) const;
+
+  double ColumnDistinct(const ColumnOrigin& origin, double available_rows) const;
+
+  double PredicateSelectivityOnStats(const Expr* e, const TableStats& stats) const;
+
+  const Database* db_;
+};
+
+}  // namespace uqp

@@ -1,0 +1,601 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+namespace {
+
+uint64_t HashKeys(RowRef row, const std::vector<int>& cols) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int c : cols) {
+    h ^= row[c].Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool KeysEqual(RowRef a, const std::vector<int>& acols, RowRef b,
+               const std::vector<int>& bcols) {
+  for (size_t i = 0; i < acols.size(); ++i) {
+    if (!a[acols[i]].Equals(b[bcols[i]])) return false;
+  }
+  return true;
+}
+
+/// Total order used by Sort/MergeJoin: numeric order for numbers,
+/// lexicographic for strings.
+bool ValueLess(const Value& a, const Value& b) {
+  if (a.type == ValueType::kString && b.type == ValueType::kString) {
+    if (a.s == b.s) return false;
+    return a.AsString() < b.AsString();
+  }
+  return a.AsDouble() < b.AsDouble();
+}
+
+int ValueCompare3(const Value& a, const Value& b) {
+  if (ValueLess(a, b)) return -1;
+  if (ValueLess(b, a)) return 1;
+  return 0;
+}
+
+double PagesFor(double rows, double width_bytes) {
+  if (rows <= 0.0) return 0.0;
+  return std::ceil(rows * std::max(8.0, width_bytes) / kPageSizeBytes);
+}
+
+struct GroupAccumulator {
+  std::vector<Value> group_values;
+  std::vector<double> sums;
+  std::vector<double> mins;
+  std::vector<double> maxs;
+  int64_t count = 0;
+};
+
+class ExecContext {
+ public:
+  ExecContext(const Database* db, const ExecOptions& options, int num_operators,
+              int num_leaves)
+      : db_(db), options_(options) {
+    stats_.resize(static_cast<size_t>(num_operators));
+    leaf_source_rows_.resize(static_cast<size_t>(num_leaves), 1.0);
+  }
+
+  const Table& SourceTable(const PlanNode& node) const {
+    if (options_.leaf_overrides != nullptr) {
+      const auto& overrides = *options_.leaf_overrides;
+      UQP_CHECK(node.leaf_begin >= 0 &&
+                node.leaf_begin < static_cast<int>(overrides.size()))
+          << "leaf override vector too short";
+      return *overrides[static_cast<size_t>(node.leaf_begin)];
+    }
+    return db_->GetTable(node.table_name);
+  }
+
+  bool prov() const { return options_.collect_provenance; }
+  const EngineConfig& engine() const { return options_.engine; }
+
+  OpStats& stats(const PlanNode& node) {
+    return stats_[static_cast<size_t>(node.id)];
+  }
+
+  void RecordLeafRows(int leaf_pos, double rows) {
+    leaf_source_rows_[static_cast<size_t>(leaf_pos)] = rows;
+  }
+  double LeafProduct(int begin, int end) const {
+    double p = 1.0;
+    for (int i = begin; i < end; ++i) p *= leaf_source_rows_[static_cast<size_t>(i)];
+    return p;
+  }
+
+  std::vector<OpStats> TakeStats() { return std::move(stats_); }
+
+ private:
+  const Database* db_;
+  const ExecOptions& options_;
+  std::vector<OpStats> stats_;
+  std::vector<double> leaf_source_rows_;
+};
+
+class NodeRunner {
+ public:
+  NodeRunner(ExecContext* ctx, std::vector<RowBlock>* retained)
+      : ctx_(ctx), retained_(retained) {}
+
+  StatusOr<RowBlock> Run(const PlanNode& node) {
+    UQP_ASSIGN_OR_RETURN(RowBlock block, RunImpl(node));
+    if (retained_ != nullptr) {
+      (*retained_)[static_cast<size_t>(node.id)] = block;  // copy
+    }
+    return block;
+  }
+
+ private:
+  StatusOr<RowBlock> RunImpl(const PlanNode& node) {
+    switch (node.type) {
+      case OpType::kSeqScan:
+        return RunSeqScan(node);
+      case OpType::kIndexScan:
+        return RunIndexScan(node);
+      case OpType::kHashJoin:
+        return RunHashJoin(node);
+      case OpType::kMergeJoin:
+        return RunMergeJoin(node);
+      case OpType::kNestLoopJoin:
+        return RunNestLoopJoin(node);
+      case OpType::kSort:
+        return RunSort(node);
+      case OpType::kAggregate:
+        return RunAggregate(node);
+      case OpType::kMaterialize:
+        return RunMaterialize(node);
+    }
+    return Status::Internal("unknown operator type");
+  }
+
+  void AppendOutputRow(RowBlock* out, RowRef row) {
+    out->values.insert(out->values.end(), row.data, row.data + row.num_columns);
+  }
+
+  StatusOr<RowBlock> RunSeqScan(const PlanNode& node) {
+    const Table& src = ctx_->SourceTable(node);
+    OpStats& st = ctx_->stats(node);
+    st.id = node.id;
+    st.type = node.type;
+    ctx_->RecordLeafRows(node.leaf_begin, static_cast<double>(src.num_rows()));
+
+    RowBlock out;
+    out.schema = node.output_schema;
+    out.prov_width = ctx_->prov() ? 1 : 0;
+    const int quals = PredicateOpCount(node.predicate.get());
+    const int64_t rows = src.num_rows();
+    st.actual.ns += static_cast<double>(src.num_pages());
+    st.actual.nt += static_cast<double>(rows);
+    st.actual.no += static_cast<double>(rows) * quals;
+    for (int64_t r = 0; r < rows; ++r) {
+      const RowRef row = src.row(r);
+      if (node.predicate != nullptr && !EvalPredicate(*node.predicate, row)) {
+        continue;
+      }
+      AppendOutputRow(&out, row);
+      if (ctx_->prov()) out.prov.push_back(static_cast<uint32_t>(r));
+    }
+    st.out_rows = static_cast<double>(out.num_rows());
+    return out;
+  }
+
+  StatusOr<RowBlock> RunIndexScan(const PlanNode& node) {
+    const Table& src = ctx_->SourceTable(node);
+    OpStats& st = ctx_->stats(node);
+    st.id = node.id;
+    st.type = node.type;
+    ctx_->RecordLeafRows(node.leaf_begin, static_cast<double>(src.num_rows()));
+
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    bool has_range = false, pure = true;
+    CollectIndexRange(node.predicate.get(), node.index_column, &lo, &hi,
+                      &has_range, &pure);
+    if (!has_range) {
+      return Status::InvalidArgument(
+          "index scan predicate has no range over the indexed column");
+    }
+    const std::vector<uint32_t>& index = src.OrderedIndex(node.index_column);
+    const int64_t n = src.num_rows();
+
+    // Binary search for the boundaries in the ordered index.
+    auto value_at = [&src, &node](uint32_t rid) {
+      return src.at(rid, node.index_column).AsDouble();
+    };
+    const auto begin_it =
+        std::lower_bound(index.begin(), index.end(), lo,
+                         [&](uint32_t rid, double v) { return value_at(rid) < v; });
+    const auto end_it =
+        std::upper_bound(begin_it, index.end(), hi,
+                         [&](double v, uint32_t rid) { return v < value_at(rid); });
+
+    RowBlock out;
+    out.schema = node.output_schema;
+    out.prov_width = ctx_->prov() ? 1 : 0;
+    const int quals = PredicateOpCount(node.predicate.get());
+    std::unordered_set<int64_t> pages_touched;
+    const int64_t rows_per_page = src.rows_per_page();
+    int64_t matches = 0;
+    for (auto it = begin_it; it != end_it; ++it) {
+      const uint32_t rid = *it;
+      ++matches;
+      pages_touched.insert(static_cast<int64_t>(rid) / rows_per_page);
+      const RowRef row = src.row(rid);
+      // Residual filter: re-evaluate the full predicate on fetched rows.
+      if (!pure && node.predicate != nullptr &&
+          !EvalPredicate(*node.predicate, row)) {
+        continue;
+      }
+      AppendOutputRow(&out, row);
+      if (ctx_->prov()) out.prov.push_back(rid);
+    }
+    st.actual.ni += static_cast<double>(matches) + std::log2(std::max<double>(2.0, static_cast<double>(n)));
+    st.actual.nr += static_cast<double>(pages_touched.size());
+    st.actual.nt += static_cast<double>(matches);
+    st.actual.no += static_cast<double>(matches) * quals;
+    st.out_rows = static_cast<double>(out.num_rows());
+    return out;
+  }
+
+  StatusOr<RowBlock> RunHashJoin(const PlanNode& node) {
+    UQP_ASSIGN_OR_RETURN(RowBlock left, Run(*node.left));
+    UQP_ASSIGN_OR_RETURN(RowBlock right, Run(*node.right));
+    OpStats& st = ctx_->stats(node);
+    st.id = node.id;
+    st.type = node.type;
+    st.left_rows = static_cast<double>(left.num_rows());
+    st.right_rows = static_cast<double>(right.num_rows());
+
+    std::vector<int> lcols, rcols;
+    for (const auto& [l, r] : node.join_keys) {
+      lcols.push_back(l);
+      rcols.push_back(r);
+    }
+
+    // Build on the right input.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> table;
+    table.reserve(static_cast<size_t>(right.num_rows()) * 2 + 16);
+    for (int64_t r = 0; r < right.num_rows(); ++r) {
+      table[HashKeys(right.row(r), rcols)].push_back(static_cast<uint32_t>(r));
+      st.actual.no += 1.0;  // build-side hash op
+    }
+
+    RowBlock out;
+    out.schema = node.output_schema;
+    out.prov_width = ctx_->prov() ? left.prov_width + right.prov_width : 0;
+    const int quals = PredicateOpCount(node.predicate.get());
+    std::vector<Value> joined(static_cast<size_t>(out.schema.num_columns()));
+    for (int64_t l = 0; l < left.num_rows(); ++l) {
+      const RowRef lrow = left.row(l);
+      st.actual.no += 1.0;  // probe-side hash op
+      auto it = table.find(HashKeys(lrow, lcols));
+      if (it == table.end()) continue;
+      for (uint32_t r : it->second) {
+        st.actual.no += 1.0;  // chain visit / key compare
+        const RowRef rrow = right.row(r);
+        if (!KeysEqual(lrow, lcols, rrow, rcols)) continue;
+        std::copy(lrow.data, lrow.data + lrow.num_columns, joined.begin());
+        std::copy(rrow.data, rrow.data + rrow.num_columns,
+                  joined.begin() + lrow.num_columns);
+        const RowRef jrow{joined.data(), out.schema.num_columns()};
+        if (node.predicate != nullptr) {
+          st.actual.no += quals;
+          if (!EvalPredicate(*node.predicate, jrow)) continue;
+        }
+        out.values.insert(out.values.end(), joined.begin(), joined.end());
+        if (ctx_->prov()) {
+          const uint32_t* lp = left.prov_row(l);
+          const uint32_t* rp = right.prov_row(r);
+          out.prov.insert(out.prov.end(), lp, lp + left.prov_width);
+          out.prov.insert(out.prov.end(), rp, rp + right.prov_width);
+        }
+      }
+    }
+    st.out_rows = static_cast<double>(out.num_rows());
+    st.actual.nt += st.out_rows;
+    // Grace-hash spill I/O if the build side exceeds work_mem.
+    const double build_bytes =
+        st.right_rows * node.right->output_schema.TupleWidthBytes();
+    if (build_bytes > ctx_->engine().work_mem_bytes) {
+      st.actual.ns +=
+          2.0 * (PagesFor(st.left_rows, node.left->output_schema.TupleWidthBytes()) +
+                 PagesFor(st.right_rows, node.right->output_schema.TupleWidthBytes()));
+    }
+    return out;
+  }
+
+  StatusOr<RowBlock> RunMergeJoin(const PlanNode& node) {
+    UQP_ASSIGN_OR_RETURN(RowBlock left, Run(*node.left));
+    UQP_ASSIGN_OR_RETURN(RowBlock right, Run(*node.right));
+    OpStats& st = ctx_->stats(node);
+    st.id = node.id;
+    st.type = node.type;
+    st.left_rows = static_cast<double>(left.num_rows());
+    st.right_rows = static_cast<double>(right.num_rows());
+
+    UQP_CHECK(node.join_keys.size() == 1)
+        << "merge join supports exactly one key";
+    const int lc = node.join_keys[0].first;
+    const int rc = node.join_keys[0].second;
+
+    RowBlock out;
+    out.schema = node.output_schema;
+    out.prov_width = ctx_->prov() ? left.prov_width + right.prov_width : 0;
+    const int quals = PredicateOpCount(node.predicate.get());
+    std::vector<Value> joined(static_cast<size_t>(out.schema.num_columns()));
+
+    int64_t li = 0, ri = 0;
+    const int64_t ln = left.num_rows(), rn = right.num_rows();
+    while (li < ln && ri < rn) {
+      st.actual.no += 1.0;
+      const int cmp = ValueCompare3(left.row(li)[lc], right.row(ri)[rc]);
+      if (cmp < 0) {
+        ++li;
+        continue;
+      }
+      if (cmp > 0) {
+        ++ri;
+        continue;
+      }
+      // Equal group: gather [li, le) x [ri, re).
+      int64_t le = li + 1;
+      while (le < ln) {
+        st.actual.no += 1.0;
+        if (ValueCompare3(left.row(le)[lc], left.row(li)[lc]) != 0) break;
+        ++le;
+      }
+      int64_t re = ri + 1;
+      while (re < rn) {
+        st.actual.no += 1.0;
+        if (ValueCompare3(right.row(re)[rc], right.row(ri)[rc]) != 0) break;
+        ++re;
+      }
+      for (int64_t a = li; a < le; ++a) {
+        const RowRef lrow = left.row(a);
+        for (int64_t b = ri; b < re; ++b) {
+          const RowRef rrow = right.row(b);
+          std::copy(lrow.data, lrow.data + lrow.num_columns, joined.begin());
+          std::copy(rrow.data, rrow.data + rrow.num_columns,
+                    joined.begin() + lrow.num_columns);
+          const RowRef jrow{joined.data(), out.schema.num_columns()};
+          if (node.predicate != nullptr) {
+            st.actual.no += quals;
+            if (!EvalPredicate(*node.predicate, jrow)) continue;
+          }
+          out.values.insert(out.values.end(), joined.begin(), joined.end());
+          if (ctx_->prov()) {
+            const uint32_t* lp = left.prov_row(a);
+            const uint32_t* rp = right.prov_row(b);
+            out.prov.insert(out.prov.end(), lp, lp + left.prov_width);
+            out.prov.insert(out.prov.end(), rp, rp + right.prov_width);
+          }
+        }
+      }
+      li = le;
+      ri = re;
+    }
+    st.out_rows = static_cast<double>(out.num_rows());
+    st.actual.nt += st.out_rows;
+    return out;
+  }
+
+  StatusOr<RowBlock> RunNestLoopJoin(const PlanNode& node) {
+    UQP_ASSIGN_OR_RETURN(RowBlock left, Run(*node.left));
+    UQP_ASSIGN_OR_RETURN(RowBlock right, Run(*node.right));
+    OpStats& st = ctx_->stats(node);
+    st.id = node.id;
+    st.type = node.type;
+    st.left_rows = static_cast<double>(left.num_rows());
+    st.right_rows = static_cast<double>(right.num_rows());
+
+    std::vector<int> lcols, rcols;
+    for (const auto& [l, r] : node.join_keys) {
+      lcols.push_back(l);
+      rcols.push_back(r);
+    }
+
+    RowBlock out;
+    out.schema = node.output_schema;
+    out.prov_width = ctx_->prov() ? left.prov_width + right.prov_width : 0;
+    const int quals = PredicateOpCount(node.predicate.get());
+    std::vector<Value> joined(static_cast<size_t>(out.schema.num_columns()));
+    for (int64_t l = 0; l < left.num_rows(); ++l) {
+      const RowRef lrow = left.row(l);
+      for (int64_t r = 0; r < right.num_rows(); ++r) {
+        st.actual.no += 1.0;  // per-pair key comparison
+        const RowRef rrow = right.row(r);
+        if (!lcols.empty() && !KeysEqual(lrow, lcols, rrow, rcols)) continue;
+        std::copy(lrow.data, lrow.data + lrow.num_columns, joined.begin());
+        std::copy(rrow.data, rrow.data + rrow.num_columns,
+                  joined.begin() + lrow.num_columns);
+        const RowRef jrow{joined.data(), out.schema.num_columns()};
+        if (node.predicate != nullptr) {
+          st.actual.no += quals;
+          if (!EvalPredicate(*node.predicate, jrow)) continue;
+        }
+        out.values.insert(out.values.end(), joined.begin(), joined.end());
+        if (ctx_->prov()) {
+          const uint32_t* lp = left.prov_row(l);
+          const uint32_t* rp = right.prov_row(r);
+          out.prov.insert(out.prov.end(), lp, lp + left.prov_width);
+          out.prov.insert(out.prov.end(), rp, rp + right.prov_width);
+        }
+      }
+    }
+    st.out_rows = static_cast<double>(out.num_rows());
+    st.actual.nt += st.out_rows;
+    return out;
+  }
+
+  StatusOr<RowBlock> RunSort(const PlanNode& node) {
+    UQP_ASSIGN_OR_RETURN(RowBlock in, Run(*node.left));
+    OpStats& st = ctx_->stats(node);
+    st.id = node.id;
+    st.type = node.type;
+    st.left_rows = static_cast<double>(in.num_rows());
+
+    const int64_t n = in.num_rows();
+    std::vector<uint32_t> order(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
+    int64_t comparisons = 0;
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      ++comparisons;
+      const RowRef ra = in.row(a);
+      const RowRef rb = in.row(b);
+      for (int c : node.sort_columns) {
+        const int cmp = ValueCompare3(ra[c], rb[c]);
+        if (cmp != 0) return cmp < 0;
+      }
+      return a < b;
+    });
+
+    RowBlock out;
+    out.schema = in.schema;
+    out.prov_width = in.prov_width;
+    out.values.reserve(in.values.size());
+    out.prov.reserve(in.prov.size());
+    for (uint32_t i : order) {
+      AppendOutputRow(&out, in.row(i));
+      if (out.prov_width > 0) {
+        const uint32_t* p = in.prov_row(i);
+        out.prov.insert(out.prov.end(), p, p + in.prov_width);
+      }
+    }
+    st.actual.no += static_cast<double>(comparisons);
+    st.actual.nt += static_cast<double>(n);
+    const double bytes = static_cast<double>(n) * in.schema.TupleWidthBytes();
+    if (bytes > ctx_->engine().work_mem_bytes) {
+      st.actual.ns += 3.0 * PagesFor(static_cast<double>(n),
+                                     in.schema.TupleWidthBytes());
+    }
+    st.out_rows = static_cast<double>(n);
+    return out;
+  }
+
+  StatusOr<RowBlock> RunAggregate(const PlanNode& node) {
+    UQP_ASSIGN_OR_RETURN(RowBlock in, Run(*node.left));
+    OpStats& st = ctx_->stats(node);
+    st.id = node.id;
+    st.type = node.type;
+    st.left_rows = static_cast<double>(in.num_rows());
+
+    const size_t nagg = node.aggregates.size();
+    std::unordered_map<uint64_t, std::vector<GroupAccumulator>> groups;
+    for (int64_t r = 0; r < in.num_rows(); ++r) {
+      const RowRef row = in.row(r);
+      st.actual.no += 1.0;  // group hash / transition op
+      const uint64_t h = HashKeys(row, node.group_columns);
+      auto& bucket = groups[h];
+      GroupAccumulator* acc = nullptr;
+      for (auto& cand : bucket) {
+        bool same = true;
+        for (size_t g = 0; g < node.group_columns.size(); ++g) {
+          if (!cand.group_values[g].Equals(row[node.group_columns[g]])) {
+            same = false;
+            break;
+          }
+        }
+        if (same) {
+          acc = &cand;
+          break;
+        }
+      }
+      if (acc == nullptr) {
+        bucket.emplace_back();
+        acc = &bucket.back();
+        for (int g : node.group_columns) acc->group_values.push_back(row[g]);
+        acc->sums.assign(nagg, 0.0);
+        acc->mins.assign(nagg, std::numeric_limits<double>::infinity());
+        acc->maxs.assign(nagg, -std::numeric_limits<double>::infinity());
+      }
+      ++acc->count;
+      for (size_t a = 0; a < nagg; ++a) {
+        const AggSpec& spec = node.aggregates[a];
+        if (spec.kind == AggSpec::Kind::kCount) continue;
+        const double v = row[spec.column].AsDouble();
+        acc->sums[a] += v;
+        acc->mins[a] = std::min(acc->mins[a], v);
+        acc->maxs[a] = std::max(acc->maxs[a], v);
+      }
+    }
+
+    RowBlock out;
+    out.schema = node.output_schema;
+    out.prov_width = 0;  // provenance does not flow through aggregates
+    for (auto& [h, bucket] : groups) {
+      (void)h;
+      for (auto& acc : bucket) {
+        for (const Value& v : acc.group_values) out.values.push_back(v);
+        for (size_t a = 0; a < nagg; ++a) {
+          const AggSpec& spec = node.aggregates[a];
+          double v = 0.0;
+          switch (spec.kind) {
+            case AggSpec::Kind::kCount:
+              v = static_cast<double>(acc.count);
+              break;
+            case AggSpec::Kind::kSum:
+              v = acc.sums[a];
+              break;
+            case AggSpec::Kind::kMin:
+              v = acc.mins[a];
+              break;
+            case AggSpec::Kind::kMax:
+              v = acc.maxs[a];
+              break;
+            case AggSpec::Kind::kAvg:
+              v = acc.count > 0 ? acc.sums[a] / static_cast<double>(acc.count) : 0.0;
+              break;
+          }
+          out.values.push_back(Value::Double(v));
+        }
+        st.actual.no += 1.0;  // finalize op
+      }
+    }
+    st.out_rows = static_cast<double>(out.num_rows());
+    st.actual.nt += st.out_rows;
+    return out;
+  }
+
+  StatusOr<RowBlock> RunMaterialize(const PlanNode& node) {
+    UQP_ASSIGN_OR_RETURN(RowBlock in, Run(*node.left));
+    OpStats& st = ctx_->stats(node);
+    st.id = node.id;
+    st.type = node.type;
+    st.left_rows = static_cast<double>(in.num_rows());
+    st.actual.no += static_cast<double>(in.num_rows());
+    st.actual.nt += static_cast<double>(in.num_rows());
+    const double bytes =
+        static_cast<double>(in.num_rows()) * in.schema.TupleWidthBytes();
+    if (bytes > ctx_->engine().work_mem_bytes) {
+      st.actual.ns += 2.0 * PagesFor(static_cast<double>(in.num_rows()),
+                                     in.schema.TupleWidthBytes());
+    }
+    st.out_rows = static_cast<double>(in.num_rows());
+    return in;
+  }
+
+  ExecContext* ctx_;
+  std::vector<RowBlock>* retained_;
+};
+
+}  // namespace
+
+StatusOr<ExecResult> Executor::Execute(const Plan& plan,
+                                       const ExecOptions& options) const {
+  if (plan.root() == nullptr) return Status::InvalidArgument("empty plan");
+  if (plan.root()->id != 0) {
+    return Status::FailedPrecondition("plan must be finalized before execution");
+  }
+  if (options.leaf_overrides != nullptr &&
+      static_cast<int>(options.leaf_overrides->size()) != plan.num_leaves()) {
+    return Status::InvalidArgument("leaf override count mismatch");
+  }
+  ExecContext ctx(db_, options, plan.num_operators(), plan.num_leaves());
+  ExecResult result;
+  if (options.retain_intermediates) {
+    result.blocks.resize(static_cast<size_t>(plan.num_operators()));
+  }
+  NodeRunner runner(&ctx, options.retain_intermediates ? &result.blocks : nullptr);
+  UQP_ASSIGN_OR_RETURN(RowBlock output, runner.Run(*plan.root()));
+
+  result.output = std::move(output);
+  result.ops = ctx.TakeStats();
+  // Fill leaf-row products per node from the bound source tables.
+  for (const PlanNode* node : plan.NodesPreorder()) {
+    result.ops[static_cast<size_t>(node->id)].leaf_row_product =
+        ctx.LeafProduct(node->leaf_begin, node->leaf_end);
+  }
+  return result;
+}
+
+}  // namespace uqp

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cost_model.h"
+#include "engine/plan.h"
+#include "storage/database.h"
+
+namespace uqp {
+
+/// Materialized intermediate result: schema + flat row-major values, plus
+/// optional provenance. Provenance row i holds, for each leaf position in
+/// the subtree that produced the block, the row index of the source tuple
+/// in that leaf's (sample) table — the tuple annotations of paper §3.2.2
+/// used to maintain the Q_{k,j,n} counters.
+struct RowBlock {
+  Schema schema;
+  std::vector<Value> values;
+  int prov_width = 0;
+  std::vector<uint32_t> prov;
+
+  int64_t num_rows() const {
+    const int n = schema.num_columns();
+    return n == 0 ? 0 : static_cast<int64_t>(values.size()) / n;
+  }
+  RowRef row(int64_t r) const {
+    return RowRef{values.data() + r * schema.num_columns(), schema.num_columns()};
+  }
+  const uint32_t* prov_row(int64_t r) const {
+    return prov.data() + r * prov_width;
+  }
+};
+
+/// Per-operator execution statistics: the observed resource counters (the
+/// ground-truth n's of paper Eq. 1) and cardinalities.
+struct OpStats {
+  int id = -1;
+  OpType type = OpType::kSeqScan;
+  ResourceVector actual;     ///< observed counter values
+  double left_rows = 0.0;    ///< Nl
+  double right_rows = 0.0;   ///< Nr
+  double out_rows = 0.0;     ///< M
+  /// Product of source-table row counts over the subtree's leaves (the
+  /// |R| of paper Eq. 3, computed against whatever tables were bound —
+  /// base tables for real runs, sample tables for estimation runs).
+  double leaf_row_product = 1.0;
+  /// M / leaf_row_product.
+  double selectivity() const {
+    return leaf_row_product > 0.0 ? out_rows / leaf_row_product : 0.0;
+  }
+};
+
+/// Execution options.
+struct ExecOptions {
+  /// Collect per-row provenance (enabled for sampling-estimation runs).
+  bool collect_provenance = false;
+  /// If non-null, leaf scan i reads from (*leaf_overrides)[i] instead of
+  /// the base table — this is how the estimator runs the plan over sample
+  /// tables, binding a distinct sample per leaf occurrence.
+  const std::vector<const Table*>* leaf_overrides = nullptr;
+  /// Keep a copy of every operator's output block (sampling-estimation
+  /// runs post-process them into the Q_{k,j,n} counters).
+  bool retain_intermediates = false;
+  EngineConfig engine;
+};
+
+/// Result of executing a plan.
+struct ExecResult {
+  RowBlock output;
+  std::vector<OpStats> ops;  ///< indexed by operator id
+  /// Per-operator output blocks when retain_intermediates was set.
+  std::vector<RowBlock> blocks;
+};
+
+/// Single-threaded materializing executor. Operators maintain the exact
+/// PostgreSQL-style resource counters; these deliberately deviate from the
+/// optimizer's closed-form estimates (hash-chain visits, true distinct heap
+/// pages, true sort comparisons) so that the cost model carries a realistic
+/// "error in g" as in the paper.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  StatusOr<ExecResult> Execute(const Plan& plan, const ExecOptions& options) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace uqp

@@ -1,0 +1,250 @@
+#include "engine/expr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Cmp(int column, CmpOp op, Value constant) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kCmp;
+  e->column = column;
+  e->op = op;
+  e->constant = constant;
+  return e;
+}
+
+ExprPtr Expr::CmpColumns(int column, CmpOp op, int column2) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kCmpCol;
+  e->column = column;
+  e->op = op;
+  e->column2 = column2;
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr a, ExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kAnd;
+  e->lhs = std::move(a);
+  e->rhs = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr a, ExprPtr b) {
+  UQP_CHECK(a != nullptr && b != nullptr);
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kOr;
+  e->lhs = std::move(a);
+  e->rhs = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr a) {
+  UQP_CHECK(a != nullptr);
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kNot;
+  e->lhs = std::move(a);
+  return e;
+}
+
+ExprPtr Expr::Between(int column, Value lo, Value hi) {
+  return And(Cmp(column, CmpOp::kGe, lo), Cmp(column, CmpOp::kLe, hi));
+}
+
+ExprPtr Expr::StrEq(int column, const std::string& s) {
+  return Cmp(column, CmpOp::kEq, Value::String(s));
+}
+
+std::string Expr::ToString(const Schema* schema) const {
+  switch (kind) {
+    case Kind::kCmp: {
+      std::string col = schema != nullptr && column < schema->num_columns()
+                            ? schema->column(column).name
+                            : "$" + std::to_string(column);
+      return col + " " + CmpOpName(op) + " " + constant.ToString();
+    }
+    case Kind::kCmpCol: {
+      auto name = [schema](int c) {
+        return schema != nullptr && c < schema->num_columns()
+                   ? schema->column(c).name
+                   : "$" + std::to_string(c);
+      };
+      return name(column) + " " + CmpOpName(op) + " " + name(column2);
+    }
+    case Kind::kAnd:
+      return "(" + lhs->ToString(schema) + " AND " + rhs->ToString(schema) + ")";
+    case Kind::kOr:
+      return "(" + lhs->ToString(schema) + " OR " + rhs->ToString(schema) + ")";
+    case Kind::kNot:
+      return "NOT (" + lhs->ToString(schema) + ")";
+  }
+  return "?";
+}
+
+bool EvalPredicate(const Expr& e, RowRef row) {
+  switch (e.kind) {
+    case Expr::Kind::kCmp: {
+      const Value& v = row[e.column];
+      switch (e.op) {
+        case CmpOp::kEq:
+          return v.Equals(e.constant);
+        case CmpOp::kNe:
+          return !v.Equals(e.constant);
+        case CmpOp::kLt:
+          return v.Compare(e.constant) < 0;
+        case CmpOp::kLe:
+          return v.Compare(e.constant) <= 0;
+        case CmpOp::kGt:
+          return v.Compare(e.constant) > 0;
+        case CmpOp::kGe:
+          return v.Compare(e.constant) >= 0;
+      }
+      return false;
+    }
+    case Expr::Kind::kCmpCol: {
+      const int cmp = row[e.column].Compare(row[e.column2]);
+      switch (e.op) {
+        case CmpOp::kEq:
+          return cmp == 0;
+        case CmpOp::kNe:
+          return cmp != 0;
+        case CmpOp::kLt:
+          return cmp < 0;
+        case CmpOp::kLe:
+          return cmp <= 0;
+        case CmpOp::kGt:
+          return cmp > 0;
+        case CmpOp::kGe:
+          return cmp >= 0;
+      }
+      return false;
+    }
+    case Expr::Kind::kAnd:
+      return EvalPredicate(*e.lhs, row) && EvalPredicate(*e.rhs, row);
+    case Expr::Kind::kOr:
+      return EvalPredicate(*e.lhs, row) || EvalPredicate(*e.rhs, row);
+    case Expr::Kind::kNot:
+      return !EvalPredicate(*e.lhs, row);
+  }
+  return false;
+}
+
+int PredicateOpCount(const Expr* e) {
+  if (e == nullptr) return 0;
+  switch (e->kind) {
+    case Expr::Kind::kCmp:
+    case Expr::Kind::kCmpCol:
+      return 1;
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      return PredicateOpCount(e->lhs.get()) + PredicateOpCount(e->rhs.get());
+    case Expr::Kind::kNot:
+      return PredicateOpCount(e->lhs.get());
+  }
+  return 0;
+}
+
+bool TryExtractRange(const Expr* e, int column, double* lo, double* hi) {
+  if (e == nullptr) return true;
+  switch (e->kind) {
+    case Expr::Kind::kAnd:
+      return TryExtractRange(e->lhs.get(), column, lo, hi) &&
+             TryExtractRange(e->rhs.get(), column, lo, hi);
+    case Expr::Kind::kCmp: {
+      if (e->column != column || e->constant.type == ValueType::kString) {
+        return false;
+      }
+      const double v = e->constant.AsDouble();
+      switch (e->op) {
+        case CmpOp::kEq:
+          *lo = std::max(*lo, v);
+          *hi = std::min(*hi, v);
+          return true;
+        case CmpOp::kLe:
+          *hi = std::min(*hi, v);
+          return true;
+        case CmpOp::kLt:
+          *hi = std::min(*hi, std::nextafter(v, -1e300));
+          return true;
+        case CmpOp::kGe:
+          *lo = std::max(*lo, v);
+          return true;
+        case CmpOp::kGt:
+          *lo = std::max(*lo, std::nextafter(v, 1e300));
+          return true;
+        default:
+          return false;
+      }
+    }
+    default:
+      return false;
+  }
+}
+
+void CollectIndexRange(const Expr* e, int column, double* lo, double* hi,
+                       bool* has_range, bool* pure) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case Expr::Kind::kAnd:
+      CollectIndexRange(e->lhs.get(), column, lo, hi, has_range, pure);
+      CollectIndexRange(e->rhs.get(), column, lo, hi, has_range, pure);
+      return;
+    case Expr::Kind::kCmp: {
+      double clo = -std::numeric_limits<double>::infinity();
+      double chi = std::numeric_limits<double>::infinity();
+      if (e->column == column && TryExtractRange(e, column, &clo, &chi)) {
+        *lo = std::max(*lo, clo);
+        *hi = std::min(*hi, chi);
+        *has_range = true;
+        return;
+      }
+      *pure = false;
+      return;
+    }
+    default:
+      // OR / NOT / column-column conjuncts stay in the residual filter.
+      *pure = false;
+      return;
+  }
+}
+
+ExprPtr ShiftColumns(const ExprPtr& e, int offset) {
+  if (e == nullptr) return nullptr;
+  auto out = std::make_shared<Expr>(*e);
+  if (e->kind == Expr::Kind::kCmp) {
+    out->column += offset;
+  } else if (e->kind == Expr::Kind::kCmpCol) {
+    out->column += offset;
+    out->column2 += offset;
+  } else {
+    out->lhs = ShiftColumns(e->lhs, offset);
+    out->rhs = ShiftColumns(e->rhs, offset);
+  }
+  return out;
+}
+
+}  // namespace uqp

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/expr.h"
+#include "storage/database.h"
+
+namespace uqp {
+
+/// Physical operator types (paper §2: unary/binary operators in a rooted
+/// binary tree; leaves are scans).
+enum class OpType {
+  kSeqScan,
+  kIndexScan,
+  kHashJoin,
+  kMergeJoin,
+  kNestLoopJoin,
+  kSort,
+  kAggregate,
+  kMaterialize,
+};
+
+const char* OpTypeName(OpType t);
+
+bool IsScan(OpType t);
+bool IsJoin(OpType t);
+/// Pass-through operators emit exactly their input (M = Nl): their
+/// selectivity is their child's selectivity variable.
+bool IsPassThrough(OpType t);
+
+/// Aggregate function kinds.
+struct AggSpec {
+  enum class Kind { kCount, kSum, kMin, kMax, kAvg };
+  Kind kind = Kind::kCount;
+  int column = -1;  ///< input column; ignored for kCount
+  std::string name = "agg";
+};
+
+/// One node of a physical plan tree.
+struct PlanNode {
+  OpType type = OpType::kSeqScan;
+
+  // --- scans ---
+  std::string table_name;
+  /// Scan filter, or join residual filter (over the concatenated child
+  /// schemas), evaluated after the join keys match.
+  ExprPtr predicate;
+  /// For index scans: the indexed column; the predicate must be a range or
+  /// equality over exactly this column.
+  int index_column = -1;
+
+  // --- joins: equi-join keys as (left column, right column) indexes into
+  // the child output schemas ---
+  std::vector<std::pair<int, int>> join_keys;
+
+  // --- sort ---
+  std::vector<int> sort_columns;
+
+  // --- aggregate ---
+  std::vector<int> group_columns;
+  std::vector<AggSpec> aggregates;
+
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+
+  // ----- Derived by Plan::Finalize -----
+  int id = -1;                            ///< preorder operator id
+  Schema output_schema;
+  int leaf_begin = 0;                     ///< [leaf_begin, leaf_end) leaf span
+  int leaf_end = 0;
+  bool has_aggregate_below = false;       ///< some strict descendant aggregates
+  double leaf_row_product = 1.0;          ///< Π |R| over leaf tables of subtree
+
+  bool is_unary() const { return right == nullptr; }
+};
+
+/// A finalized physical plan: ids assigned, schemas derived, leaf order
+/// fixed. Leaf order is the in-order sequence of scan operators; the
+/// sampling layer uses leaf positions to bind (possibly distinct) sample
+/// tables per occurrence of a relation.
+class Plan {
+ public:
+  Plan() = default;
+  explicit Plan(std::unique_ptr<PlanNode> root) : root_(std::move(root)) {}
+
+  /// Assigns operator ids, derives output schemas and leaf spans.
+  /// Fails if referenced tables/columns don't exist.
+  Status Finalize(const Database& db);
+
+  const PlanNode* root() const { return root_.get(); }
+  PlanNode* mutable_root() { return root_.get(); }
+
+  int num_operators() const { return num_operators_; }
+  int num_leaves() const { return num_leaves_; }
+
+  /// All nodes in preorder (index == node id).
+  std::vector<const PlanNode*> NodesPreorder() const;
+
+  /// Leaf (scan) nodes left to right (index == leaf position).
+  std::vector<const PlanNode*> Leaves() const;
+
+  /// Pretty-printed tree for debugging / examples.
+  std::string ToString() const;
+
+ private:
+  std::unique_ptr<PlanNode> root_;
+  int num_operators_ = 0;
+  int num_leaves_ = 0;
+};
+
+/// Fluent helpers for building plan trees in workloads/tests.
+std::unique_ptr<PlanNode> MakeSeqScan(const std::string& table, ExprPtr predicate);
+std::unique_ptr<PlanNode> MakeIndexScan(const std::string& table, int column,
+                                        ExprPtr predicate);
+std::unique_ptr<PlanNode> MakeHashJoin(std::unique_ptr<PlanNode> left,
+                                       std::unique_ptr<PlanNode> right,
+                                       std::vector<std::pair<int, int>> keys,
+                                       ExprPtr residual = nullptr);
+std::unique_ptr<PlanNode> MakeMergeJoin(std::unique_ptr<PlanNode> left,
+                                        std::unique_ptr<PlanNode> right,
+                                        std::vector<std::pair<int, int>> keys,
+                                        ExprPtr residual = nullptr);
+std::unique_ptr<PlanNode> MakeNestLoopJoin(std::unique_ptr<PlanNode> left,
+                                           std::unique_ptr<PlanNode> right,
+                                           std::vector<std::pair<int, int>> keys,
+                                           ExprPtr residual = nullptr);
+std::unique_ptr<PlanNode> MakeSort(std::unique_ptr<PlanNode> child,
+                                   std::vector<int> sort_columns);
+std::unique_ptr<PlanNode> MakeAggregate(std::unique_ptr<PlanNode> child,
+                                        std::vector<int> group_columns,
+                                        std::vector<AggSpec> aggregates);
+std::unique_ptr<PlanNode> MakeMaterialize(std::unique_ptr<PlanNode> child);
+
+/// Deep copy of a plan subtree (derived fields reset).
+std::unique_ptr<PlanNode> ClonePlanTree(const PlanNode& node);
+
+}  // namespace uqp

@@ -1,0 +1,93 @@
+#include "engine/planner.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+namespace {
+
+/// Estimated selectivity of the range the predicate implies over an
+/// indexed column, or 1.0 if the predicate has no range on it.
+double IndexRangeSelectivity(const Expr* e, int column, const TableStats& stats) {
+  if (e == nullptr) return 1.0;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool has_range = false, pure = true;
+  CollectIndexRange(e, column, &lo, &hi, &has_range, &pure);
+  if (!has_range) return 1.0;
+  if (column >= static_cast<int>(stats.columns.size())) return 1.0;
+  const ColumnStats& cs = stats.columns[static_cast<size_t>(column)];
+  if (!cs.numeric || cs.histogram.empty()) return 1.0;
+  return cs.histogram.FractionRange(std::max(lo, cs.histogram.min()),
+                                    std::min(hi, cs.histogram.max()));
+}
+
+void RewriteNode(PlanNode* node, const Database& db,
+                 const CardinalityEstimator& cards,
+                 const std::vector<double>& rows_by_id,
+                 const PlannerConfig& config) {
+  if (node->left != nullptr) {
+    RewriteNode(node->left.get(), db, cards, rows_by_id, config);
+  }
+  if (node->right != nullptr) {
+    RewriteNode(node->right.get(), db, cards, rows_by_id, config);
+  }
+
+  if (node->type == OpType::kSeqScan && node->predicate != nullptr) {
+    const Table& table = db.GetTable(node->table_name);
+    const TableStats& stats = db.catalog().Get(node->table_name);
+    (void)rows_by_id;
+    // Choose the indexed column with the most selective range implied by
+    // the predicate; remaining conjuncts run as a residual filter
+    // (PostgreSQL's Index Cond + Filter).
+    int best_col = -1;
+    double best_sel = config.index_selectivity_threshold;
+    for (int c = 0; c < table.schema().num_columns(); ++c) {
+      if (!table.HasIndex(c)) continue;
+      const double sel = IndexRangeSelectivity(node->predicate.get(), c, stats);
+      if (sel <= best_sel) {
+        best_sel = sel;
+        best_col = c;
+      }
+    }
+    if (best_col >= 0) {
+      node->type = OpType::kIndexScan;
+      node->index_column = best_col;
+    }
+    return;
+  }
+
+  if (node->type == OpType::kHashJoin) {
+    if (node->join_keys.empty()) {
+      // Cross join / pure residual join must run as a nested loop.
+      node->type = OpType::kNestLoopJoin;
+      return;
+    }
+    const double inner_rows = rows_by_id[static_cast<size_t>(node->right->id)];
+    if (inner_rows <= config.nestloop_inner_rows) {
+      node->type = OpType::kNestLoopJoin;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<Plan> OptimizePlan(std::unique_ptr<PlanNode> root, const Database& db,
+                            const PlannerConfig& config) {
+  if (root == nullptr) return Status::InvalidArgument("empty logical tree");
+  Plan plan(std::move(root));
+  UQP_RETURN_IF_ERROR(plan.Finalize(db));
+
+  CardinalityEstimator cards(&db);
+  const std::vector<double> rows_by_id = cards.EstimatePlan(plan);
+  RewriteNode(plan.mutable_root(), db, cards, rows_by_id, config);
+
+  // Operator types changed; re-derive ids/schemas (ids are unchanged by the
+  // rewrite but Finalize also re-validates index scans).
+  UQP_RETURN_IF_ERROR(plan.Finalize(db));
+  return plan;
+}
+
+}  // namespace uqp

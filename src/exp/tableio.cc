@@ -1,0 +1,51 @@
+#include "exp/tableio.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace uqp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    std::cout << line << "\n";
+  };
+  print_row(headers_);
+  std::string sep = "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  std::cout << sep << "\n";
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void PrintBanner(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+}  // namespace uqp

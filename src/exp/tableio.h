@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uqp {
+
+/// Minimal fixed-width table printer for the bench drivers, so every
+/// reproduced table/figure prints in a uniform, paper-like layout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision.
+std::string Fmt(double v, int precision = 4);
+
+/// Section banner, e.g. "== Figure 2: ... ==".
+void PrintBanner(const std::string& title);
+
+}  // namespace uqp

@@ -1,0 +1,139 @@
+#include "hw/machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+MachineProfile MachineProfile::PC1() {
+  MachineProfile p;
+  p.name = "PC1";
+  // Milliseconds per unit. Slow 2007-era machine: ~160 MB/s sequential,
+  // ~5 ms seek, modest CPU.
+  p.cs = {0.050, 0.15};
+  p.cr = {5.000, 0.35};
+  p.ct = {0.00050, 0.08};
+  p.ci = {0.00025, 0.08};
+  p.co = {0.00010, 0.08};
+  p.overlap_discount = 0.18;
+  p.buffer_hit_rate = 0.35;
+  p.cores = 2;
+  return p;
+}
+
+MachineProfile MachineProfile::PC2() {
+  MachineProfile p;
+  p.name = "PC2";
+  p.cs = {0.028, 0.12};
+  p.cr = {3.200, 0.30};
+  p.ct = {0.00030, 0.06};
+  p.ci = {0.00015, 0.06};
+  p.co = {0.00006, 0.06};
+  p.overlap_discount = 0.22;
+  p.buffer_hit_rate = 0.60;
+  p.cores = 8;
+  return p;
+}
+
+const CostUnitTruth& MachineProfile::unit(int idx) const {
+  switch (idx) {
+    case 0:
+      return cs;
+    case 1:
+      return cr;
+    case 2:
+      return ct;
+    case 3:
+      return ci;
+    case 4:
+      return co;
+  }
+  UQP_CHECK(false) << "bad cost unit index " << idx;
+  return cs;
+}
+
+SimulatedMachine::SimulatedMachine(MachineProfile profile, uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed) {}
+
+double SimulatedMachine::ExecuteOnce(const std::vector<ResourceVector>& ops,
+                                     int concurrency) {
+  UQP_CHECK(concurrency >= 1);
+  // Multiprogramming inflates the latent unit means and their dispersion
+  // (paper §8: interference changes the distribution of the c's).
+  const double extra = static_cast<double>(concurrency - 1);
+  const double oversub =
+      std::max(0.0, static_cast<double>(concurrency - profile_.cores)) /
+      std::max(1, profile_.cores);
+  const double io_scale = 1.0 + profile_.io_contention * extra;
+  const double cpu_scale = 1.0 + profile_.cpu_contention * oversub;
+  const double sd_scale = std::sqrt(static_cast<double>(concurrency));
+  const double scale_for[5] = {io_scale, io_scale, cpu_scale, cpu_scale,
+                               cpu_scale};
+
+  // Per-run system state: one draw of each cost unit (truncated positive).
+  double run_units[5];
+  for (int u = 0; u < 5; ++u) {
+    const CostUnitTruth& truth = profile_.unit(u);
+    double v = rng_.NextGaussian(truth.mean * scale_for[u],
+                                 truth.stddev() * scale_for[u] * sd_scale);
+    v = std::max(v, 0.05 * truth.mean);
+    run_units[u] = v;
+  }
+
+  const double effective_hit_rate =
+      profile_.buffer_hit_rate / (1.0 + profile_.cache_pollution * extra);
+
+  double total = 0.0;
+  for (const ResourceVector& op : ops) {
+    // Per-operator jitter around the run draw.
+    double units[5];
+    for (int u = 0; u < 5; ++u) {
+      double v = run_units[u] *
+                 (1.0 + rng_.NextGaussian(0.0, profile_.per_op_jitter_cv));
+      units[u] = std::max(v, 0.01 * profile_.unit(u).mean);
+    }
+    // Buffer-cache effect on random page reads: per-operator cache luck.
+    double hit = effective_hit_rate + rng_.NextGaussian(0.0, 0.10);
+    hit = std::clamp(hit, 0.0, 0.98);
+    const double effective_cr =
+        units[1] * (hit * profile_.cached_cost_factor + (1.0 - hit));
+
+    const double io_time = op.ns * units[0] + op.nr * effective_cr;
+    const double cpu_time = op.nt * units[2] + op.ni * units[3] + op.no * units[4];
+    // CPU/I-O interleaving hides part of the smaller component.
+    const double overlapped = std::max(io_time, cpu_time) +
+                              (1.0 - profile_.overlap_discount) *
+                                  std::min(io_time, cpu_time);
+    total += overlapped;
+  }
+  // Multiplicative noise on the whole query (scheduler, checkpoints, ...).
+  total *= std::max(0.2, 1.0 + rng_.NextGaussian(0.0, profile_.noise_cv));
+  return total;
+}
+
+double SimulatedMachine::ExecuteOnce(const ExecResult& result, int concurrency) {
+  std::vector<ResourceVector> ops;
+  ops.reserve(result.ops.size());
+  for (const OpStats& st : result.ops) ops.push_back(st.actual);
+  return ExecuteOnce(ops, concurrency);
+}
+
+double SimulatedMachine::ExecuteAveraged(const std::vector<ResourceVector>& ops,
+                                         int runs, int concurrency) {
+  UQP_CHECK(runs >= 1);
+  double acc = 0.0;
+  for (int i = 0; i < runs; ++i) acc += ExecuteOnce(ops, concurrency);
+  return acc / runs;
+}
+
+double SimulatedMachine::ExecuteAveraged(const ExecResult& result, int runs,
+                                         int concurrency) {
+  std::vector<ResourceVector> ops;
+  ops.reserve(result.ops.size());
+  for (const OpStats& st : result.ops) ops.push_back(st.actual);
+  return ExecuteAveraged(ops, runs, concurrency);
+}
+
+}  // namespace uqp

@@ -1,0 +1,106 @@
+#include "math/gaussian.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+double NormalPdf(double x) {
+  static const double kInvSqrt2Pi = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+double NormalCdf(double x, double mean, double variance) {
+  if (variance <= 0.0) return x >= mean ? 1.0 : 0.0;
+  return NormalCdf((x - mean) / std::sqrt(variance));
+}
+
+double NormalQuantile(double p) {
+  UQP_CHECK(p > 0.0 && p < 1.0) << "quantile requires p in (0,1), got " << p;
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1.0 - plow;
+  double q, r, x;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= phigh) {
+    q = p - 0.5;
+    r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One step of Halley refinement for extra accuracy.
+  const double e = NormalCdf(x) - p;
+  const double u = e * std::sqrt(2.0 * std::numbers::pi) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double NormalMoment(double mu, double var, int k) {
+  switch (k) {
+    case 0:
+      return 1.0;
+    case 1:
+      return mu;
+    case 2:
+      return mu * mu + var;
+    case 3:
+      return mu * mu * mu + 3.0 * mu * var;
+    case 4:
+      return mu * mu * mu * mu + 6.0 * mu * mu * var + 3.0 * var * var;
+    default:
+      UQP_CHECK(false) << "NormalMoment supports k in [0,4], got " << k;
+      return 0.0;
+  }
+}
+
+double VarOfSquare(double mu, double var) {
+  return 2.0 * var * (2.0 * mu * mu + var);
+}
+
+double CovSquareLinear(double mu, double var) { return 2.0 * mu * var; }
+
+double ProductMean(double mul, double mur) { return mul * mur; }
+
+double ProductVariance(double mul, double varl, double mur, double varr) {
+  return mul * mul * varr + mur * mur * varl + varl * varr;
+}
+
+double CovProductLeft(double varl, double mur) { return mur * varl; }
+
+double CovProductRight(double mul, double varr) { return mul * varr; }
+
+double QuadraticFormVariance(double b0, double b1, double mu, double var) {
+  const double t = b1 + 2.0 * b0 * mu;
+  return var * (t * t + 2.0 * b0 * b0 * var);
+}
+
+double BilinearFormVariance(double b0, double b1, double b2, double mul,
+                            double varl, double mur, double varr) {
+  const double tl = b0 * mur + b1;
+  const double tr = b0 * mul + b2;
+  return varl * tl * tl + varr * tr * tr + b0 * b0 * varl * varr;
+}
+
+}  // namespace uqp

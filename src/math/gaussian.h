@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cmath>
+
+namespace uqp {
+
+/// A (possibly degenerate) normal distribution N(mean, variance).
+///
+/// This is the core numeric object of the predictor: selectivities,
+/// fitted cost functions, calibrated cost units and finally the predicted
+/// running time t_q are all carried around as Gaussians (paper §5).
+struct Gaussian {
+  double mean = 0.0;
+  double variance = 0.0;
+
+  Gaussian() = default;
+  Gaussian(double m, double v) : mean(m), variance(v) {}
+
+  double stddev() const { return variance > 0.0 ? std::sqrt(variance) : 0.0; }
+
+  /// Sum of independent Gaussians.
+  Gaussian operator+(const Gaussian& o) const {
+    return Gaussian(mean + o.mean, variance + o.variance);
+  }
+  /// Affine transform a*X + b.
+  Gaussian Affine(double a, double b) const {
+    return Gaussian(a * mean + b, a * a * variance);
+  }
+};
+
+/// Standard normal pdf.
+double NormalPdf(double x);
+
+/// Standard normal cdf Phi(x) (via erf).
+double NormalCdf(double x);
+
+/// Cdf of N(mean, var) at x.
+double NormalCdf(double x, double mean, double variance);
+
+/// Inverse standard normal cdf (Acklam's rational approximation,
+/// |error| < 1.15e-9 over (0,1)).
+double NormalQuantile(double p);
+
+/// Non-central moment E[X^k] of X ~ N(mu, sigma^2) for k in 1..4
+/// (paper Table 3):
+///   E[X]   = mu
+///   E[X^2] = mu^2 + sigma^2
+///   E[X^3] = mu^3 + 3 mu sigma^2
+///   E[X^4] = mu^4 + 6 mu^2 sigma^2 + 3 sigma^4
+double NormalMoment(double mu, double var, int k);
+
+/// Var[X^2] for X ~ N(mu, sigma^2) = 2 sigma^2 (2 mu^2 + sigma^2).
+double VarOfSquare(double mu, double var);
+
+/// Cov(X^2, X) for X ~ N(mu, sigma^2) = 2 mu sigma^2.
+double CovSquareLinear(double mu, double var);
+
+/// Moments of the product of two INDEPENDENT normals X ~ N(mul, varl),
+/// Y ~ N(mur, varr):
+///   E[XY]        = mul * mur
+///   Var[XY]      = mul^2 varr + mur^2 varl + varl varr
+///   Cov(XY, X)   = mur * varl
+///   Cov(XY, Y)   = mul * varr
+double ProductMean(double mul, double mur);
+double ProductVariance(double mul, double varl, double mur, double varr);
+double CovProductLeft(double varl, double mur);
+double CovProductRight(double mul, double varr);
+
+/// Paper Lemma 4: Var[f] for f = b0 X^2 + b1 X + b2, X ~ N(mu, var):
+///   Var[f] = var * [(b1 + 2 b0 mu)^2 + 2 b0^2 var].
+double QuadraticFormVariance(double b0, double b1, double mu, double var);
+
+/// Paper Lemma 8: Var[f] for f = b0 Xl Xr + b1 Xl + b2 Xr + b3 with
+/// independent Xl ~ N(mul, varl), Xr ~ N(mur, varr):
+///   Var[f] = varl (b0 mur + b1)^2 + varr (b0 mul + b2)^2 + b0^2 varl varr.
+double BilinearFormVariance(double b0, double b1, double b2, double mul,
+                            double varl, double mur, double varr);
+
+}  // namespace uqp

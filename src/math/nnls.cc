@@ -1,0 +1,258 @@
+#include "math/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+namespace {
+
+/// Solves the unconstrained LS restricted to the passive columns via normal
+/// equations with a tiny ridge for numerical safety (column counts here are
+/// at most 4, so this is robust enough in practice).
+bool SolveSubproblem(const NnlsProblem& p, const std::vector<int>& passive,
+                     std::vector<double>* z) {
+  const int k = static_cast<int>(passive.size());
+  if (k == 0) return true;
+  // Normal matrix G = Ap' Ap (k x k), rhs g = Ap' y.
+  std::vector<double> g_mat(static_cast<size_t>(k) * k, 0.0);
+  std::vector<double> g_rhs(k, 0.0);
+  for (int i = 0; i < k; ++i) {
+    const int ci = passive[i];
+    for (int j = i; j < k; ++j) {
+      const int cj = passive[j];
+      double acc = 0.0;
+      for (int r = 0; r < p.rows; ++r) {
+        acc += p.a[static_cast<size_t>(r) * p.cols + ci] *
+               p.a[static_cast<size_t>(r) * p.cols + cj];
+      }
+      g_mat[static_cast<size_t>(i) * k + j] = acc;
+      g_mat[static_cast<size_t>(j) * k + i] = acc;
+    }
+    double acc = 0.0;
+    for (int r = 0; r < p.rows; ++r) {
+      acc += p.a[static_cast<size_t>(r) * p.cols + ci] * p.y[r];
+    }
+    g_rhs[i] = acc;
+  }
+  // Ridge scaled to the diagonal magnitude.
+  double diag_max = 0.0;
+  for (int i = 0; i < k; ++i) {
+    diag_max = std::max(diag_max, g_mat[static_cast<size_t>(i) * k + i]);
+  }
+  const double ridge = std::max(diag_max, 1.0) * 1e-12;
+  for (int i = 0; i < k; ++i) g_mat[static_cast<size_t>(i) * k + i] += ridge;
+
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < k; ++col) {
+    int pivot = col;
+    double best = std::fabs(g_mat[static_cast<size_t>(col) * k + col]);
+    for (int r = col + 1; r < k; ++r) {
+      const double v = std::fabs(g_mat[static_cast<size_t>(r) * k + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best <= 0.0) return false;
+    if (pivot != col) {
+      for (int c = 0; c < k; ++c) {
+        std::swap(g_mat[static_cast<size_t>(pivot) * k + c],
+                  g_mat[static_cast<size_t>(col) * k + c]);
+      }
+      std::swap(g_rhs[pivot], g_rhs[col]);
+    }
+    const double inv = 1.0 / g_mat[static_cast<size_t>(col) * k + col];
+    for (int r = col + 1; r < k; ++r) {
+      const double factor = g_mat[static_cast<size_t>(r) * k + col] * inv;
+      if (factor == 0.0) continue;
+      for (int c = col; c < k; ++c) {
+        g_mat[static_cast<size_t>(r) * k + c] -=
+            factor * g_mat[static_cast<size_t>(col) * k + c];
+      }
+      g_rhs[r] -= factor * g_rhs[col];
+    }
+  }
+  std::vector<double> sol(k, 0.0);
+  for (int r = k - 1; r >= 0; --r) {
+    double acc = g_rhs[r];
+    for (int c = r + 1; c < k; ++c) {
+      acc -= g_mat[static_cast<size_t>(r) * k + c] * sol[c];
+    }
+    sol[r] = acc / g_mat[static_cast<size_t>(r) * k + r];
+  }
+  std::fill(z->begin(), z->end(), 0.0);
+  for (int i = 0; i < k; ++i) (*z)[passive[i]] = sol[i];
+  return true;
+}
+
+double ResidualNorm(const NnlsProblem& p, const std::vector<double>& x) {
+  double acc = 0.0;
+  for (int r = 0; r < p.rows; ++r) {
+    double pred = 0.0;
+    for (int c = 0; c < p.cols; ++c) {
+      pred += p.a[static_cast<size_t>(r) * p.cols + c] * x[c];
+    }
+    const double d = pred - p.y[r];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+StatusOr<NnlsResult> SolveNnls(const NnlsProblem& problem) {
+  if (problem.rows <= 0 || problem.cols <= 0) {
+    return Status::InvalidArgument("NNLS: empty problem");
+  }
+  if (problem.a.size() != static_cast<size_t>(problem.rows) * problem.cols) {
+    return Status::InvalidArgument("NNLS: matrix shape mismatch");
+  }
+  if (problem.y.size() != static_cast<size_t>(problem.rows)) {
+    return Status::InvalidArgument("NNLS: rhs size mismatch");
+  }
+  if (!problem.nonnegative.empty() &&
+      problem.nonnegative.size() != static_cast<size_t>(problem.cols)) {
+    return Status::InvalidArgument("NNLS: constraint flag size mismatch");
+  }
+
+  const int n = problem.cols;
+  // Normalize columns to unit L2 norm for conditioning (selectivity-power
+  // columns span many orders of magnitude); positive scaling preserves the
+  // nonnegativity constraints and the coefficients are unscaled at the end.
+  NnlsProblem scaled = problem;
+  std::vector<double> col_scale(static_cast<size_t>(n), 1.0);
+  for (int j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (int r = 0; r < problem.rows; ++r) {
+      const double v = problem.a[static_cast<size_t>(r) * n + j];
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      col_scale[static_cast<size_t>(j)] = norm;
+      for (int r = 0; r < scaled.rows; ++r) {
+        scaled.a[static_cast<size_t>(r) * n + j] /= norm;
+      }
+    }
+  }
+  const NnlsProblem& p_ref = scaled;
+  auto is_constrained = [&problem](int j) {
+    return problem.nonnegative.empty() || problem.nonnegative[j];
+  };
+
+  std::vector<bool> in_passive(n, false);
+  std::vector<int> passive;
+  // Free columns start (and stay) in the passive set.
+  for (int j = 0; j < n; ++j) {
+    if (!is_constrained(j)) {
+      in_passive[j] = true;
+      passive.push_back(j);
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  std::vector<double> z(n, 0.0);
+  if (!passive.empty()) {
+    if (!SolveSubproblem(p_ref, passive, &z)) {
+      return Status::Internal("NNLS: singular subproblem on free columns");
+    }
+    x = z;
+  }
+
+  // Scale-aware tolerance for the dual feasibility test.
+  double a_max = 0.0;
+  for (double v : p_ref.a) a_max = std::max(a_max, std::fabs(v));
+  double y_max = 0.0;
+  for (double v : p_ref.y) y_max = std::max(y_max, std::fabs(v));
+  const double tol = 1e-10 * std::max(1.0, a_max * y_max) * p_ref.rows;
+
+  NnlsResult result;
+  const int max_outer = 3 * n + 30;
+  for (int outer = 0; outer < max_outer; ++outer) {
+    ++result.iterations;
+    // Gradient w = A'(y - Ax).
+    std::vector<double> resid(p_ref.rows, 0.0);
+    for (int r = 0; r < p_ref.rows; ++r) {
+      double pred = 0.0;
+      for (int c = 0; c < n; ++c) {
+        pred += p_ref.a[static_cast<size_t>(r) * n + c] * x[c];
+      }
+      resid[r] = p_ref.y[r] - pred;
+    }
+    int best_j = -1;
+    double best_w = tol;
+    for (int j = 0; j < n; ++j) {
+      if (in_passive[j]) continue;
+      double w = 0.0;
+      for (int r = 0; r < p_ref.rows; ++r) {
+        w += p_ref.a[static_cast<size_t>(r) * n + j] * resid[r];
+      }
+      if (w > best_w) {
+        best_w = w;
+        best_j = j;
+      }
+    }
+    if (best_j < 0) break;  // KKT satisfied.
+
+    in_passive[best_j] = true;
+    passive.push_back(best_j);
+
+    // Inner loop: restore feasibility of constrained passive variables.
+    for (int inner = 0; inner < 3 * n + 30; ++inner) {
+      if (!SolveSubproblem(p_ref, passive, &z)) {
+        return Status::Internal("NNLS: singular subproblem");
+      }
+      bool feasible = true;
+      double alpha = std::numeric_limits<double>::infinity();
+      for (int j : passive) {
+        if (is_constrained(j) && z[j] <= 0.0) {
+          feasible = false;
+          const double denom = x[j] - z[j];
+          if (denom > 0.0) alpha = std::min(alpha, x[j] / denom);
+        }
+      }
+      if (feasible) {
+        x = z;
+        break;
+      }
+      if (!std::isfinite(alpha)) alpha = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (in_passive[j]) x[j] += alpha * (z[j] - x[j]);
+      }
+      // Move zeroed constrained variables back to the active set.
+      std::vector<int> next_passive;
+      for (int j : passive) {
+        if (is_constrained(j) && x[j] <= 1e-14) {
+          x[j] = 0.0;
+          in_passive[j] = false;
+        } else {
+          next_passive.push_back(j);
+        }
+      }
+      passive = std::move(next_passive);
+    }
+  }
+
+  // Unscale coefficients back to the original column units.
+  for (int j = 0; j < n; ++j) x[j] /= col_scale[static_cast<size_t>(j)];
+  result.coefficients = x;
+  result.residual_norm = ResidualNorm(problem, x);
+  return result;
+}
+
+StatusOr<NnlsResult> SolveNnls(const std::vector<double>& a_row_major, int rows,
+                               int cols, const std::vector<double>& y) {
+  NnlsProblem problem;
+  problem.a = a_row_major;
+  problem.rows = rows;
+  problem.cols = cols;
+  problem.y = y;
+  problem.nonnegative.assign(cols, true);
+  return SolveNnls(problem);
+}
+
+}  // namespace uqp

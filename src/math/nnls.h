@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace uqp {
+
+/// Dense column-major least-squares problem  min_b || A b - y ||_2  with
+/// optional per-coefficient nonnegativity constraints.
+///
+/// This solves exactly the quadratic program the paper hands to Scilab's
+/// `qpsolve` when fitting logical cost functions (§4.2): the work
+/// coefficients are constrained to b_i >= 0 while constant offsets stay
+/// free. The implementation is the Lawson–Hanson active-set method
+/// generalized so that unconstrained columns are permanent members of the
+/// passive set.
+struct NnlsProblem {
+  /// Row-major matrix A with `rows` x `cols` entries.
+  std::vector<double> a;
+  std::vector<double> y;
+  int rows = 0;
+  int cols = 0;
+  /// nonnegative[j] == true -> b_j >= 0; false -> b_j is free.
+  std::vector<bool> nonnegative;
+};
+
+struct NnlsResult {
+  std::vector<double> coefficients;
+  double residual_norm = 0.0;  ///< ||A b - y||_2 at the solution
+  int iterations = 0;
+};
+
+/// Solves the constrained least-squares problem. Fails with
+/// InvalidArgument on shape mismatches; Internal if the active-set loop
+/// fails to converge (does not happen for well-posed cost-fitting inputs).
+StatusOr<NnlsResult> SolveNnls(const NnlsProblem& problem);
+
+/// Convenience wrapper for fully nonnegative problems.
+StatusOr<NnlsResult> SolveNnls(const std::vector<double>& a_row_major, int rows,
+                               int cols, const std::vector<double>& y);
+
+}  // namespace uqp

@@ -1,0 +1,134 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "math/gaussian.h"
+
+namespace uqp {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double PopulationVariance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  UQP_CHECK(xs.size() == ys.size());
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank for the tie group [i, j] (1-based ranks).
+    const double avg = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  UQP_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  return PearsonCorrelation(FractionalRanks(xs), FractionalRanks(ys));
+}
+
+void RunningStats::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {
+  UQP_CHECK(xs.size() == ys.size());
+  LinearFit fit;
+  const size_t n = xs.size();
+  if (n < 2) return fit;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  if (sxx <= 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  return fit;
+}
+
+ProximityResult ComputeProximity(const std::vector<double>& normalized_errors,
+                                 int grid_size) {
+  ProximityResult result;
+  const double n = static_cast<double>(normalized_errors.size());
+  for (int g = 1; g <= grid_size; ++g) {
+    const double alpha = 6.0 * static_cast<double>(g) / static_cast<double>(grid_size);
+    const double predicted = 2.0 * NormalCdf(alpha) - 1.0;
+    double count = 0.0;
+    for (double e : normalized_errors) {
+      if (e <= alpha) count += 1.0;
+    }
+    const double empirical = n > 0.0 ? count / n : 0.0;
+    result.alphas.push_back(alpha);
+    result.predicted.push_back(predicted);
+    result.empirical.push_back(empirical);
+    result.dn += std::fabs(predicted - empirical);
+  }
+  if (grid_size > 0) result.dn /= static_cast<double>(grid_size);
+  return result;
+}
+
+std::vector<double> Figure5AlphaGrid() {
+  return {0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.2, 1.5,
+          1.8, 2.0, 2.2, 2.5, 2.8, 3.0, 3.5, 4.0};
+}
+
+}  // namespace uqp

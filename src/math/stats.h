@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace uqp {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (divides by n-1); 0 for n < 2.
+double SampleVariance(const std::vector<double>& xs);
+
+/// Population variance (divides by n); 0 for empty input.
+double PopulationVariance(const std::vector<double>& xs);
+
+/// Pearson linear correlation coefficient r_p (paper Eq. 7).
+/// Returns 0 when either side has zero variance.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Fractional (average) ranks in ascending order; ties get the mean of the
+/// ranks they span, e.g. {4,7,5} -> {1,3,2} and {1,1,2} -> {1.5,1.5,3}.
+std::vector<double> FractionalRanks(const std::vector<double>& xs);
+
+/// Spearman rank correlation coefficient r_s: Pearson correlation of the
+/// fractional ranks (paper §6.3).
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Online accumulator for mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  /// Population variance.
+  double population_variance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Ordinary least-squares line y = slope*x + intercept (for the "Best-Fit"
+/// lines in the paper's scatter plots).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// The paper's distributional proximity metric (§6.3).
+///
+/// For queries i with predicted N(mu_i, sigma_i^2) and actual time t_i, the
+/// normalized error is e'_i = |t_i - mu_i| / sigma_i. The model-implied
+/// probability is Pr(alpha) = 2 Phi(alpha) - 1 and the empirical one is
+/// Pr_n(alpha) = (1/n) sum I(e'_i <= alpha). D_n(alpha) = |Pr_n - Pr| and
+/// D_n is its average over an alpha grid on (0, 6).
+struct ProximityResult {
+  std::vector<double> alphas;
+  std::vector<double> predicted;  ///< Pr(alpha)
+  std::vector<double> empirical;  ///< Pr_n(alpha)
+  double dn = 0.0;                ///< average |predicted - empirical|
+};
+
+/// Computes the proximity metric from normalized errors e'_i.
+/// `grid_size` alphas are spaced uniformly over (0, 6].
+ProximityResult ComputeProximity(const std::vector<double>& normalized_errors,
+                                 int grid_size = 60);
+
+/// The alpha grid used in the paper's Figure 5 x-axis.
+std::vector<double> Figure5AlphaGrid();
+
+}  // namespace uqp

@@ -1,0 +1,36 @@
+#include "math/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double z) : n_(n), z_(z) {
+  UQP_CHECK(n >= 1) << "Zipf domain must be nonempty";
+  UQP_CHECK(z >= 0.0) << "Zipf exponent must be nonnegative";
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), z);
+    cdf_[k] = acc;
+  }
+  const double inv_total = 1.0 / acc;
+  for (auto& v : cdf_) v *= inv_total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint64_t k) const {
+  UQP_CHECK(k < n_);
+  if (k == 0) return cdf_[0];
+  return cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace uqp

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace uqp {
+
+/// Zipf(z) sampler over the domain {0, 1, ..., n-1} with
+/// P(k) proportional to 1 / (k+1)^z.
+///
+/// z = 0 degenerates to the uniform distribution; z = 1 matches the skewed
+/// TPC-H generator setting used in the paper (§6.1). The cumulative table
+/// is precomputed so each draw is a binary search.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double z);
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+  /// Draws one value in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  /// Probability mass of value k.
+  double Pmf(uint64_t k) const;
+
+ private:
+  uint64_t n_;
+  double z_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace uqp

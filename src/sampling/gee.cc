@@ -1,0 +1,55 @@
+#include "sampling/gee.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uqp {
+
+void GeeDistinctCounter::Add(uint64_t key_hash) {
+  ++counts_[key_hash];
+  ++n_;
+}
+
+double GeeDistinctCounter::GeeFormula(
+    const std::unordered_map<uint64_t, int64_t>& counts, double n,
+    double full_rows) {
+  if (counts.empty() || n <= 0.0) return 0.0;
+  double f1 = 0.0, rest = 0.0;
+  for (const auto& [key, count] : counts) {
+    (void)key;
+    if (count == 1) {
+      f1 += 1.0;
+    } else {
+      rest += 1.0;
+    }
+  }
+  const double ratio = std::sqrt(std::max(1.0, full_rows / n));
+  return std::min(full_rows, ratio * f1 + rest);
+}
+
+GeeResult GeeDistinctCounter::Estimate(double full_rows) const {
+  GeeResult result;
+  result.distinct = GeeFormula(counts_, static_cast<double>(n_), full_rows);
+  if (n_ < 4) return result;
+
+  // Half-sample probe: split keys by one hash bit into two sub-samples and
+  // compare their GEE estimates.
+  std::unordered_map<uint64_t, int64_t> half[2];
+  double half_rows[2] = {0.0, 0.0};
+  for (const auto& [key, count] : counts_) {
+    const int side = static_cast<int>((key >> 17) & 1u);
+    half[side][key] += count;
+    half_rows[side] += static_cast<double>(count);
+  }
+  if (half_rows[0] < 2.0 || half_rows[1] < 2.0) return result;
+  // Each half still estimates distinct-in-full of its key stratum; the two
+  // strata partition the keys, so the full estimate is their sum and its
+  // dispersion reflects sampling noise.
+  const double d0 = GeeFormula(half[0], half_rows[0], 0.5 * full_rows);
+  const double d1 = GeeFormula(half[1], half_rows[1], 0.5 * full_rows);
+  const double diff = d0 - d1;
+  result.variance = 0.25 * diff * diff;
+  return result;
+}
+
+}  // namespace uqp

@@ -1,0 +1,75 @@
+#include "sampling/sample_db.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+SampleDb SampleDb::Build(const Database& db, const SampleOptions& options) {
+  UQP_CHECK(options.sampling_ratio > 0.0 && options.sampling_ratio <= 1.0)
+      << "sampling ratio must be in (0, 1]";
+  UQP_CHECK(options.copies_per_relation >= 1);
+  SampleDb out;
+  out.options_ = options;
+  Rng rng(options.seed);
+
+  for (const std::string& name : db.TableNames()) {
+    const Table& base = db.GetTable(name);
+    const int64_t rows = base.num_rows();
+    int64_t sample_rows = static_cast<int64_t>(
+        std::ceil(options.sampling_ratio * static_cast<double>(rows)));
+    sample_rows = std::clamp<int64_t>(sample_rows,
+                                      std::min(rows, options.min_sample_rows), rows);
+    Entry entry;
+    entry.base_rows = rows;
+    for (int c = 0; c < options.copies_per_relation; ++c) {
+      auto sample = std::make_unique<Table>(name + "#s" + std::to_string(c),
+                                            base.schema());
+      sample->Reserve(sample_rows);
+      // Simple random sample without replacement: take the first
+      // sample_rows entries of a random permutation.
+      std::vector<uint32_t> perm = rng.Permutation(static_cast<uint32_t>(rows));
+      for (int64_t i = 0; i < sample_rows; ++i) {
+        sample->AppendRow(base.row(perm[static_cast<size_t>(i)]).data);
+      }
+      entry.copies.push_back(std::move(sample));
+    }
+    out.entries_.emplace(name, std::move(entry));
+  }
+  return out;
+}
+
+int SampleDb::copies(const std::string& relation) const {
+  auto it = entries_.find(relation);
+  UQP_CHECK(it != entries_.end()) << "no samples for relation " << relation;
+  return static_cast<int>(it->second.copies.size());
+}
+
+const Table& SampleDb::Get(const std::string& relation, int copy) const {
+  auto it = entries_.find(relation);
+  UQP_CHECK(it != entries_.end()) << "no samples for relation " << relation;
+  const auto& copies = it->second.copies;
+  return *copies[static_cast<size_t>(copy % static_cast<int>(copies.size()))];
+}
+
+int64_t SampleDb::SampleRows(const std::string& relation) const {
+  return Get(relation, 0).num_rows();
+}
+
+int64_t SampleDb::BaseRows(const std::string& relation) const {
+  auto it = entries_.find(relation);
+  UQP_CHECK(it != entries_.end());
+  return it->second.base_rows;
+}
+
+int64_t SampleDb::TotalSamplePages() const {
+  int64_t pages = 0;
+  for (const auto& [_, entry] : entries_) {
+    if (!entry.copies.empty()) pages += entry.copies[0]->num_pages();
+  }
+  return pages;
+}
+
+}  // namespace uqp

@@ -1,0 +1,44 @@
+#include "storage/catalog.h"
+
+#include "common/logging.h"
+
+namespace uqp {
+
+TableStats Catalog::Analyze(const Table& table, int histogram_buckets) {
+  TableStats stats;
+  stats.row_count = table.num_rows();
+  stats.page_count = table.num_pages();
+  const int ncols = table.schema().num_columns();
+  stats.columns.resize(static_cast<size_t>(ncols));
+  for (int c = 0; c < ncols; ++c) {
+    ColumnStats& cs = stats.columns[static_cast<size_t>(c)];
+    const ValueType type = table.schema().column(c).type;
+    if (type == ValueType::kString) {
+      cs.numeric = false;
+      for (int64_t r = 0; r < table.num_rows(); ++r) {
+        cs.string_freq[table.at(r, c).s] += 1;
+      }
+      cs.num_distinct = static_cast<int64_t>(cs.string_freq.size());
+    } else {
+      cs.numeric = true;
+      std::vector<double> values;
+      values.reserve(static_cast<size_t>(table.num_rows()));
+      for (int64_t r = 0; r < table.num_rows(); ++r) {
+        values.push_back(table.at(r, c).AsDouble());
+      }
+      cs.histogram = EquiDepthHistogram::Build(std::move(values), histogram_buckets);
+      cs.min = cs.histogram.min();
+      cs.max = cs.histogram.max();
+      cs.num_distinct = cs.histogram.num_distinct();
+    }
+  }
+  return stats;
+}
+
+const TableStats& Catalog::Get(const std::string& table_name) const {
+  auto it = stats_.find(table_name);
+  UQP_CHECK(it != stats_.end()) << "no stats for table " << table_name;
+  return it->second;
+}
+
+}  // namespace uqp

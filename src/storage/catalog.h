@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/histogram.h"
+#include "storage/table.h"
+
+namespace uqp {
+
+/// Per-column statistics kept in the catalog.
+struct ColumnStats {
+  bool numeric = false;
+  double min = 0.0;
+  double max = 0.0;
+  int64_t num_distinct = 0;
+  EquiDepthHistogram histogram;  ///< numeric columns only
+  /// For string columns: frequency of each interned id (used for equality
+  /// selectivity estimation and for generating equality constants).
+  std::unordered_map<int32_t, int64_t> string_freq;
+};
+
+/// Per-table statistics.
+struct TableStats {
+  int64_t row_count = 0;
+  int64_t page_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// ANALYZE-style statistics store for a database. The optimizer's
+/// cardinality estimator and the workload generators consume these.
+class Catalog {
+ public:
+  /// Builds full statistics for one table.
+  static TableStats Analyze(const Table& table, int histogram_buckets = 64);
+
+  void Put(const std::string& table_name, TableStats stats) {
+    stats_[table_name] = std::move(stats);
+  }
+  bool Has(const std::string& table_name) const {
+    return stats_.count(table_name) > 0;
+  }
+  const TableStats& Get(const std::string& table_name) const;
+
+ private:
+  std::unordered_map<std::string, TableStats> stats_;
+};
+
+}  // namespace uqp

@@ -1,0 +1,74 @@
+#include "storage/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             int num_buckets) {
+  EquiDepthHistogram h;
+  if (values.empty()) return h;
+  std::sort(values.begin(), values.end());
+  h.count_ = static_cast<int64_t>(values.size());
+  h.min_ = values.front();
+  h.max_ = values.back();
+  int64_t distinct = 1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] != values[i - 1]) ++distinct;
+  }
+  h.num_distinct_ = distinct;
+  num_buckets = std::max(1, num_buckets);
+  h.bounds_.resize(static_cast<size_t>(num_buckets) + 1);
+  for (int b = 0; b <= num_buckets; ++b) {
+    const double q = static_cast<double>(b) / num_buckets;
+    const size_t idx = std::min(
+        values.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(values.size() - 1) + 0.5));
+    h.bounds_[static_cast<size_t>(b)] = values[idx];
+  }
+  h.bounds_.front() = h.min_;
+  h.bounds_.back() = h.max_;
+  return h;
+}
+
+double EquiDepthHistogram::FractionLessEq(double v) const {
+  if (empty()) return 0.0;
+  if (v < min_) return 0.0;
+  if (v >= max_) return 1.0;
+  const int num_buckets = static_cast<int>(bounds_.size()) - 1;
+  // Find bucket containing v.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  int b = static_cast<int>(it - bounds_.begin()) - 1;
+  b = std::clamp(b, 0, num_buckets - 1);
+  const double lo = bounds_[static_cast<size_t>(b)];
+  const double hi = bounds_[static_cast<size_t>(b) + 1];
+  double within = 1.0;
+  if (hi > lo) within = (v - lo) / (hi - lo);
+  within = std::clamp(within, 0.0, 1.0);
+  return (static_cast<double>(b) + within) / num_buckets;
+}
+
+double EquiDepthHistogram::FractionRange(double lo, double hi) const {
+  if (empty() || hi < lo) return 0.0;
+  // Inclusive range [lo, hi]: F(hi) - F(lo-) ~ F(hi) - F(lo) + point mass.
+  const double f = FractionLessEq(hi) - FractionLessEq(lo);
+  const double point = num_distinct_ > 0 ? 1.0 / static_cast<double>(num_distinct_) : 0.0;
+  return std::clamp(f + point * 0.5, 0.0, 1.0);
+}
+
+double EquiDepthHistogram::ValueAtFraction(double q) const {
+  UQP_CHECK(!empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const int num_buckets = static_cast<int>(bounds_.size()) - 1;
+  const double pos = q * num_buckets;
+  int b = std::clamp(static_cast<int>(pos), 0, num_buckets - 1);
+  const double within = pos - b;
+  const double lo = bounds_[static_cast<size_t>(b)];
+  const double hi = bounds_[static_cast<size_t>(b) + 1];
+  return lo + within * (hi - lo);
+}
+
+}  // namespace uqp

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace uqp {
+
+/// Equi-depth histogram over a numeric column, the statistics object behind
+/// (a) the optimizer's selectivity estimates and (b) the MICRO workload
+/// generator, which inverts it to find predicate constants hitting target
+/// selectivities (paper §6.2, Picasso-style selectivity-space grids).
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  /// Builds from raw values (copied and sorted internally).
+  static EquiDepthHistogram Build(std::vector<double> values, int num_buckets);
+
+  bool empty() const { return count_ == 0; }
+  int64_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Estimated fraction of rows with value <= v (linear interpolation
+  /// inside buckets).
+  double FractionLessEq(double v) const;
+
+  /// Estimated fraction of rows in [lo, hi].
+  double FractionRange(double lo, double hi) const;
+
+  /// Approximate inverse CDF: a value v such that FractionLessEq(v) ~ q,
+  /// q in [0, 1]. Used to generate predicates with target selectivity.
+  double ValueAtFraction(double q) const;
+
+  /// Estimated number of distinct values (from build sample).
+  int64_t num_distinct() const { return num_distinct_; }
+
+  /// Number of equi-depth buckets (0 when empty).
+  int num_buckets() const {
+    return bounds_.empty() ? 0 : static_cast<int>(bounds_.size()) - 1;
+  }
+
+ private:
+  std::vector<double> bounds_;  ///< num_buckets + 1 boundaries
+  int64_t count_ = 0;
+  int64_t num_distinct_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace uqp

@@ -1,0 +1,36 @@
+#include "storage/schema.h"
+
+namespace uqp {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int Schema::TupleWidthBytes() const {
+  int width = 24;  // fixed per-tuple header, PostgreSQL-ish
+  for (const auto& c : columns_) width += c.width_bytes;
+  return width;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns();
+  cols.insert(cols.end(), right.columns().begin(), right.columns().end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace uqp

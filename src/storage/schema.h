@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace uqp {
+
+/// One column: name, type, and an on-disk width estimate used by the page
+/// model (int64/double: 8 bytes; strings: a configurable nominal width).
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  int width_bytes = 8;
+
+  Column() = default;
+  Column(std::string n, ValueType t, int w = 0)
+      : name(std::move(n)), type(t), width_bytes(w > 0 ? w : DefaultWidth(t)) {}
+
+  static int DefaultWidth(ValueType t) {
+    return t == ValueType::kString ? 16 : 8;
+  }
+};
+
+/// Ordered list of columns. Column lookup by (qualified) name.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Tuple width in bytes (sum of column widths + a fixed header).
+  int TupleWidthBytes() const;
+
+  /// Concatenation (for join outputs).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace uqp

@@ -1,0 +1,43 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace uqp {
+
+int64_t Table::rows_per_page() const {
+  const int width = schema_.TupleWidthBytes();
+  return std::max<int64_t>(1, kPageSizeBytes / std::max(1, width));
+}
+
+int64_t Table::num_pages() const {
+  const int64_t rows = num_rows();
+  if (rows == 0) return 1;
+  const int64_t rpp = rows_per_page();
+  return (rows + rpp - 1) / rpp;
+}
+
+void Table::AppendRow(const std::vector<Value>& row) {
+  UQP_DCHECK(static_cast<int>(row.size()) == schema_.num_columns());
+  values_.insert(values_.end(), row.begin(), row.end());
+}
+
+void Table::AppendRow(const Value* row) {
+  values_.insert(values_.end(), row, row + schema_.num_columns());
+}
+
+const std::vector<uint32_t>& Table::OrderedIndex(int column) const {
+  auto it = ordered_indexes_.find(column);
+  if (it != ordered_indexes_.end()) return it->second;
+  const int64_t rows = num_rows();
+  std::vector<uint32_t> idx(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) idx[static_cast<size_t>(r)] = static_cast<uint32_t>(r);
+  std::sort(idx.begin(), idx.end(), [this, column](uint32_t a, uint32_t b) {
+    return at(a, column).AsDouble() < at(b, column).AsDouble();
+  });
+  auto [pos, _] = ordered_indexes_.emplace(column, std::move(idx));
+  return pos->second;
+}
+
+}  // namespace uqp

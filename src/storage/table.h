@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace uqp {
+
+/// Size of one storage page in bytes (PostgreSQL default).
+inline constexpr int kPageSizeBytes = 8192;
+
+/// Lightweight non-owning view of one row inside a flat value array.
+struct RowRef {
+  const Value* data = nullptr;
+  int num_columns = 0;
+
+  const Value& operator[](int i) const { return data[i]; }
+};
+
+/// A row-major in-memory relation: schema + flat value array.
+///
+/// The page model (rows per page derived from tuple width) is what the cost
+/// model and the simulated machine use to translate scans into I/O counts,
+/// mirroring how PostgreSQL charges seq_page_cost / random_page_cost.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  int64_t num_rows() const {
+    const int n = schema_.num_columns();
+    return n == 0 ? 0 : static_cast<int64_t>(values_.size()) / n;
+  }
+
+  /// Number of pages the relation occupies under the page model.
+  int64_t num_pages() const;
+
+  /// Rows that fit on one page (>= 1).
+  int64_t rows_per_page() const;
+
+  RowRef row(int64_t r) const {
+    const int n = schema_.num_columns();
+    return RowRef{values_.data() + r * n, n};
+  }
+
+  const Value& at(int64_t r, int c) const {
+    return values_[r * schema_.num_columns() + c];
+  }
+
+  /// Appends one row; `row` must match the schema arity.
+  void AppendRow(const std::vector<Value>& row);
+
+  /// Appends from a raw pointer of schema arity.
+  void AppendRow(const Value* row);
+
+  void Reserve(int64_t rows) {
+    values_.reserve(static_cast<size_t>(rows) * schema_.num_columns());
+  }
+
+  /// Returns (building lazily) a B-tree-like ordered index on a numeric
+  /// column: row ids sorted ascending by the column value. Used by the
+  /// index-scan operator.
+  const std::vector<uint32_t>& OrderedIndex(int column) const;
+
+  /// True if an ordered index has been declared for the column. Indexes are
+  /// declared by the data generator on key/date columns; the planner only
+  /// considers index scans on declared columns.
+  bool HasIndex(int column) const { return declared_indexes_.count(column) > 0; }
+  void DeclareIndex(int column) { declared_indexes_.emplace(column, true); }
+
+  const std::vector<Value>& raw_values() const { return values_; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Value> values_;
+  std::map<int, bool> declared_indexes_;
+  mutable std::map<int, std::vector<uint32_t>> ordered_indexes_;
+};
+
+}  // namespace uqp

@@ -1,0 +1,97 @@
+#include <cmath>
+
+#include "common/logging.h"
+#include "workload/common.h"
+
+namespace uqp {
+
+namespace {
+
+struct SelTarget {
+  const char* table;
+  const char* column;
+};
+
+// Numeric columns spread over the larger TPC-H relations.
+const SelTarget kSelectionTargets[] = {
+    {"lineitem", "l_shipdate"},   {"lineitem", "l_extendedprice"},
+    {"orders", "o_orderdate"},    {"orders", "o_totalprice"},
+    {"customer", "c_acctbal"},    {"part", "p_retailprice"},
+    {"partsupp", "ps_supplycost"},{"lineitem", "l_quantity"},
+};
+
+struct JoinTarget {
+  const char* left_table;
+  const char* left_filter;
+  const char* right_table;
+  const char* right_filter;
+  const char* left_key;
+  const char* right_key;
+};
+
+// Two-way equi-joins; the build (right) side is the smaller relation.
+const JoinTarget kJoinTargets[] = {
+    {"lineitem", "l_shipdate", "orders", "o_orderdate", "l_orderkey",
+     "o_orderkey"},
+    {"orders", "o_totalprice", "customer", "c_acctbal", "o_custkey",
+     "c_custkey"},
+    {"lineitem", "l_quantity", "part", "p_retailprice", "l_partkey",
+     "p_partkey"},
+    {"lineitem", "l_extendedprice", "supplier", "s_acctbal", "l_suppkey",
+     "s_suppkey"},
+    {"partsupp", "ps_supplycost", "part", "p_retailprice", "ps_partkey",
+     "p_partkey"},
+};
+
+}  // namespace
+
+std::vector<WorkloadQuery> MakeMicroWorkload(const Database& db,
+                                             const MicroOptions& options) {
+  Rng rng(options.seed);
+  ConstantPicker pick(&db, &rng);
+  std::vector<WorkloadQuery> out;
+
+  // --- Selections: selectivities evenly across (0, 1) (Picasso-style). ---
+  const int nsel = options.selection_queries;
+  const int ntargets = static_cast<int>(std::size(kSelectionTargets));
+  for (int i = 0; i < nsel; ++i) {
+    const SelTarget& target = kSelectionTargets[i % ntargets];
+    const double fraction = (static_cast<double>(i) + 0.5) / nsel;
+    WorkloadQuery q;
+    q.name = "micro_sel_" + std::string(target.table) + "_" + std::to_string(i);
+    q.logical = MakeSeqScan(
+        target.table, pick.LessEqAtFraction(target.table, target.column, fraction));
+    out.push_back(std::move(q));
+  }
+
+  // --- Two-way joins: an evenly spaced 2-D selectivity grid per pair. ---
+  const int npairs = static_cast<int>(std::size(kJoinTargets));
+  const int per_pair = std::max(1, options.join_queries / npairs);
+  const int grid = std::max(1, static_cast<int>(std::round(std::sqrt(per_pair))));
+  int join_count = 0;
+  for (int p = 0; p < npairs && join_count < options.join_queries; ++p) {
+    const JoinTarget& target = kJoinTargets[p];
+    for (int a = 0; a < grid && join_count < options.join_queries; ++a) {
+      for (int b = 0; b < grid && join_count < options.join_queries; ++b) {
+        const double fl = (static_cast<double>(a) + 0.5) / grid;
+        const double fr = (static_cast<double>(b) + 0.5) / grid;
+        WorkloadQuery q;
+        q.name = "micro_join_" + std::string(target.left_table) + "_" +
+                 target.right_table + "_" + std::to_string(join_count);
+        JoinChainBuilder chain(&db);
+        chain.Start(target.left_table,
+                    pick.LessEqAtFraction(target.left_table, target.left_filter, fl))
+            .Join(target.right_table,
+                  pick.LessEqAtFraction(target.right_table, target.right_filter, fr),
+                  {{std::string(target.left_table) + "." + target.left_key,
+                    target.right_key}});
+        q.logical = chain.Finish();
+        out.push_back(std::move(q));
+        ++join_count;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace uqp

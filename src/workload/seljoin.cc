@@ -1,0 +1,192 @@
+#include "common/logging.h"
+#include "workload/common.h"
+
+namespace uqp {
+
+namespace {
+
+/// One SELJOIN template: the "maximal aggregate-free subquery" of a TPC-H
+/// template (paper §6.2), with randomized predicate constants.
+using TemplateFn = std::unique_ptr<PlanNode> (*)(const Database&,
+                                                 ConstantPicker&);
+
+std::unique_ptr<PlanNode> SJ3(const Database& db, ConstantPicker& pick) {
+  const double d = 0.2 + 0.75 * pick.rng()->NextDouble();
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             Expr::Cmp(pick.ColIdx("lineitem", "l_shipdate"), CmpOp::kGt,
+                       pick.NumericAtFraction("lineitem", "l_shipdate", d)))
+      .Join("orders",
+            Expr::Cmp(pick.ColIdx("orders", "o_orderdate"), CmpOp::kLt,
+                      pick.NumericAtFraction("orders", "o_orderdate", d)),
+            {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer",
+            Expr::StrEq(pick.ColIdx("customer", "c_mktsegment"),
+                        pick.RandomString("customer", "c_mktsegment")),
+            {{"orders.o_custkey", "c_custkey"}});
+  return chain.Finish();
+}
+
+std::unique_ptr<PlanNode> SJ5(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             pick.LessEqAtFraction("lineitem", "l_shipdate",
+                                   pick.LogUniform(0.02, 1.0)))
+      .Join("orders",
+            pick.RangeOfWidth("orders", "o_orderdate",
+                              pick.LogUniform(0.01, 0.5)),
+            {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer", nullptr, {{"orders.o_custkey", "c_custkey"}})
+      .Join("supplier", nullptr,
+            {{"lineitem.l_suppkey", "s_suppkey"},
+             {"customer.c_nationkey", "s_nationkey"}})
+      .Join("nation", nullptr, {{"supplier.s_nationkey", "n_nationkey"}})
+      .Join("region",
+            Expr::StrEq(pick.ColIdx("region", "r_name"),
+                        pick.RandomString("region", "r_name")),
+            {{"nation.n_regionkey", "r_regionkey"}});
+  return chain.Finish();
+}
+
+std::unique_ptr<PlanNode> SJ7(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem", pick.RangeOfWidth("lineitem", "l_shipdate",
+                                     pick.LogUniform(0.02, 0.7)))
+      .Join("supplier", nullptr, {{"lineitem.l_suppkey", "s_suppkey"}})
+      .Join("nation",
+            Expr::StrEq(pick.ColIdx("nation", "n_name"),
+                        pick.RandomString("nation", "n_name")),
+            {{"supplier.s_nationkey", "n_nationkey"}})
+      .Join("orders", nullptr, {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer", nullptr, {{"orders.o_custkey", "c_custkey"}});
+  return chain.Finish();
+}
+
+std::unique_ptr<PlanNode> SJ8(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             pick.LessEqAtFraction("lineitem", "l_shipdate",
+                                   pick.LogUniform(0.02, 1.0)))
+      .Join("part",
+            Expr::StrEq(pick.ColIdx("part", "p_type"),
+                        pick.RandomString("part", "p_type")),
+            {{"lineitem.l_partkey", "p_partkey"}})
+      .Join("orders",
+            pick.RangeOfWidth("orders", "o_orderdate",
+                              pick.LogUniform(0.01, 0.6)),
+            {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer", nullptr, {{"orders.o_custkey", "c_custkey"}})
+      .Join("nation", nullptr, {{"customer.c_nationkey", "n_nationkey"}});
+  return chain.Finish();
+}
+
+std::unique_ptr<PlanNode> SJ9(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             pick.LessEqAtFraction("lineitem", "l_shipdate",
+                                   pick.LogUniform(0.02, 1.0)))
+      .Join("part",
+            Expr::StrEq(pick.ColIdx("part", "p_brand"),
+                        pick.RandomString("part", "p_brand")),
+            {{"lineitem.l_partkey", "p_partkey"}})
+      .Join("supplier", nullptr, {{"lineitem.l_suppkey", "s_suppkey"}})
+      .Join("partsupp", nullptr,
+            {{"lineitem.l_partkey", "ps_partkey"},
+             {"lineitem.l_suppkey", "ps_suppkey"}})
+      .Join("nation", nullptr, {{"supplier.s_nationkey", "n_nationkey"}});
+  return chain.Finish();
+}
+
+std::unique_ptr<PlanNode> SJ10(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             Expr::StrEq(pick.ColIdx("lineitem", "l_returnflag"), "R"))
+      .Join("orders",
+            pick.RangeOfWidth("orders", "o_orderdate",
+                              pick.LogUniform(0.01, 0.4)),
+            {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer", nullptr, {{"orders.o_custkey", "c_custkey"}})
+      .Join("nation", nullptr, {{"customer.c_nationkey", "n_nationkey"}});
+  return chain.Finish();
+}
+
+std::unique_ptr<PlanNode> SJ12(const Database& db, ConstantPicker& pick) {
+  const int commit = pick.ColIdx("lineitem", "l_commitdate");
+  const int receipt = pick.ColIdx("lineitem", "l_receiptdate");
+  ExprPtr pred = Expr::And(
+      Expr::StrEq(pick.ColIdx("lineitem", "l_shipmode"),
+                  pick.RandomString("lineitem", "l_shipmode")),
+      Expr::And(Expr::CmpColumns(commit, CmpOp::kLt, receipt),
+                pick.RangeOfWidth("lineitem", "l_receiptdate",
+                                  pick.LogUniform(0.01, 0.5))));
+  JoinChainBuilder chain(&db);
+  chain.Start("lineitem", std::move(pred))
+      .Join("orders", nullptr, {{"lineitem.l_orderkey", "o_orderkey"}});
+  return chain.Finish();
+}
+
+std::unique_ptr<PlanNode> SJ14(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             pick.RangeOfWidth("lineitem", "l_shipdate",
+                               pick.LogUniform(0.01, 0.3)))
+      .Join("part", nullptr, {{"lineitem.l_partkey", "p_partkey"}});
+  return chain.Finish();
+}
+
+std::unique_ptr<PlanNode> SJ19(const Database& db, ConstantPicker& pick) {
+  const double qwidth = pick.LogUniform(0.1, 0.7);
+  const double qlo = pick.rng()->NextDouble() * (1.0 - qwidth);
+  ExprPtr lpred = Expr::And(
+      Expr::Between(pick.ColIdx("lineitem", "l_quantity"),
+                    pick.NumericAtFraction("lineitem", "l_quantity", qlo),
+                    pick.NumericAtFraction("lineitem", "l_quantity", qlo + qwidth)),
+      Expr::StrEq(pick.ColIdx("lineitem", "l_shipinstruct"),
+                  "DELIVER IN PERSON"));
+  ExprPtr ppred = Expr::And(
+      Expr::StrEq(pick.ColIdx("part", "p_brand"),
+                  pick.RandomString("part", "p_brand")),
+      pick.RangeOfWidth("part", "p_size", 0.5));
+  JoinChainBuilder chain(&db);
+  chain.Start("lineitem", std::move(lpred))
+      .Join("part", std::move(ppred), {{"lineitem.l_partkey", "p_partkey"}});
+  return chain.Finish();
+}
+
+struct NamedTemplate {
+  const char* name;
+  TemplateFn fn;
+};
+
+const NamedTemplate kTemplates[] = {
+    {"sj3", SJ3},   {"sj5", SJ5},   {"sj7", SJ7},   {"sj8", SJ8},
+    {"sj9", SJ9},   {"sj10", SJ10}, {"sj12", SJ12}, {"sj14", SJ14},
+    {"sj19", SJ19},
+};
+
+}  // namespace
+
+std::vector<WorkloadQuery> MakeSelJoinWorkload(const Database& db,
+                                               const SelJoinOptions& options) {
+  Rng rng(options.seed);
+  ConstantPicker pick(&db, &rng);
+  std::vector<WorkloadQuery> out;
+  for (int i = 0; i < options.instances_per_template; ++i) {
+    for (const NamedTemplate& t : kTemplates) {
+      WorkloadQuery q;
+      q.name = "seljoin_" + std::string(t.name) + "_" + std::to_string(i);
+      q.logical = t.fn(db, pick);
+      out.push_back(std::move(q));
+    }
+  }
+  return out;
+}
+
+}  // namespace uqp

@@ -1,0 +1,337 @@
+#include "common/logging.h"
+#include "workload/common.h"
+
+namespace uqp {
+
+namespace {
+
+AggSpec Sum(int column, const char* name) {
+  AggSpec s;
+  s.kind = AggSpec::Kind::kSum;
+  s.column = column;
+  s.name = name;
+  return s;
+}
+
+AggSpec Count(const char* name) {
+  AggSpec s;
+  s.kind = AggSpec::Kind::kCount;
+  s.column = -1;
+  s.name = name;
+  return s;
+}
+
+AggSpec Avg(int column, const char* name) {
+  AggSpec s;
+  s.kind = AggSpec::Kind::kAvg;
+  s.column = column;
+  s.name = name;
+  return s;
+}
+
+using TemplateFn = std::unique_ptr<PlanNode> (*)(const Database&,
+                                                 ConstantPicker&);
+
+// Q1: pricing summary report.
+std::unique_ptr<PlanNode> Q1(const Database& db, ConstantPicker& pick) {
+  (void)db;
+  const double frac = 0.3 + 0.69 * pick.rng()->NextDouble();
+  auto scan = MakeSeqScan(
+      "lineitem", pick.LessEqAtFraction("lineitem", "l_shipdate", frac));
+  const int rf = pick.ColIdx("lineitem", "l_returnflag");
+  const int ls = pick.ColIdx("lineitem", "l_linestatus");
+  const int qty = pick.ColIdx("lineitem", "l_quantity");
+  const int price = pick.ColIdx("lineitem", "l_extendedprice");
+  const int disc = pick.ColIdx("lineitem", "l_discount");
+  auto agg = MakeAggregate(std::move(scan), {rf, ls},
+                           {Sum(qty, "sum_qty"), Sum(price, "sum_price"),
+                            Avg(disc, "avg_disc"), Count("count_order")});
+  return MakeSort(std::move(agg), {0, 1});
+}
+
+// Q3: shipping priority.
+std::unique_ptr<PlanNode> Q3(const Database& db, ConstantPicker& pick) {
+  const double d = 0.2 + 0.75 * pick.rng()->NextDouble();
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             Expr::Cmp(pick.ColIdx("lineitem", "l_shipdate"), CmpOp::kGt,
+                       pick.NumericAtFraction("lineitem", "l_shipdate", d)))
+      .Join("orders",
+            Expr::Cmp(pick.ColIdx("orders", "o_orderdate"), CmpOp::kLt,
+                      pick.NumericAtFraction("orders", "o_orderdate", d)),
+            {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer",
+            Expr::StrEq(pick.ColIdx("customer", "c_mktsegment"),
+                        pick.RandomString("customer", "c_mktsegment")),
+            {{"orders.o_custkey", "c_custkey"}});
+  const int okey = chain.Col("lineitem.l_orderkey");
+  const int odate = chain.Col("orders.o_orderdate");
+  const int ship = chain.Col("orders.o_shippriority");
+  const int price = chain.Col("lineitem.l_extendedprice");
+  auto agg = MakeAggregate(chain.Finish(), {okey, odate, ship},
+                           {Sum(price, "revenue")});
+  return MakeSort(std::move(agg), {3, 1});
+}
+
+// Q4: order priority checking (late lineitems).
+std::unique_ptr<PlanNode> Q4(const Database& db, ConstantPicker& pick) {
+  const int commit = pick.ColIdx("lineitem", "l_commitdate");
+  const int receipt = pick.ColIdx("lineitem", "l_receiptdate");
+  JoinChainBuilder chain(&db);
+  chain.Start("orders", pick.RangeOfWidth("orders", "o_orderdate",
+                                          pick.LogUniform(0.01, 0.3)))
+      .Join("lineitem", Expr::CmpColumns(commit, CmpOp::kLt, receipt),
+            {{"orders.o_orderkey", "l_orderkey"}});
+  const int prio = chain.Col("orders.o_orderpriority");
+  auto agg = MakeAggregate(chain.Finish(), {prio}, {Count("order_count")});
+  return MakeSort(std::move(agg), {0});
+}
+
+// Q5: local supplier volume.
+std::unique_ptr<PlanNode> Q5(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             pick.LessEqAtFraction("lineitem", "l_shipdate",
+                                   pick.LogUniform(0.02, 1.0)))
+      .Join("orders",
+            pick.RangeOfWidth("orders", "o_orderdate",
+                              pick.LogUniform(0.01, 0.5)),
+            {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer", nullptr, {{"orders.o_custkey", "c_custkey"}})
+      .Join("supplier", nullptr,
+            {{"lineitem.l_suppkey", "s_suppkey"},
+             {"customer.c_nationkey", "s_nationkey"}})
+      .Join("nation", nullptr, {{"supplier.s_nationkey", "n_nationkey"}})
+      .Join("region",
+            Expr::StrEq(pick.ColIdx("region", "r_name"),
+                        pick.RandomString("region", "r_name")),
+            {{"nation.n_regionkey", "r_regionkey"}});
+  const int nname = chain.Col("nation.n_name");
+  const int price = chain.Col("lineitem.l_extendedprice");
+  auto agg = MakeAggregate(chain.Finish(), {nname}, {Sum(price, "revenue")});
+  return MakeSort(std::move(agg), {1});
+}
+
+// Q6: forecasting revenue change (pure selection + aggregate).
+std::unique_ptr<PlanNode> Q6(const Database& db, ConstantPicker& pick) {
+  (void)db;
+  ExprPtr pred = Expr::And(
+      pick.RangeOfWidth("lineitem", "l_shipdate", pick.LogUniform(0.01, 0.4)),
+      Expr::And(pick.RangeOfWidth("lineitem", "l_discount", 0.25),
+                Expr::Cmp(pick.ColIdx("lineitem", "l_quantity"), CmpOp::kLt,
+                          pick.NumericAtFraction("lineitem", "l_quantity",
+                                                 0.4 + 0.2 * pick.rng()->NextDouble()))));
+  auto scan = MakeSeqScan("lineitem", std::move(pred));
+  const int price = pick.ColIdx("lineitem", "l_extendedprice");
+  return MakeAggregate(std::move(scan), {}, {Sum(price, "revenue")});
+}
+
+// Q7: volume shipping between two nations.
+std::unique_ptr<PlanNode> Q7(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain.Start("lineitem", pick.RangeOfWidth("lineitem", "l_shipdate",
+                                           pick.LogUniform(0.02, 0.7)))
+      .Join("supplier", nullptr, {{"lineitem.l_suppkey", "s_suppkey"}})
+      .Join("nation",
+            Expr::StrEq(pick.ColIdx("nation", "n_name"),
+                        pick.RandomString("nation", "n_name")),
+            {{"supplier.s_nationkey", "n_nationkey"}})
+      .Join("orders", nullptr, {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer", nullptr, {{"orders.o_custkey", "c_custkey"}});
+  const int nname = chain.Col("nation.n_name");
+  const int cnat = chain.Col("customer.c_nationkey");
+  const int price = chain.Col("lineitem.l_extendedprice");
+  auto agg =
+      MakeAggregate(chain.Finish(), {nname, cnat}, {Sum(price, "revenue")});
+  return MakeSort(std::move(agg), {0, 1});
+}
+
+// Q8: national market share.
+std::unique_ptr<PlanNode> Q8(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             pick.LessEqAtFraction("lineitem", "l_shipdate",
+                                   pick.LogUniform(0.02, 1.0)))
+      .Join("part",
+            Expr::StrEq(pick.ColIdx("part", "p_type"),
+                        pick.RandomString("part", "p_type")),
+            {{"lineitem.l_partkey", "p_partkey"}})
+      .Join("orders",
+            pick.RangeOfWidth("orders", "o_orderdate",
+                              pick.LogUniform(0.01, 0.6)),
+            {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer", nullptr, {{"orders.o_custkey", "c_custkey"}})
+      .Join("nation", nullptr, {{"customer.c_nationkey", "n_nationkey"}})
+      .Join("region",
+            Expr::StrEq(pick.ColIdx("region", "r_name"),
+                        pick.RandomString("region", "r_name")),
+            {{"nation.n_regionkey", "r_regionkey"}});
+  const int odate = chain.Col("orders.o_orderdate");
+  const int price = chain.Col("lineitem.l_extendedprice");
+  auto agg = MakeAggregate(chain.Finish(), {odate}, {Sum(price, "volume")});
+  return MakeSort(std::move(agg), {0});
+}
+
+// Q9: product type profit measure.
+std::unique_ptr<PlanNode> Q9(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             pick.LessEqAtFraction("lineitem", "l_shipdate",
+                                   pick.LogUniform(0.02, 1.0)))
+      .Join("part",
+            Expr::StrEq(pick.ColIdx("part", "p_brand"),
+                        pick.RandomString("part", "p_brand")),
+            {{"lineitem.l_partkey", "p_partkey"}})
+      .Join("supplier", nullptr, {{"lineitem.l_suppkey", "s_suppkey"}})
+      .Join("partsupp", nullptr,
+            {{"lineitem.l_partkey", "ps_partkey"},
+             {"lineitem.l_suppkey", "ps_suppkey"}})
+      .Join("orders", nullptr, {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("nation", nullptr, {{"supplier.s_nationkey", "n_nationkey"}});
+  const int nname = chain.Col("nation.n_name");
+  const int price = chain.Col("lineitem.l_extendedprice");
+  auto agg = MakeAggregate(chain.Finish(), {nname}, {Sum(price, "sum_profit")});
+  return MakeSort(std::move(agg), {0});
+}
+
+// Q10: returned item reporting.
+std::unique_ptr<PlanNode> Q10(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             Expr::StrEq(pick.ColIdx("lineitem", "l_returnflag"), "R"))
+      .Join("orders",
+            pick.RangeOfWidth("orders", "o_orderdate",
+                              pick.LogUniform(0.01, 0.4)),
+            {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer", nullptr, {{"orders.o_custkey", "c_custkey"}})
+      .Join("nation", nullptr, {{"customer.c_nationkey", "n_nationkey"}});
+  const int ckey = chain.Col("customer.c_custkey");
+  const int nname = chain.Col("nation.n_name");
+  const int price = chain.Col("lineitem.l_extendedprice");
+  auto agg =
+      MakeAggregate(chain.Finish(), {ckey, nname}, {Sum(price, "revenue")});
+  return MakeSort(std::move(agg), {2});
+}
+
+// Q12: shipping modes and order priority.
+std::unique_ptr<PlanNode> Q12(const Database& db, ConstantPicker& pick) {
+  const int commit = pick.ColIdx("lineitem", "l_commitdate");
+  const int receipt = pick.ColIdx("lineitem", "l_receiptdate");
+  ExprPtr pred = Expr::And(
+      Expr::StrEq(pick.ColIdx("lineitem", "l_shipmode"),
+                  pick.RandomString("lineitem", "l_shipmode")),
+      Expr::And(Expr::CmpColumns(commit, CmpOp::kLt, receipt),
+                pick.RangeOfWidth("lineitem", "l_receiptdate",
+                                  pick.LogUniform(0.01, 0.5))));
+  JoinChainBuilder chain(&db);
+  chain.Start("lineitem", std::move(pred))
+      .Join("orders", nullptr, {{"lineitem.l_orderkey", "o_orderkey"}});
+  const int mode = chain.Col("lineitem.l_shipmode");
+  auto agg = MakeAggregate(chain.Finish(), {mode}, {Count("line_count")});
+  return MakeSort(std::move(agg), {0});
+}
+
+// Q13: customer order-count distribution (aggregate over aggregate).
+std::unique_ptr<PlanNode> Q13(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain.Start("orders",
+              Expr::Cmp(pick.ColIdx("orders", "o_orderpriority"), CmpOp::kNe,
+                        Value::String(pick.RandomString("orders",
+                                                        "o_orderpriority"))))
+      .Join("customer", nullptr, {{"orders.o_custkey", "c_custkey"}});
+  const int ckey = chain.Col("customer.c_custkey");
+  auto per_customer =
+      MakeAggregate(chain.Finish(), {ckey}, {Count("c_count")});
+  // Distribution over the per-customer counts: group by the count column.
+  auto dist = MakeAggregate(std::move(per_customer), {1}, {Count("custdist")});
+  return MakeSort(std::move(dist), {0});
+}
+
+// Q14: promotion effect.
+std::unique_ptr<PlanNode> Q14(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             pick.RangeOfWidth("lineitem", "l_shipdate",
+                               pick.LogUniform(0.01, 0.3)))
+      .Join("part", nullptr, {{"lineitem.l_partkey", "p_partkey"}});
+  const int price = chain.Col("lineitem.l_extendedprice");
+  return MakeAggregate(chain.Finish(), {}, {Sum(price, "promo_revenue")});
+}
+
+// Q18: large volume customers.
+std::unique_ptr<PlanNode> Q18(const Database& db, ConstantPicker& pick) {
+  JoinChainBuilder chain(&db);
+  chain
+      .Start("lineitem",
+             Expr::Cmp(pick.ColIdx("lineitem", "l_quantity"), CmpOp::kGt,
+                       pick.NumericAtFraction(
+                           "lineitem", "l_quantity",
+                           0.8 * pick.rng()->NextDouble())))
+      .Join("orders", nullptr, {{"lineitem.l_orderkey", "o_orderkey"}})
+      .Join("customer", nullptr, {{"orders.o_custkey", "c_custkey"}});
+  const int okey = chain.Col("orders.o_orderkey");
+  const int ckey = chain.Col("customer.c_custkey");
+  const int qty = chain.Col("lineitem.l_quantity");
+  auto agg =
+      MakeAggregate(chain.Finish(), {okey, ckey}, {Sum(qty, "sum_qty")});
+  return MakeSort(std::move(agg), {2});
+}
+
+// Q19: discounted revenue.
+std::unique_ptr<PlanNode> Q19(const Database& db, ConstantPicker& pick) {
+  const double qwidth = pick.LogUniform(0.1, 0.7);
+  const double qlo = pick.rng()->NextDouble() * (1.0 - qwidth);
+  ExprPtr lpred = Expr::And(
+      Expr::Between(pick.ColIdx("lineitem", "l_quantity"),
+                    pick.NumericAtFraction("lineitem", "l_quantity", qlo),
+                    pick.NumericAtFraction("lineitem", "l_quantity", qlo + qwidth)),
+      Expr::StrEq(pick.ColIdx("lineitem", "l_shipinstruct"),
+                  "DELIVER IN PERSON"));
+  ExprPtr ppred = Expr::And(
+      Expr::StrEq(pick.ColIdx("part", "p_brand"),
+                  pick.RandomString("part", "p_brand")),
+      pick.RangeOfWidth("part", "p_size", 0.5));
+  JoinChainBuilder chain(&db);
+  chain.Start("lineitem", std::move(lpred))
+      .Join("part", std::move(ppred), {{"lineitem.l_partkey", "p_partkey"}});
+  const int price = chain.Col("lineitem.l_extendedprice");
+  return MakeAggregate(chain.Finish(), {}, {Sum(price, "revenue")});
+}
+
+struct NamedTemplate {
+  const char* name;
+  TemplateFn fn;
+};
+
+// The 14 templates the paper uses: 1,3,4,5,6,7,8,9,10,12,13,14,18,19.
+const NamedTemplate kTemplates[] = {
+    {"q1", Q1},   {"q3", Q3},   {"q4", Q4},   {"q5", Q5},  {"q6", Q6},
+    {"q7", Q7},   {"q8", Q8},   {"q9", Q9},   {"q10", Q10},{"q12", Q12},
+    {"q13", Q13}, {"q14", Q14}, {"q18", Q18}, {"q19", Q19},
+};
+
+}  // namespace
+
+std::vector<WorkloadQuery> MakeTpchWorkload(const Database& db,
+                                            const TpchWorkloadOptions& options) {
+  Rng rng(options.seed);
+  ConstantPicker pick(&db, &rng);
+  std::vector<WorkloadQuery> out;
+  for (int i = 0; i < options.instances_per_template; ++i) {
+    for (const NamedTemplate& t : kTemplates) {
+      WorkloadQuery q;
+      q.name = "tpch_" + std::string(t.name) + "_" + std::to_string(i);
+      q.logical = t.fn(db, pick);
+      out.push_back(std::move(q));
+    }
+  }
+  return out;
+}
+
+}  // namespace uqp

@@ -1,0 +1,102 @@
+// Tests for the §8 future-work extension: interference between concurrent
+// queries modeled as a change in the cost-unit distributions.
+
+#include <gtest/gtest.h>
+
+#include "core/variance.h"
+#include "cost/calibration.h"
+#include "hw/machine.h"
+#include "math/stats.h"
+
+namespace uqp {
+namespace {
+
+TEST(Concurrency, TimeGrowsWithMultiprogrammingLevel) {
+  SimulatedMachine machine(MachineProfile::PC1(), 5);
+  ResourceVector work;
+  work.ns = 1000;
+  work.nt = 50000;
+  double prev = 0.0;
+  for (int mpl : {1, 2, 4, 8}) {
+    const double t = machine.ExecuteAveraged({work}, 30, mpl);
+    EXPECT_GT(t, prev) << "MPL " << mpl;
+    prev = t;
+  }
+}
+
+TEST(Concurrency, CpuUnitsUnaffectedBelowCoreCount) {
+  // PC2 has 8 cores: a pure-CPU workload at MPL 4 costs the same as idle.
+  SimulatedMachine machine(MachineProfile::PC2(), 6);
+  ResourceVector work;
+  work.nt = 200000;
+  const double idle = machine.ExecuteAveraged({work}, 50, 1);
+  const double mpl4 = machine.ExecuteAveraged({work}, 50, 4);
+  EXPECT_NEAR(mpl4, idle, 0.06 * idle);
+  // ... but at MPL 16 the cores are oversubscribed 2x.
+  const double mpl16 = machine.ExecuteAveraged({work}, 50, 16);
+  EXPECT_GT(mpl16, 1.4 * idle);
+}
+
+TEST(Concurrency, IoContentionBitesImmediately) {
+  SimulatedMachine machine(MachineProfile::PC2(), 7);
+  ResourceVector work;
+  work.ns = 5000;
+  const double idle = machine.ExecuteAveraged({work}, 50, 1);
+  const double mpl2 = machine.ExecuteAveraged({work}, 50, 2);
+  EXPECT_GT(mpl2, 1.25 * idle);  // io_contention = 0.45 per extra query
+}
+
+TEST(Concurrency, DispersionGrowsWithMpl) {
+  SimulatedMachine machine(MachineProfile::PC1(), 8);
+  ResourceVector work;
+  work.nr = 300;
+  RunningStats idle, busy;
+  for (int i = 0; i < 500; ++i) idle.Add(machine.ExecuteOnce({work}, 1));
+  for (int i = 0; i < 500; ++i) busy.Add(machine.ExecuteOnce({work}, 4));
+  // Relative dispersion grows under contention.
+  EXPECT_GT(busy.stddev() / busy.mean(), idle.stddev() / idle.mean());
+}
+
+TEST(Concurrency, CalibrationTracksInflatedUnits) {
+  SimulatedMachine machine(MachineProfile::PC1(), 9);
+  Calibrator calibrator(&machine);
+  const CostUnits idle = calibrator.CalibrateAt(1);
+  const CostUnits mpl4 = calibrator.CalibrateAt(4);
+  // I/O units inflate roughly by 1 + 0.45 * 3 = 2.35.
+  EXPECT_GT(mpl4.Get(kCostSeqPage).mean, 1.8 * idle.Get(kCostSeqPage).mean);
+  EXPECT_LT(mpl4.Get(kCostSeqPage).mean, 3.2 * idle.Get(kCostSeqPage).mean);
+  // CPU on the 2-core PC1 oversubscribes at MPL 4 as well.
+  EXPECT_GT(mpl4.Get(kCostTuple).mean, 1.3 * idle.Get(kCostTuple).mean);
+  // Variances inflate too (the distribution changes, not just the mean).
+  EXPECT_GT(mpl4.Get(kCostSeqPage).variance, idle.Get(kCostSeqPage).variance);
+}
+
+TEST(Concurrency, MplAwareUnitsPredictMplWorkloads) {
+  // A synthetic "query" with known counters: the MPL-aware units must
+  // predict its MPL-4 latency far better than the idle units do.
+  SimulatedMachine machine(MachineProfile::PC1(), 10);
+  Calibrator calibrator(&machine);
+  const CostUnits idle = calibrator.CalibrateAt(1);
+  const CostUnits busy = calibrator.CalibrateAt(4);
+
+  ResourceVector work;
+  work.ns = 2000;
+  work.nt = 80000;
+  work.no = 120000;
+  const double actual = machine.ExecuteAveraged({work}, 60, 4);
+  auto predict = [&work](const CostUnits& units) {
+    return units.MeanDot(work.ns, work.nr, work.nt, work.ni, work.no);
+  };
+  const double err_busy = std::fabs(predict(busy) - actual) / actual;
+  const double err_idle = std::fabs(predict(idle) - actual) / actual;
+  EXPECT_LT(err_busy, 0.25);
+  EXPECT_GT(err_idle, 2.0 * err_busy);
+}
+
+TEST(Concurrency, InvalidMplRejected) {
+  SimulatedMachine machine(MachineProfile::PC1(), 11);
+  EXPECT_DEATH(machine.ExecuteOnce({ResourceVector{}}, 0), "concurrency");
+}
+
+}  // namespace
+}  // namespace uqp

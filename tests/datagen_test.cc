@@ -1,0 +1,175 @@
+// Tests for the TPC-H-like data generator: schema, cardinalities, key
+// integrity, skew behaviour and date utilities.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datagen/dates.h"
+#include "datagen/tpch.h"
+
+namespace uqp {
+namespace {
+
+TEST(Dates, KnownDayNumbers) {
+  EXPECT_EQ(DayNumber(1970, 1, 1), 0);
+  EXPECT_EQ(DayNumber(1970, 1, 2), 1);
+  EXPECT_EQ(DayNumber(1969, 12, 31), -1);
+  EXPECT_EQ(DayNumber(2000, 3, 1), DayNumber(2000, 2, 29) + 1);  // leap year
+}
+
+TEST(Dates, ParseFormatRoundTrip) {
+  for (const char* iso : {"1992-01-01", "1995-06-17", "1998-12-31", "1996-02-29"}) {
+    EXPECT_EQ(FormatDate(ParseDate(iso)), iso);
+  }
+}
+
+TEST(Dates, TpchRange) {
+  EXPECT_EQ(TpchDateMin(), ParseDate("1992-01-01"));
+  EXPECT_EQ(TpchDateMax(), ParseDate("1998-12-31"));
+  EXPECT_GT(TpchDateMax(), TpchDateMin());
+}
+
+TEST(TpchGen, ProfileScales) {
+  EXPECT_DOUBLE_EQ(TpchConfig::Profile("1gb").scale, 1.0);
+  EXPECT_DOUBLE_EQ(TpchConfig::Profile("10gb").scale, 10.0);
+  EXPECT_DOUBLE_EQ(TpchConfig::Profile("tiny").scale, 0.1);
+}
+
+TEST(TpchGen, Cardinalities) {
+  const TpchCardinalities c = CardinalitiesFor(1.0);
+  EXPECT_EQ(c.region, 5);
+  EXPECT_EQ(c.nation, 25);
+  EXPECT_EQ(c.supplier, 100);
+  EXPECT_EQ(c.customer, 1500);
+  EXPECT_EQ(c.part, 2000);
+  EXPECT_EQ(c.partsupp, 8000);
+  EXPECT_EQ(c.orders, 15000);
+}
+
+class TpchDbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(MakeTpchDatabase(TpchConfig::Profile("tiny")));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+Database* TpchDbTest::db_ = nullptr;
+
+TEST_F(TpchDbTest, AllEightTablesPresent) {
+  for (const char* name : {"region", "nation", "supplier", "customer", "part",
+                           "partsupp", "orders", "lineitem"}) {
+    EXPECT_TRUE(db_->HasTable(name)) << name;
+    EXPECT_TRUE(db_->catalog().Has(name)) << name;
+  }
+}
+
+TEST_F(TpchDbTest, RowCountsMatchScale) {
+  const TpchCardinalities c = CardinalitiesFor(0.1);
+  EXPECT_EQ(db_->GetTable("orders").num_rows(), c.orders);
+  EXPECT_EQ(db_->GetTable("customer").num_rows(), c.customer);
+  EXPECT_EQ(db_->GetTable("partsupp").num_rows(), c.partsupp);
+  // lineitem is 1..7 lines per order, expectation 4x orders.
+  const int64_t li = db_->GetTable("lineitem").num_rows();
+  EXPECT_GT(li, 3 * c.orders);
+  EXPECT_LT(li, 5 * c.orders);
+}
+
+TEST_F(TpchDbTest, ForeignKeyIntegrity) {
+  const Table& lineitem = db_->GetTable("lineitem");
+  const int64_t orders = db_->GetTable("orders").num_rows();
+  const int64_t parts = db_->GetTable("part").num_rows();
+  const int64_t suppliers = db_->GetTable("supplier").num_rows();
+  for (int64_t r = 0; r < lineitem.num_rows(); r += 97) {
+    ASSERT_LT(lineitem.at(r, 0).AsInt64(), orders);
+    ASSERT_LT(lineitem.at(r, 1).AsInt64(), parts);
+    ASSERT_LT(lineitem.at(r, 2).AsInt64(), suppliers);
+  }
+  const Table& ordertab = db_->GetTable("orders");
+  const int64_t customers = db_->GetTable("customer").num_rows();
+  for (int64_t r = 0; r < ordertab.num_rows(); r += 53) {
+    ASSERT_LT(ordertab.at(r, 1).AsInt64(), customers);
+  }
+}
+
+TEST_F(TpchDbTest, DatesInTpchRange) {
+  const Table& lineitem = db_->GetTable("lineitem");
+  const int shipdate = lineitem.schema().IndexOf("l_shipdate");
+  const int receiptdate = lineitem.schema().IndexOf("l_receiptdate");
+  for (int64_t r = 0; r < lineitem.num_rows(); r += 101) {
+    const int64_t ship = lineitem.at(r, shipdate).AsInt64();
+    ASSERT_GE(ship, TpchDateMin());
+    ASSERT_LE(ship, TpchDateMax() + 160);  // ship/receipt can trail orderdate
+    ASSERT_GE(lineitem.at(r, receiptdate).AsInt64(), ship);
+  }
+}
+
+TEST_F(TpchDbTest, KeyIndexesDeclared) {
+  EXPECT_TRUE(db_->GetTable("lineitem").HasIndex(0));   // l_orderkey
+  EXPECT_TRUE(db_->GetTable("lineitem").HasIndex(10));  // l_shipdate
+  EXPECT_TRUE(db_->GetTable("orders").HasIndex(4));     // o_orderdate
+  EXPECT_TRUE(db_->GetTable("customer").HasIndex(0));   // c_custkey
+}
+
+TEST_F(TpchDbTest, Determinism) {
+  Database other = MakeTpchDatabase(TpchConfig::Profile("tiny"));
+  const Table& a = db_->GetTable("lineitem");
+  const Table& b = other.GetTable("lineitem");
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int64_t r = 0; r < a.num_rows(); r += 211) {
+    for (int c = 0; c < a.schema().num_columns(); ++c) {
+      ASSERT_TRUE(a.at(r, c).Equals(b.at(r, c))) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(TpchSkew, ZipfConcentratesForeignKeys) {
+  TpchConfig uniform = TpchConfig::Profile("tiny", 0.0);
+  TpchConfig skewed = TpchConfig::Profile("tiny", 1.0);
+  Database u = MakeTpchDatabase(uniform);
+  Database s = MakeTpchDatabase(skewed);
+
+  auto top_part_share = [](const Database& db) {
+    const Table& lineitem = db.GetTable("lineitem");
+    std::unordered_map<int64_t, int64_t> freq;
+    for (int64_t r = 0; r < lineitem.num_rows(); ++r) {
+      freq[lineitem.at(r, 1).AsInt64()]++;
+    }
+    int64_t max_freq = 0;
+    for (const auto& [k, f] : freq) max_freq = std::max(max_freq, f);
+    return static_cast<double>(max_freq) / static_cast<double>(lineitem.num_rows());
+  };
+  EXPECT_GT(top_part_share(s), 3.0 * top_part_share(u));
+}
+
+TEST(TpchSkew, DifferentSeedsGiveDifferentData) {
+  Database a = MakeTpchDatabase(TpchConfig::Profile("tiny", 0.0, 1));
+  Database b = MakeTpchDatabase(TpchConfig::Profile("tiny", 0.0, 2));
+  const Table& ta = a.GetTable("lineitem");
+  const Table& tb = b.GetTable("lineitem");
+  bool differs = ta.num_rows() != tb.num_rows();
+  for (int64_t r = 0; !differs && r < std::min(ta.num_rows(), tb.num_rows());
+       ++r) {
+    if (!ta.at(r, 4).Equals(tb.at(r, 4))) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TpchNames, DomainsAreStable) {
+  EXPECT_EQ(tpch::SegmentName(0), "AUTOMOBILE");
+  EXPECT_EQ(tpch::BrandName(0), "Brand#11");
+  EXPECT_EQ(tpch::BrandName(24), "Brand#55");
+  EXPECT_EQ(tpch::RegionName(2), "ASIA");
+  EXPECT_EQ(tpch::ReturnFlagName(0), "R");
+  // 150 distinct type strings.
+  std::unordered_set<std::string> types;
+  for (int i = 0; i < tpch::kNumTypes; ++i) types.insert(tpch::TypeName(i));
+  EXPECT_EQ(types.size(), static_cast<size_t>(tpch::kNumTypes));
+}
+
+}  // namespace
+}  // namespace uqp

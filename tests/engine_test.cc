@@ -1,0 +1,622 @@
+// Executor correctness tests: every physical operator is checked against a
+// naive reference evaluation on small synthetic tables, and the resource
+// counters are checked against their defining formulas.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "engine/cardinality.h"
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "engine/planner.h"
+#include "math/rng.h"
+#include "storage/database.h"
+
+namespace uqp {
+namespace {
+
+/// Small deterministic test database:
+///   t1(a int, b double, tag string)  -- 200 rows, a = i % 50, b = i
+///   t2(k int, w double)              -- 40 rows,  k = i % 50, w = 2 i
+Database MakeTestDb() {
+  Database db("engine-test");
+  {
+    Table t1("t1", Schema({{"a", ValueType::kInt64},
+                           {"b", ValueType::kDouble},
+                           {"tag", ValueType::kString, 4}}));
+    for (int i = 0; i < 200; ++i) {
+      t1.AppendRow({Value::Int64(i % 50), Value::Double(i),
+                    Value::String(i % 3 == 0 ? "x" : "y")});
+    }
+    t1.DeclareIndex(1);
+    db.AddTable(std::move(t1));
+  }
+  {
+    Table t2("t2", Schema({{"k", ValueType::kInt64}, {"w", ValueType::kDouble}}));
+    for (int i = 0; i < 40; ++i) {
+      t2.AppendRow({Value::Int64(i % 50), Value::Double(2 * i)});
+    }
+    db.AddTable(std::move(t2));
+  }
+  db.AnalyzeAll(16);
+  return db;
+}
+
+ExecResult MustExecute(const Database& db, Plan* plan,
+                       ExecOptions options = ExecOptions()) {
+  EXPECT_TRUE(plan->Finalize(db).ok());
+  Executor executor(&db);
+  auto result = executor.Execute(*plan, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Order-insensitive multiset comparison of result rows.
+std::multiset<std::string> RowFingerprints(const RowBlock& block) {
+  std::multiset<std::string> out;
+  for (int64_t r = 0; r < block.num_rows(); ++r) {
+    std::string key;
+    for (int c = 0; c < block.schema.num_columns(); ++c) {
+      key += block.row(r)[c].ToString();
+      key += "|";
+    }
+    out.insert(key);
+  }
+  return out;
+}
+
+// ---------- Scans ----------
+
+TEST(Executor, SeqScanFilterMatchesReference) {
+  Database db = MakeTestDb();
+  Plan plan(MakeSeqScan("t1", Expr::Cmp(0, CmpOp::kLt, Value::Int64(10))));
+  const ExecResult result = MustExecute(db, &plan);
+  // Reference: a = i % 50 < 10 <-> i % 50 in [0, 10) -> 4 * 10 = 40 rows.
+  EXPECT_EQ(result.output.num_rows(), 40);
+  for (int64_t r = 0; r < result.output.num_rows(); ++r) {
+    EXPECT_LT(result.output.row(r)[0].AsInt64(), 10);
+  }
+}
+
+TEST(Executor, SeqScanCountersMatchFormulas) {
+  Database db = MakeTestDb();
+  Plan plan(MakeSeqScan("t1", Expr::Cmp(0, CmpOp::kLt, Value::Int64(10))));
+  const ExecResult result = MustExecute(db, &plan);
+  const Table& t1 = db.GetTable("t1");
+  const OpStats& st = result.ops[0];
+  EXPECT_DOUBLE_EQ(st.actual.ns, static_cast<double>(t1.num_pages()));
+  EXPECT_DOUBLE_EQ(st.actual.nt, 200.0);
+  EXPECT_DOUBLE_EQ(st.actual.no, 200.0);  // one comparison per tuple
+  EXPECT_DOUBLE_EQ(st.actual.nr, 0.0);
+  EXPECT_DOUBLE_EQ(st.out_rows, 40.0);
+  EXPECT_DOUBLE_EQ(st.leaf_row_product, 200.0);
+  EXPECT_DOUBLE_EQ(st.selectivity(), 0.2);
+}
+
+class IndexVsSeqScan : public ::testing::TestWithParam<double> {};
+
+TEST_P(IndexVsSeqScan, SameResults) {
+  // Index scan over b <= v must return exactly what the seq scan returns.
+  const double v = GetParam();
+  Database db = MakeTestDb();
+  Plan seq(MakeSeqScan("t1", Expr::Cmp(1, CmpOp::kLe, Value::Double(v))));
+  Plan idx(MakeIndexScan("t1", 1, Expr::Cmp(1, CmpOp::kLe, Value::Double(v))));
+  const ExecResult rs = MustExecute(db, &seq);
+  const ExecResult ri = MustExecute(db, &idx);
+  EXPECT_EQ(RowFingerprints(rs.output), RowFingerprints(ri.output));
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, IndexVsSeqScan,
+                         ::testing::Values(-1.0, 0.0, 10.0, 99.5, 150.0, 500.0));
+
+TEST(Executor, IndexScanWithResidualFilter) {
+  Database db = MakeTestDb();
+  // Range on b plus residual on tag.
+  ExprPtr pred = Expr::And(Expr::Cmp(1, CmpOp::kLe, Value::Double(29.0)),
+                           Expr::StrEq(2, "x"));
+  Plan seq(MakeSeqScan("t1", pred));
+  Plan idx(MakeIndexScan("t1", 1, pred));
+  const ExecResult rs = MustExecute(db, &seq);
+  const ExecResult ri = MustExecute(db, &idx);
+  EXPECT_EQ(RowFingerprints(rs.output), RowFingerprints(ri.output));
+  // Index counters scale with range matches (30), output is smaller.
+  EXPECT_DOUBLE_EQ(ri.ops[0].actual.nt, 30.0);
+  EXPECT_EQ(ri.output.num_rows(), 10);  // i % 3 == 0 among 0..29
+  EXPECT_GT(ri.ops[0].actual.nr, 0.0);
+  EXPECT_LE(ri.ops[0].actual.nr, static_cast<double>(db.GetTable("t1").num_pages()));
+}
+
+// ---------- Joins ----------
+
+ExprPtr NoPred() { return nullptr; }
+
+std::multiset<std::string> ReferenceJoin(const Database& db, double t1_b_max) {
+  // t1 (b <= max) equi-join t2 on a = k.
+  std::multiset<std::string> out;
+  const Table& t1 = db.GetTable("t1");
+  const Table& t2 = db.GetTable("t2");
+  for (int64_t i = 0; i < t1.num_rows(); ++i) {
+    if (t1.at(i, 1).AsDouble() > t1_b_max) continue;
+    for (int64_t j = 0; j < t2.num_rows(); ++j) {
+      if (t1.at(i, 0).AsInt64() != t2.at(j, 0).AsInt64()) continue;
+      std::string key;
+      for (int c = 0; c < 3; ++c) key += t1.at(i, c).ToString() + "|";
+      for (int c = 0; c < 2; ++c) key += t2.at(j, c).ToString() + "|";
+      out.insert(key);
+    }
+  }
+  return out;
+}
+
+class JoinAlgorithms : public ::testing::TestWithParam<OpType> {};
+
+TEST_P(JoinAlgorithms, MatchReferenceJoin) {
+  Database db = MakeTestDb();
+  const OpType type = GetParam();
+  auto left = MakeSeqScan("t1", Expr::Cmp(1, CmpOp::kLe, Value::Double(120.0)));
+  auto right = MakeSeqScan("t2", NoPred());
+  std::unique_ptr<PlanNode> join;
+  if (type == OpType::kHashJoin) {
+    join = MakeHashJoin(std::move(left), std::move(right), {{0, 0}});
+  } else if (type == OpType::kNestLoopJoin) {
+    join = MakeNestLoopJoin(std::move(left), std::move(right), {{0, 0}});
+  } else {
+    // Merge join needs sorted inputs.
+    join = MakeMergeJoin(MakeSort(std::move(left), {0}),
+                         MakeSort(std::move(right), {0}), {{0, 0}});
+  }
+  Plan plan(std::move(join));
+  const ExecResult result = MustExecute(db, &plan);
+  EXPECT_EQ(RowFingerprints(result.output), ReferenceJoin(db, 120.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, JoinAlgorithms,
+                         ::testing::Values(OpType::kHashJoin,
+                                           OpType::kNestLoopJoin,
+                                           OpType::kMergeJoin));
+
+TEST(Executor, MultiKeyHashJoin) {
+  Database db = MakeTestDb();
+  // Self-join t2 on (k, w): each row matches only itself.
+  Plan plan(MakeHashJoin(MakeSeqScan("t2", NoPred()), MakeSeqScan("t2", NoPred()),
+                         {{0, 0}, {1, 1}}));
+  const ExecResult result = MustExecute(db, &plan);
+  EXPECT_EQ(result.output.num_rows(), 40);
+}
+
+TEST(Executor, JoinResidualPredicate) {
+  Database db = MakeTestDb();
+  // Join t1 x t2 on a = k with residual w > b (column 4 vs column 1 in the
+  // concatenated schema).
+  ExprPtr residual = Expr::CmpColumns(4, CmpOp::kGt, 1);
+  Plan plan(MakeHashJoin(MakeSeqScan("t1", NoPred()), MakeSeqScan("t2", NoPred()),
+                         {{0, 0}}, residual));
+  const ExecResult result = MustExecute(db, &plan);
+  for (int64_t r = 0; r < result.output.num_rows(); ++r) {
+    EXPECT_GT(result.output.row(r)[4].AsDouble(), result.output.row(r)[1].AsDouble());
+  }
+  // Same with nested loop.
+  Plan nlj(MakeNestLoopJoin(MakeSeqScan("t1", NoPred()), MakeSeqScan("t2", NoPred()),
+                            {{0, 0}}, residual));
+  const ExecResult nlj_result = MustExecute(db, &nlj);
+  EXPECT_EQ(RowFingerprints(result.output), RowFingerprints(nlj_result.output));
+}
+
+TEST(Executor, CrossJoinViaNestLoop) {
+  Database db = MakeTestDb();
+  Plan plan(MakeNestLoopJoin(MakeSeqScan("t2", NoPred()),
+                             MakeSeqScan("t2", NoPred()), {}));
+  const ExecResult result = MustExecute(db, &plan);
+  EXPECT_EQ(result.output.num_rows(), 40 * 40);
+  EXPECT_DOUBLE_EQ(result.ops[0].actual.no, 1600.0);  // one visit per pair
+}
+
+TEST(Executor, HashJoinCounters) {
+  Database db = MakeTestDb();
+  Plan plan(MakeHashJoin(MakeSeqScan("t1", NoPred()), MakeSeqScan("t2", NoPred()),
+                         {{0, 0}}));
+  const ExecResult result = MustExecute(db, &plan);
+  const OpStats& join = result.ops[0];
+  EXPECT_DOUBLE_EQ(join.left_rows, 200.0);
+  EXPECT_DOUBLE_EQ(join.right_rows, 40.0);
+  // Each t1 row with a < 40 matches exactly one t2 row: 4 * 40 = 160.
+  EXPECT_DOUBLE_EQ(join.out_rows, 160.0);
+  EXPECT_DOUBLE_EQ(join.actual.nt, 160.0);
+  // Build + probe hash ops at minimum.
+  EXPECT_GE(join.actual.no, 240.0);
+  EXPECT_DOUBLE_EQ(join.leaf_row_product, 200.0 * 40.0);
+}
+
+// ---------- Sort / Aggregate / Materialize ----------
+
+TEST(Executor, SortOrdersRows) {
+  Database db = MakeTestDb();
+  Plan plan(MakeSort(MakeSeqScan("t1", NoPred()), {0, 1}));
+  const ExecResult result = MustExecute(db, &plan);
+  ASSERT_EQ(result.output.num_rows(), 200);
+  for (int64_t r = 1; r < result.output.num_rows(); ++r) {
+    const auto prev = result.output.row(r - 1);
+    const auto cur = result.output.row(r);
+    const bool ordered =
+        prev[0].AsInt64() < cur[0].AsInt64() ||
+        (prev[0].AsInt64() == cur[0].AsInt64() &&
+         prev[1].AsDouble() <= cur[1].AsDouble());
+    EXPECT_TRUE(ordered) << "row " << r;
+  }
+  // Comparison counter: at least n log2 n / 2, at most n log2 n * 2 + n.
+  const double n = 200.0;
+  EXPECT_GT(result.ops[0].actual.no, 0.5 * n * std::log2(n));
+  EXPECT_LT(result.ops[0].actual.no, 2.0 * n * std::log2(n) + n);
+}
+
+TEST(Executor, SortOnStringColumn) {
+  Database db = MakeTestDb();
+  Plan plan(MakeSort(MakeSeqScan("t1", NoPred()), {2}));
+  const ExecResult result = MustExecute(db, &plan);
+  for (int64_t r = 1; r < result.output.num_rows(); ++r) {
+    EXPECT_LE(result.output.row(r - 1)[2].AsString(),
+              result.output.row(r)[2].AsString());
+  }
+}
+
+TEST(Executor, AggregateGroupsAndFunctions) {
+  Database db = MakeTestDb();
+  // Group t2 rows by k % ... -> each k in 0..39 has exactly one row; group
+  // by constant-ish column instead: group t1 by tag.
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggSpec::Kind::kCount, -1, "cnt"});
+  aggs.push_back({AggSpec::Kind::kSum, 1, "sum_b"});
+  aggs.push_back({AggSpec::Kind::kMin, 1, "min_b"});
+  aggs.push_back({AggSpec::Kind::kMax, 1, "max_b"});
+  aggs.push_back({AggSpec::Kind::kAvg, 1, "avg_b"});
+  Plan plan(MakeAggregate(MakeSeqScan("t1", NoPred()), {2}, aggs));
+  const ExecResult result = MustExecute(db, &plan);
+  ASSERT_EQ(result.output.num_rows(), 2);  // tags "x" and "y"
+  std::map<std::string, std::vector<double>> by_tag;
+  for (int64_t r = 0; r < 2; ++r) {
+    const auto row = result.output.row(r);
+    by_tag[row[0].AsString()] = {row[1].AsDouble(), row[2].AsDouble(),
+                                 row[3].AsDouble(), row[4].AsDouble(),
+                                 row[5].AsDouble()};
+  }
+  // Reference for tag "x": i in {0,3,...,198}, 67 rows, sum = 3*(0+..+66).
+  const double cnt_x = 67.0;
+  const double sum_x = 3.0 * (66.0 * 67.0 / 2.0);
+  ASSERT_TRUE(by_tag.count("x"));
+  EXPECT_DOUBLE_EQ(by_tag["x"][0], cnt_x);
+  EXPECT_DOUBLE_EQ(by_tag["x"][1], sum_x);
+  EXPECT_DOUBLE_EQ(by_tag["x"][2], 0.0);
+  EXPECT_DOUBLE_EQ(by_tag["x"][3], 198.0);
+  EXPECT_DOUBLE_EQ(by_tag["x"][4], sum_x / cnt_x);
+}
+
+TEST(Executor, GlobalAggregateWithoutGroups) {
+  Database db = MakeTestDb();
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggSpec::Kind::kCount, -1, "cnt"});
+  Plan plan(MakeAggregate(MakeSeqScan("t1", NoPred()), {}, aggs));
+  const ExecResult result = MustExecute(db, &plan);
+  ASSERT_EQ(result.output.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(result.output.row(0)[0].AsDouble(), 200.0);
+}
+
+TEST(Executor, MaterializePassesThrough) {
+  Database db = MakeTestDb();
+  Plan plain(MakeSeqScan("t1", Expr::Cmp(0, CmpOp::kLt, Value::Int64(5))));
+  Plan mat(MakeMaterialize(
+      MakeSeqScan("t1", Expr::Cmp(0, CmpOp::kLt, Value::Int64(5)))));
+  const ExecResult a = MustExecute(db, &plain);
+  const ExecResult b = MustExecute(db, &mat);
+  EXPECT_EQ(RowFingerprints(a.output), RowFingerprints(b.output));
+}
+
+// ---------- Provenance ----------
+
+TEST(Executor, ScanProvenancePointsAtSourceRows) {
+  Database db = MakeTestDb();
+  Plan plan(MakeSeqScan("t1", Expr::Cmp(0, CmpOp::kLt, Value::Int64(3))));
+  ExecOptions options;
+  options.collect_provenance = true;
+  const ExecResult result = MustExecute(db, &plan, options);
+  const Table& t1 = db.GetTable("t1");
+  ASSERT_EQ(result.output.prov_width, 1);
+  for (int64_t r = 0; r < result.output.num_rows(); ++r) {
+    const uint32_t src = result.output.prov_row(r)[0];
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_TRUE(result.output.row(r)[c].Equals(t1.at(src, c)));
+    }
+  }
+}
+
+TEST(Executor, JoinProvenanceConcatenatesLeafIds) {
+  Database db = MakeTestDb();
+  Plan plan(MakeHashJoin(MakeSeqScan("t1", NoPred()), MakeSeqScan("t2", NoPred()),
+                         {{0, 0}}));
+  ExecOptions options;
+  options.collect_provenance = true;
+  options.retain_intermediates = true;
+  const ExecResult result = MustExecute(db, &plan, options);
+  const Table& t1 = db.GetTable("t1");
+  const Table& t2 = db.GetTable("t2");
+  ASSERT_EQ(result.output.prov_width, 2);
+  for (int64_t r = 0; r < result.output.num_rows(); ++r) {
+    const uint32_t* prov = result.output.prov_row(r);
+    EXPECT_TRUE(result.output.row(r)[0].Equals(t1.at(prov[0], 0)));
+    EXPECT_TRUE(result.output.row(r)[3].Equals(t2.at(prov[1], 0)));
+  }
+  // Retained blocks exist for every operator.
+  ASSERT_EQ(result.blocks.size(), 3u);
+  EXPECT_EQ(result.blocks[0].num_rows(), result.output.num_rows());
+}
+
+TEST(Executor, AggregateDropsProvenance) {
+  Database db = MakeTestDb();
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggSpec::Kind::kCount, -1, "cnt"});
+  Plan plan(MakeAggregate(MakeSeqScan("t1", NoPred()), {0}, aggs));
+  ExecOptions options;
+  options.collect_provenance = true;
+  const ExecResult result = MustExecute(db, &plan, options);
+  EXPECT_EQ(result.output.prov_width, 0);
+}
+
+// ---------- Leaf overrides ----------
+
+TEST(Executor, LeafOverridesBindPerOccurrence) {
+  Database db = MakeTestDb();
+  // Tiny replacement tables with distinct contents per occurrence.
+  Table small1("t2#a", db.GetTable("t2").schema());
+  small1.AppendRow({Value::Int64(1), Value::Double(1.0)});
+  Table small2("t2#b", db.GetTable("t2").schema());
+  small2.AppendRow({Value::Int64(1), Value::Double(2.0)});
+  small2.AppendRow({Value::Int64(2), Value::Double(3.0)});
+
+  Plan plan(MakeHashJoin(MakeSeqScan("t2", NoPred()), MakeSeqScan("t2", NoPred()),
+                         {{0, 0}}));
+  ASSERT_TRUE(plan.Finalize(db).ok());
+  std::vector<const Table*> overrides = {&small1, &small2};
+  ExecOptions options;
+  options.leaf_overrides = &overrides;
+  Executor executor(&db);
+  auto result = executor.Execute(plan, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.num_rows(), 1);  // k=1 matches k=1 only
+  EXPECT_DOUBLE_EQ(result->ops[0].leaf_row_product, 1.0 * 2.0);
+}
+
+TEST(Executor, LeafOverrideCountMismatchFails) {
+  Database db = MakeTestDb();
+  Plan plan(MakeSeqScan("t1", NoPred()));
+  ASSERT_TRUE(plan.Finalize(db).ok());
+  std::vector<const Table*> overrides;
+  ExecOptions options;
+  options.leaf_overrides = &overrides;
+  Executor executor(&db);
+  EXPECT_FALSE(executor.Execute(plan, options).ok());
+}
+
+// ---------- Plan validation ----------
+
+TEST(Plan, FinalizeRejectsUnknownTable) {
+  Database db = MakeTestDb();
+  Plan plan(MakeSeqScan("nonexistent", NoPred()));
+  EXPECT_FALSE(plan.Finalize(db).ok());
+}
+
+TEST(Plan, FinalizeRejectsBadJoinKey) {
+  Database db = MakeTestDb();
+  Plan plan(MakeHashJoin(MakeSeqScan("t1", NoPred()), MakeSeqScan("t2", NoPred()),
+                         {{99, 0}}));
+  EXPECT_FALSE(plan.Finalize(db).ok());
+}
+
+TEST(Plan, PreorderIdsAndLeafSpans) {
+  Database db = MakeTestDb();
+  Plan plan(MakeHashJoin(MakeSeqScan("t1", NoPred()), MakeSeqScan("t2", NoPred()),
+                         {{0, 0}}));
+  ASSERT_TRUE(plan.Finalize(db).ok());
+  EXPECT_EQ(plan.num_operators(), 3);
+  EXPECT_EQ(plan.num_leaves(), 2);
+  const auto nodes = plan.NodesPreorder();
+  EXPECT_EQ(nodes[0]->id, 0);
+  EXPECT_TRUE(IsJoin(nodes[0]->type));
+  EXPECT_EQ(nodes[0]->leaf_begin, 0);
+  EXPECT_EQ(nodes[0]->leaf_end, 2);
+  EXPECT_EQ(nodes[1]->leaf_begin, 0);
+  EXPECT_EQ(nodes[1]->leaf_end, 1);
+  EXPECT_DOUBLE_EQ(nodes[0]->leaf_row_product, 8000.0);
+}
+
+TEST(Plan, ClonePreservesStructure) {
+  Database db = MakeTestDb();
+  auto original = MakeHashJoin(
+      MakeSeqScan("t1", Expr::Cmp(0, CmpOp::kLt, Value::Int64(10))),
+      MakeSeqScan("t2", NoPred()), {{0, 0}});
+  auto clone = ClonePlanTree(*original);
+  Plan p1(std::move(original)), p2(std::move(clone));
+  const ExecResult a = MustExecute(db, &p1);
+  const ExecResult b = MustExecute(db, &p2);
+  EXPECT_EQ(RowFingerprints(a.output), RowFingerprints(b.output));
+}
+
+// ---------- Planner ----------
+
+TEST(Planner, PicksIndexScanForSelectiveRange) {
+  Database db = MakeTestDb();
+  auto plan = OptimizePlan(
+      MakeSeqScan("t1", Expr::Cmp(1, CmpOp::kLe, Value::Double(3.0))), db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->type, OpType::kIndexScan);
+  EXPECT_EQ(plan->root()->index_column, 1);
+}
+
+TEST(Planner, KeepsSeqScanForWideRange) {
+  Database db = MakeTestDb();
+  auto plan = OptimizePlan(
+      MakeSeqScan("t1", Expr::Cmp(1, CmpOp::kLe, Value::Double(180.0))), db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->type, OpType::kSeqScan);
+}
+
+TEST(Planner, KeepsSeqScanForUnindexedColumn) {
+  Database db = MakeTestDb();
+  // Column 0 has no declared index.
+  auto plan = OptimizePlan(
+      MakeSeqScan("t1", Expr::Cmp(0, CmpOp::kLt, Value::Int64(1))), db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->type, OpType::kSeqScan);
+}
+
+TEST(Planner, SmallInnerBecomesNestLoop) {
+  Database db = MakeTestDb();
+  auto plan = OptimizePlan(
+      MakeHashJoin(MakeSeqScan("t1", NoPred()), MakeSeqScan("t2", NoPred()),
+                   {{0, 0}}),
+      db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->type, OpType::kNestLoopJoin);  // t2 has 40 rows
+}
+
+TEST(Planner, LargeInnerStaysHashJoin) {
+  Database db = MakeTestDb();
+  auto plan = OptimizePlan(
+      MakeHashJoin(MakeSeqScan("t2", NoPred()), MakeSeqScan("t1", NoPred()),
+                   {{0, 0}}),
+      db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->type, OpType::kHashJoin);  // t1 has 200 rows
+}
+
+TEST(Planner, KeylessJoinBecomesNestLoop) {
+  Database db = MakeTestDb();
+  auto plan = OptimizePlan(
+      MakeHashJoin(MakeSeqScan("t1", NoPred()), MakeSeqScan("t1", NoPred()), {}),
+      db);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->type, OpType::kNestLoopJoin);
+}
+
+// ---------- Cardinality ----------
+
+TEST(Cardinality, RangePairingAvoidsIndependenceBlowup) {
+  Database db = MakeTestDb();
+  CardinalityEstimator cards(&db);
+  // b BETWEEN 100 AND 120 covers ~10% of rows; independence on the two
+  // endpoint comparisons would claim ~30%.
+  const auto pred = Expr::Between(1, Value::Double(100.0), Value::Double(120.0));
+  const double sel = cards.PredicateSelectivity(pred.get(), "t1");
+  EXPECT_NEAR(sel, 21.0 / 200.0, 0.04);
+}
+
+TEST(Cardinality, StringEqualityUsesFrequency) {
+  Database db = MakeTestDb();
+  CardinalityEstimator cards(&db);
+  const auto pred = Expr::StrEq(2, "x");
+  EXPECT_NEAR(cards.PredicateSelectivity(pred.get(), "t1"), 67.0 / 200.0, 0.01);
+  const auto none = Expr::StrEq(2, "never-seen");
+  EXPECT_DOUBLE_EQ(cards.PredicateSelectivity(none.get(), "t1"), 0.0);
+}
+
+TEST(Cardinality, EquiJoinUsesDistinctCounts) {
+  Database db = MakeTestDb();
+  Plan plan(MakeHashJoin(MakeSeqScan("t1", NoPred()), MakeSeqScan("t2", NoPred()),
+                         {{0, 0}}));
+  ASSERT_TRUE(plan.Finalize(db).ok());
+  CardinalityEstimator cards(&db);
+  const auto rows = cards.EstimatePlan(plan);
+  // |t1 x t2| / max(d(a), d(k)) = 200 * 40 / 50 = 160 — matches the truth.
+  EXPECT_NEAR(rows[0], 160.0, 1.0);
+}
+
+TEST(Cardinality, AggregateGroupEstimate) {
+  Database db = MakeTestDb();
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggSpec::Kind::kCount, -1, "cnt"});
+  Plan plan(MakeAggregate(MakeSeqScan("t1", NoPred()), {0}, aggs));
+  ASSERT_TRUE(plan.Finalize(db).ok());
+  CardinalityEstimator cards(&db);
+  const auto rows = cards.EstimatePlan(plan);
+  EXPECT_NEAR(rows[0], 50.0, 1.0);  // 50 distinct a values
+}
+
+TEST(Cardinality, PassThroughKeepsRows) {
+  Database db = MakeTestDb();
+  Plan plan(MakeSort(MakeSeqScan("t1", NoPred()), {0}));
+  ASSERT_TRUE(plan.Finalize(db).ok());
+  CardinalityEstimator cards(&db);
+  const auto rows = cards.EstimatePlan(plan);
+  EXPECT_DOUBLE_EQ(rows[0], rows[1]);
+}
+
+// ---------- Cost model ----------
+
+TEST(CostModel, SeqScanResources) {
+  OperatorContext ctx;
+  ctx.type = OpType::kSeqScan;
+  ctx.table_rows = 1000;
+  ctx.table_pages = 25;
+  ctx.qual_ops = 2;
+  const ResourceVector r = EstimateResources(ctx, EngineConfig{});
+  EXPECT_DOUBLE_EQ(r.ns, 25.0);
+  EXPECT_DOUBLE_EQ(r.nt, 1000.0);
+  EXPECT_DOUBLE_EQ(r.no, 2000.0);
+}
+
+TEST(CostModel, IndexScanUsesRangeRatio) {
+  OperatorContext ctx;
+  ctx.type = OpType::kIndexScan;
+  ctx.table_rows = 10000;
+  ctx.table_pages = 100;
+  ctx.out_rows = 50;
+  ctx.qual_ops = 1;
+  ctx.index_range_ratio = 4.0;
+  const ResourceVector r = EstimateResources(ctx, EngineConfig{});
+  EXPECT_DOUBLE_EQ(r.nt, 200.0);  // 50 * 4 range matches
+  EXPECT_GT(r.nr, 0.0);
+  EXPECT_LE(r.nr, 100.0);
+}
+
+TEST(CostModel, HashJoinSpillsAboveWorkMem) {
+  OperatorContext ctx;
+  ctx.type = OpType::kHashJoin;
+  ctx.left_rows = 10000;
+  ctx.right_rows = 10000;
+  ctx.left_width = 100;
+  ctx.right_width = 100;
+  ctx.out_rows = 100;
+  EngineConfig small_mem;
+  small_mem.work_mem_bytes = 1024;
+  EngineConfig big_mem;
+  big_mem.work_mem_bytes = 1e9;
+  EXPECT_GT(EstimateResources(ctx, small_mem).ns, 0.0);
+  EXPECT_DOUBLE_EQ(EstimateResources(ctx, big_mem).ns, 0.0);
+}
+
+TEST(CostModel, ExpectedPageFetchesSaturates) {
+  EXPECT_DOUBLE_EQ(ExpectedPageFetches(0, 100), 0.0);
+  EXPECT_NEAR(ExpectedPageFetches(1, 100), 1.0, 0.01);
+  EXPECT_LE(ExpectedPageFetches(1e6, 100), 100.0);
+  EXPECT_NEAR(ExpectedPageFetches(1e6, 100), 100.0, 0.1);
+  // Monotone in rows.
+  EXPECT_LT(ExpectedPageFetches(10, 100), ExpectedPageFetches(50, 100));
+}
+
+TEST(CostModel, ResourceVectorDotMatchesEq1) {
+  ResourceVector r;
+  r.ns = 1;
+  r.nr = 2;
+  r.nt = 3;
+  r.ni = 4;
+  r.no = 5;
+  // t = ns cs + nr cr + nt ct + ni ci + no co.
+  EXPECT_DOUBLE_EQ(r.Dot(1, 10, 100, 1000, 10000), 1 + 20 + 300 + 4000 + 50000);
+  for (int u = 0; u < 5; ++u) {
+    EXPECT_DOUBLE_EQ(r.Get(u), static_cast<double>(u + 1));
+  }
+}
+
+}  // namespace
+}  // namespace uqp

@@ -1,0 +1,97 @@
+// Tests for the experiment harness plumbing and the table printer.
+
+#include <gtest/gtest.h>
+
+#include "exp/harness.h"
+#include "exp/tableio.h"
+
+namespace uqp {
+namespace {
+
+TEST(TableIo, FmtPrecision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(3.0, 0), "3");
+  EXPECT_EQ(Fmt(-0.5, 1), "-0.5");
+}
+
+TEST(TableIo, PrinterHandlesRaggedRows) {
+  TablePrinter table({"a", "bb"});
+  table.AddRow({"1"});
+  table.AddRow({"22", "333"});
+  // Just exercise rendering; must not crash on short rows.
+  testing::internal::CaptureStdout();
+  table.Print();
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("| a  | bb  |"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(Harness, DbLabelReflectsOptions) {
+  HarnessOptions uniform;
+  uniform.profile = "tiny";
+  EXPECT_EQ(ExperimentHarness(uniform).db_label(), "uniform-tiny");
+  HarnessOptions skewed;
+  skewed.profile = "tiny";
+  skewed.zipf = 1.0;
+  EXPECT_EQ(ExperimentHarness(skewed).db_label(), "skewed-tiny");
+}
+
+TEST(Harness, WorkloadLoadIsIdempotent) {
+  HarnessOptions options;
+  options.profile = "tiny";
+  ExperimentHarness harness(options);
+  ASSERT_TRUE(harness.LoadWorkload("micro", 8).ok());
+  // Second load with a different hint is a no-op (cached).
+  ASSERT_TRUE(harness.LoadWorkload("micro", 100).ok());
+  auto result = harness.Evaluate("micro", "PC1", 0.1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->records.size(), 8u);
+}
+
+TEST(Harness, CachedArtifactsGiveIdenticalRepeatEvaluations) {
+  HarnessOptions options;
+  options.profile = "tiny";
+  ExperimentHarness harness(options);
+  ASSERT_TRUE(harness.LoadWorkload("micro", 8).ok());
+  auto a = harness.Evaluate("micro", "PC1", 0.1);
+  auto b = harness.Evaluate("micro", "PC1", 0.1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->records[i].outcome.predicted_mean,
+                     b->records[i].outcome.predicted_mean);
+    EXPECT_DOUBLE_EQ(a->records[i].outcome.actual_time,
+                     b->records[i].outcome.actual_time);
+  }
+}
+
+TEST(Harness, VariantRecomputationSharesActualTimes) {
+  HarnessOptions options;
+  options.profile = "tiny";
+  ExperimentHarness harness(options);
+  ASSERT_TRUE(harness.LoadWorkload("micro", 8).ok());
+  auto all = harness.Evaluate("micro", "PC2", 0.1, PredictorVariant::kAll);
+  auto ablated = harness.Evaluate("micro", "PC2", 0.1, PredictorVariant::kNoVarC);
+  ASSERT_TRUE(all.ok() && ablated.ok());
+  for (size_t i = 0; i < all->records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(all->records[i].outcome.actual_time,
+                     ablated->records[i].outcome.actual_time);
+  }
+}
+
+TEST(Harness, UnknownWorkloadFails) {
+  HarnessOptions options;
+  options.profile = "tiny";
+  ExperimentHarness harness(options);
+  EXPECT_DEATH((void)harness.LoadWorkload("bogus"), "unknown workload");
+}
+
+TEST(Harness, UnknownMachineDies) {
+  HarnessOptions options;
+  options.profile = "tiny";
+  ExperimentHarness harness(options);
+  ASSERT_TRUE(harness.LoadWorkload("micro", 4).ok());
+  EXPECT_DEATH((void)harness.Evaluate("micro", "PC9", 0.1), "unknown machine");
+}
+
+}  // namespace
+}  // namespace uqp

@@ -1,0 +1,191 @@
+// Tests for the simulated machines and the cost-unit calibration framework.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/calibration.h"
+#include "hw/machine.h"
+#include "math/stats.h"
+
+namespace uqp {
+namespace {
+
+TEST(Machine, ProfilesAreOrderedSensibly) {
+  for (const MachineProfile& p : {MachineProfile::PC1(), MachineProfile::PC2()}) {
+    EXPECT_GT(p.cr.mean, p.cs.mean) << p.name;       // random I/O >> sequential
+    EXPECT_GT(p.cs.mean, p.ct.mean) << p.name;       // I/O >> CPU
+    EXPECT_GT(p.ct.mean, p.ci.mean) << p.name;
+    EXPECT_GT(p.ci.mean, p.co.mean) << p.name;
+  }
+  // PC2 is the faster machine.
+  EXPECT_LT(MachineProfile::PC2().ct.mean, MachineProfile::PC1().ct.mean);
+  EXPECT_LT(MachineProfile::PC2().cr.mean, MachineProfile::PC1().cr.mean);
+}
+
+TEST(Machine, UnitAccessorCoversAllFive) {
+  const MachineProfile p = MachineProfile::PC1();
+  EXPECT_DOUBLE_EQ(p.unit(0).mean, p.cs.mean);
+  EXPECT_DOUBLE_EQ(p.unit(1).mean, p.cr.mean);
+  EXPECT_DOUBLE_EQ(p.unit(2).mean, p.ct.mean);
+  EXPECT_DOUBLE_EQ(p.unit(3).mean, p.ci.mean);
+  EXPECT_DOUBLE_EQ(p.unit(4).mean, p.co.mean);
+}
+
+TEST(Machine, DeterministicPerSeed) {
+  ResourceVector work;
+  work.ns = 100;
+  work.nt = 10000;
+  SimulatedMachine a(MachineProfile::PC1(), 5);
+  SimulatedMachine b(MachineProfile::PC1(), 5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.ExecuteOnce({work}), b.ExecuteOnce({work}));
+  }
+}
+
+TEST(Machine, TimeScalesWithWork) {
+  SimulatedMachine machine(MachineProfile::PC1(), 5);
+  ResourceVector small, large;
+  small.nt = 1000;
+  large.nt = 100000;
+  const double t_small = machine.ExecuteAveraged({small}, 20);
+  const double t_large = machine.ExecuteAveraged({large}, 20);
+  EXPECT_NEAR(t_large / t_small, 100.0, 15.0);
+}
+
+TEST(Machine, RunToRunVarianceMatchesCostUnitDispersion) {
+  // A pure-c_t workload's relative run-to-run sd should be close to the
+  // c_t coefficient of variation (plus the small noise/jitter terms).
+  SimulatedMachine machine(MachineProfile::PC1(), 6);
+  ResourceVector work;
+  work.nt = 100000;
+  RunningStats stats;
+  for (int i = 0; i < 2000; ++i) stats.Add(machine.ExecuteOnce({work}));
+  const double cv = stats.stddev() / stats.mean();
+  EXPECT_NEAR(cv, MachineProfile::PC1().ct.cv, 0.04);
+}
+
+TEST(Machine, AveragingReducesDispersion) {
+  SimulatedMachine machine(MachineProfile::PC1(), 7);
+  ResourceVector work;
+  work.nr = 500;
+  RunningStats single, averaged;
+  for (int i = 0; i < 400; ++i) single.Add(machine.ExecuteOnce({work}));
+  for (int i = 0; i < 400; ++i) averaged.Add(machine.ExecuteAveraged({work}, 5));
+  EXPECT_LT(averaged.stddev(), 0.75 * single.stddev());
+  EXPECT_NEAR(averaged.mean(), single.mean(), 0.1 * single.mean());
+}
+
+TEST(Machine, BufferHitRateLowersRandomIoCost) {
+  ResourceVector work;
+  work.nr = 1000;
+  MachineProfile cold = MachineProfile::PC1();
+  cold.buffer_hit_rate = 0.0;
+  MachineProfile warm = MachineProfile::PC1();
+  warm.buffer_hit_rate = 0.9;
+  SimulatedMachine cold_machine(cold, 8);
+  SimulatedMachine warm_machine(warm, 8);
+  EXPECT_GT(cold_machine.ExecuteAveraged({work}, 30),
+            2.0 * warm_machine.ExecuteAveraged({work}, 30));
+}
+
+TEST(Machine, OverlapHidesSmallerComponent) {
+  // With full overlap the CPU time disappears under the I/O time.
+  MachineProfile no_overlap = MachineProfile::PC1();
+  no_overlap.overlap_discount = 0.0;
+  no_overlap.noise_cv = 0.0;
+  no_overlap.per_op_jitter_cv = 0.0;
+  MachineProfile full_overlap = no_overlap;
+  full_overlap.overlap_discount = 1.0;
+  ResourceVector work;
+  work.ns = 2000;   // ~100ms I/O
+  work.nt = 100000; // ~50ms CPU
+  SimulatedMachine a(no_overlap, 9);
+  SimulatedMachine b(full_overlap, 9);
+  const double ta = a.ExecuteAveraged({work}, 50);
+  const double tb = b.ExecuteAveraged({work}, 50);
+  EXPECT_GT(ta, tb * 1.2);
+}
+
+// ---------- Calibration ----------
+
+class CalibrationTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CalibrationTest, RecoversUnitMeans) {
+  const bool pc1 = std::string(GetParam()) == "PC1";
+  MachineProfile profile = pc1 ? MachineProfile::PC1() : MachineProfile::PC2();
+  SimulatedMachine machine(profile, 77);
+  Calibrator calibrator(&machine);
+  const CostUnits units = calibrator.Calibrate();
+
+  // CPU units calibrate tightly; sequential I/O within ~15%.
+  EXPECT_NEAR(units.Get(kCostTuple).mean, profile.ct.mean, 0.1 * profile.ct.mean);
+  EXPECT_NEAR(units.Get(kCostOperator).mean, profile.co.mean,
+              0.25 * profile.co.mean);
+  EXPECT_NEAR(units.Get(kCostIndexTuple).mean, profile.ci.mean,
+              0.25 * profile.ci.mean);
+  EXPECT_NEAR(units.Get(kCostSeqPage).mean, profile.cs.mean,
+              0.15 * profile.cs.mean);
+  // Random I/O calibrates BELOW the uncached truth (buffer cache absorbs
+  // part of it) but stays within a sane band.
+  EXPECT_LT(units.Get(kCostRandPage).mean, profile.cr.mean);
+  EXPECT_GT(units.Get(kCostRandPage).mean, 0.2 * profile.cr.mean);
+}
+
+TEST_P(CalibrationTest, ReportsPositiveVariances) {
+  const bool pc1 = std::string(GetParam()) == "PC1";
+  SimulatedMachine machine(pc1 ? MachineProfile::PC1() : MachineProfile::PC2(),
+                           78);
+  Calibrator calibrator(&machine);
+  const CalibrationReport report = calibrator.CalibrateWithReport();
+  for (int u = 0; u < kNumCostUnits; ++u) {
+    EXPECT_GT(report.units.Get(u).variance, 0.0) << CostUnitSymbol(u);
+    EXPECT_GE(report.samples[u].size(), 30u) << CostUnitSymbol(u);
+  }
+  // Random I/O is the most uncertain unit in relative terms.
+  const auto rel_sd = [&report](int u) {
+    return report.units.Get(u).stddev() / report.units.Get(u).mean;
+  };
+  EXPECT_GT(rel_sd(kCostRandPage), rel_sd(kCostTuple));
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, CalibrationTest,
+                         ::testing::Values("PC1", "PC2"));
+
+TEST(Calibration, MoreRepetitionsTightenTheEstimate) {
+  CalibrationOptions few, many;
+  few.repetitions_per_size = 2;
+  many.repetitions_per_size = 24;
+  double err_few = 0.0, err_many = 0.0;
+  // Average absolute error of the c_t mean across seeds.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SimulatedMachine m1(MachineProfile::PC1(), seed);
+    SimulatedMachine m2(MachineProfile::PC1(), seed);
+    err_few += std::fabs(Calibrator(&m1).Calibrate(few).Get(kCostTuple).mean -
+                         MachineProfile::PC1().ct.mean);
+    err_many += std::fabs(Calibrator(&m2).Calibrate(many).Get(kCostTuple).mean -
+                          MachineProfile::PC1().ct.mean);
+  }
+  EXPECT_LT(err_many, err_few);
+}
+
+TEST(CostUnits, WithoutVarianceZeroesOnlyVariance) {
+  CostUnits units;
+  units.Get(0) = Gaussian(1.0, 0.5);
+  units.Get(1) = Gaussian(2.0, 0.25);
+  const CostUnits stripped = units.WithoutVariance();
+  EXPECT_DOUBLE_EQ(stripped.Get(0).mean, 1.0);
+  EXPECT_DOUBLE_EQ(stripped.Get(0).variance, 0.0);
+  EXPECT_DOUBLE_EQ(stripped.Get(1).mean, 2.0);
+}
+
+TEST(CostUnits, MeanDotMatchesEq1) {
+  CostUnits units;
+  for (int u = 0; u < kNumCostUnits; ++u) {
+    units.Get(u) = Gaussian(static_cast<double>(u + 1), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(units.MeanDot(1, 1, 1, 1, 1), 1 + 2 + 3 + 4 + 5);
+}
+
+}  // namespace
+}  // namespace uqp

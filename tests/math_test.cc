@@ -1,0 +1,429 @@
+// Unit and property tests for the math substrate: RNG, Gaussian moments,
+// the paper's Lemma 4 / Lemma 8 variance formulas, rank statistics, the
+// proximity metric, NNLS, and the Zipf sampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/gaussian.h"
+#include "math/nnls.h"
+#include "math/rng.h"
+#include "math/stats.h"
+#include "math/zipf.h"
+
+namespace uqp {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.NextU64() != c.NextU64()) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformDoublesInRange) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.NextDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(11);
+  for (uint64_t n : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(n), n);
+    }
+  }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextGaussian(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng rng(19);
+  Rng fork = rng.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (rng.NextU64() == fork.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(23);
+  const auto perm = rng.Permutation(100);
+  std::vector<bool> seen(100, false);
+  for (uint32_t v : perm) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+// ---------- Gaussian ----------
+
+TEST(Gaussian, CdfBasics) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormalCdf(10.0, 10.0, 4.0), 0.5, 1e-12);
+}
+
+TEST(Gaussian, DegenerateCdf) {
+  EXPECT_EQ(NormalCdf(1.0, 2.0, 0.0), 0.0);
+  EXPECT_EQ(NormalCdf(3.0, 2.0, 0.0), 1.0);
+}
+
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, QuantileRoundTrip,
+                         ::testing::Values(1e-6, 0.001, 0.01, 0.1, 0.3, 0.5,
+                                           0.7, 0.9, 0.975, 0.999, 1.0 - 1e-6));
+
+struct MomentCase {
+  double mu;
+  double var;
+};
+
+class NormalMomentTest : public ::testing::TestWithParam<MomentCase> {};
+
+TEST_P(NormalMomentTest, MatchesMonteCarlo) {
+  const auto [mu, var] = GetParam();
+  Rng rng(101);
+  double acc[5] = {0, 0, 0, 0, 0};
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian(mu, std::sqrt(var));
+    double p = 1.0;
+    for (int k = 0; k <= 4; ++k) {
+      acc[k] += p;
+      p *= x;
+    }
+  }
+  for (int k = 1; k <= 4; ++k) {
+    const double mc = acc[k] / n;
+    const double exact = NormalMoment(mu, var, k);
+    const double tol = 0.02 * std::max(1.0, std::fabs(exact));
+    EXPECT_NEAR(mc, exact, tol) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, NormalMomentTest,
+                         ::testing::Values(MomentCase{0.0, 1.0},
+                                           MomentCase{1.0, 0.25},
+                                           MomentCase{-2.0, 4.0},
+                                           MomentCase{0.3, 0.01}));
+
+TEST(Gaussian, Lemma4QuadraticVarianceMatchesMonteCarlo) {
+  // f = b0 X^2 + b1 X + b2, X ~ N(0.4, 0.09).
+  const double b0 = 2.0, b1 = -1.0, mu = 0.4, var = 0.09;
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 400000; ++i) {
+    const double x = rng.NextGaussian(mu, std::sqrt(var));
+    stats.Add(b0 * x * x + b1 * x + 5.0);
+  }
+  EXPECT_NEAR(stats.variance(), QuadraticFormVariance(b0, b1, mu, var),
+              0.02 * stats.variance());
+}
+
+TEST(Gaussian, Lemma8BilinearVarianceMatchesMonteCarlo) {
+  // f = b0 Xl Xr + b1 Xl + b2 Xr + b3 with independent normals.
+  const double b0 = 3.0, b1 = 0.5, b2 = -2.0;
+  const double mul = 0.2, varl = 0.04, mur = 0.7, varr = 0.01;
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 400000; ++i) {
+    const double xl = rng.NextGaussian(mul, std::sqrt(varl));
+    const double xr = rng.NextGaussian(mur, std::sqrt(varr));
+    stats.Add(b0 * xl * xr + b1 * xl + b2 * xr + 1.0);
+  }
+  EXPECT_NEAR(stats.variance(),
+              BilinearFormVariance(b0, b1, b2, mul, varl, mur, varr),
+              0.02 * stats.variance());
+}
+
+TEST(Gaussian, ProductMomentsOfIndependentNormals) {
+  EXPECT_DOUBLE_EQ(ProductMean(2.0, 3.0), 6.0);
+  // Var[XY] = mul^2 varr + mur^2 varl + varl varr.
+  EXPECT_DOUBLE_EQ(ProductVariance(2.0, 0.5, 3.0, 0.25), 4.0 * 0.25 + 9.0 * 0.5 + 0.125);
+  EXPECT_DOUBLE_EQ(CovProductLeft(0.5, 3.0), 1.5);
+  EXPECT_DOUBLE_EQ(CovProductRight(2.0, 0.25), 0.5);
+}
+
+TEST(Gaussian, VarOfSquareAndCovSquareLinear) {
+  // Known identities for X ~ N(mu, var).
+  EXPECT_DOUBLE_EQ(VarOfSquare(1.0, 2.0), 2.0 * 2.0 * (2.0 + 2.0));
+  EXPECT_DOUBLE_EQ(CovSquareLinear(3.0, 0.5), 3.0);
+}
+
+TEST(Gaussian, StructOps) {
+  const Gaussian g(2.0, 9.0);
+  EXPECT_DOUBLE_EQ(g.stddev(), 3.0);
+  const Gaussian sum = g + Gaussian(1.0, 16.0);
+  EXPECT_DOUBLE_EQ(sum.mean, 3.0);
+  EXPECT_DOUBLE_EQ(sum.variance, 25.0);
+  const Gaussian affine = g.Affine(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(affine.mean, 5.0);
+  EXPECT_DOUBLE_EQ(affine.variance, 36.0);
+}
+
+// ---------- Stats ----------
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(SampleVariance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(PopulationVariance(xs), 2.0);
+}
+
+TEST(Stats, PearsonPerfectAndInverse) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> up = {2, 4, 6, 8};
+  const std::vector<double> down = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(xs, down), -1.0, 1e-12);
+  EXPECT_EQ(PearsonCorrelation(xs, {5, 5, 5, 5}), 0.0);
+}
+
+TEST(Stats, FractionalRanksWithTies) {
+  // Paper example: sigmas 4, 7, 5 -> ranks 1, 3, 2.
+  EXPECT_EQ(FractionalRanks({4, 7, 5}), (std::vector<double>{1, 3, 2}));
+  EXPECT_EQ(FractionalRanks({1, 1, 2}), (std::vector<double>{1.5, 1.5, 3}));
+}
+
+TEST(Stats, SpearmanMonotonicNonlinearIsOne) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::exp(0.2 * i));  // monotone but very nonlinear
+  }
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(xs, ys), 0.95);
+}
+
+TEST(Stats, SpearmanRobustToOutlier) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 1000};
+  std::vector<double> ys = {2, 1, 4, 3, 6, 5, 8, 7, 10, 2000};
+  const double rs = SpearmanCorrelation(xs, ys);
+  const double rp = PearsonCorrelation(xs, ys);
+  EXPECT_GT(rp, 0.999);  // dominated by the outlier
+  // Rank view is not fooled: exact value 1 - 6*8/990 for this data.
+  EXPECT_NEAR(rs, 0.9515, 0.001);
+  EXPECT_LT(rs, rp);
+}
+
+TEST(Stats, FitLineRecoversSlope) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 7.0);
+  }
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+}
+
+TEST(Stats, ProximityOfCalibratedNormalErrorsIsSmall) {
+  // If normalized errors are |N(0,1)| draws, Pr_n tracks Pr and D_n ~ 0.
+  Rng rng(5);
+  std::vector<double> normalized;
+  for (int i = 0; i < 5000; ++i) {
+    normalized.push_back(std::fabs(rng.NextGaussian()));
+  }
+  const ProximityResult r = ComputeProximity(normalized);
+  EXPECT_LT(r.dn, 0.02);
+}
+
+TEST(Stats, ProximityOfUnderestimatedVarianceIsLarge) {
+  // Errors twice as large as claimed -> clear distributional mismatch.
+  Rng rng(6);
+  std::vector<double> normalized;
+  for (int i = 0; i < 5000; ++i) {
+    normalized.push_back(std::fabs(2.5 * rng.NextGaussian()));
+  }
+  const ProximityResult r = ComputeProximity(normalized);
+  EXPECT_GT(r.dn, 0.15);
+}
+
+TEST(Stats, Figure5GridMatchesPaper) {
+  const auto grid = Figure5AlphaGrid();
+  EXPECT_EQ(grid.size(), 16u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.1);
+  EXPECT_DOUBLE_EQ(grid.back(), 4.0);
+}
+
+// ---------- NNLS ----------
+
+TEST(Nnls, UnconstrainedExactFit) {
+  // y = 2x + 1 fits exactly; both coefficients "free".
+  NnlsProblem p;
+  p.rows = 4;
+  p.cols = 2;
+  p.nonnegative = {false, false};
+  for (double x : {0.0, 1.0, 2.0, 3.0}) {
+    p.a.insert(p.a.end(), {x, 1.0});
+    p.y.push_back(2.0 * x + 1.0);
+  }
+  auto result = SolveNnls(p);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->coefficients[0], 2.0, 1e-8);
+  EXPECT_NEAR(result->coefficients[1], 1.0, 1e-8);
+  EXPECT_NEAR(result->residual_norm, 0.0, 1e-8);
+}
+
+TEST(Nnls, NonnegativityClampsNegativeSlope) {
+  // Best unconstrained slope is negative; constrained solution must have
+  // slope exactly 0 and intercept = mean(y).
+  NnlsProblem p;
+  p.rows = 4;
+  p.cols = 2;
+  p.nonnegative = {true, false};
+  for (double x : {0.0, 1.0, 2.0, 3.0}) {
+    p.a.insert(p.a.end(), {x, 1.0});
+    p.y.push_back(10.0 - 2.0 * x);
+  }
+  auto result = SolveNnls(p);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->coefficients[0], 0.0, 1e-10);
+  EXPECT_NEAR(result->coefficients[1], 7.0, 1e-8);
+}
+
+TEST(Nnls, FreeConstantCanGoNegative) {
+  NnlsProblem p;
+  p.rows = 3;
+  p.cols = 2;
+  p.nonnegative = {true, false};
+  for (double x : {1.0, 2.0, 3.0}) {
+    p.a.insert(p.a.end(), {x, 1.0});
+    p.y.push_back(4.0 * x - 2.0);
+  }
+  auto result = SolveNnls(p);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->coefficients[0], 4.0, 1e-8);
+  EXPECT_NEAR(result->coefficients[1], -2.0, 1e-8);
+}
+
+TEST(Nnls, QuadraticRecoveryWithScaling) {
+  // Columns spanning orders of magnitude (selectivity-like).
+  NnlsProblem p;
+  p.rows = 9;
+  p.cols = 3;
+  p.nonnegative = {true, true, false};
+  for (int i = 0; i <= 8; ++i) {
+    const double x = 1e-4 + 1e-4 * i;
+    p.a.insert(p.a.end(), {x * x, x, 1.0});
+    p.y.push_back(5e7 * x * x + 3e4 * x + 11.0);
+  }
+  auto result = SolveNnls(p);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->coefficients[0], 5e7, 5e7 * 1e-4);
+  EXPECT_NEAR(result->coefficients[1], 3e4, 3e4 * 1e-3);
+  EXPECT_NEAR(result->coefficients[2], 11.0, 0.05);
+}
+
+TEST(Nnls, FullyConstrainedClassicCase) {
+  // Classic NNLS sanity: all coefficients nonnegative.
+  auto result = SolveNnls({1.0, 0.0, 0.0, 1.0, 1.0, 1.0}, 3, 2, {2.0, 3.0, 5.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->coefficients[0], 0.0);
+  EXPECT_GE(result->coefficients[1], 0.0);
+}
+
+TEST(Nnls, ShapeErrors) {
+  NnlsProblem p;
+  p.rows = 0;
+  p.cols = 2;
+  EXPECT_FALSE(SolveNnls(p).ok());
+  p.rows = 2;
+  p.cols = 2;
+  p.a = {1, 2, 3};  // wrong size
+  p.y = {1, 2};
+  EXPECT_FALSE(SolveNnls(p).ok());
+}
+
+// ---------- Zipf ----------
+
+TEST(Zipf, UniformWhenZIsZero) {
+  ZipfDistribution z(10, 0.0);
+  for (uint64_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(z.Pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution z(100, 1.0);
+  double sum = 0.0;
+  for (uint64_t k = 0; k < 100; ++k) sum += z.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, SkewConcentratesMassOnSmallRanks) {
+  ZipfDistribution z(1000, 1.0);
+  EXPECT_GT(z.Pmf(0), 10.0 * z.Pmf(99));
+  Rng rng(3);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Sample(&rng) < 10) ++head;
+  }
+  // Under uniform the head would get ~1%; under z=1 it gets far more.
+  EXPECT_GT(static_cast<double>(head) / n, 0.2);
+}
+
+TEST(Zipf, SamplesMatchPmf) {
+  ZipfDistribution z(5, 1.0);
+  Rng rng(4);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(z.Sample(&rng))];
+  for (uint64_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.Pmf(k), 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace uqp

@@ -1,0 +1,201 @@
+// Tests for the MICRO / SELJOIN / TPCH workload generators: every
+// generated query must plan and execute, and the workloads must have the
+// structural properties the paper's benchmarks rely on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/tpch.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "workload/common.h"
+
+namespace uqp {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(MakeTpchDatabase(TpchConfig::Profile("tiny")));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+
+  static std::vector<Plan> PlanAll(std::vector<WorkloadQuery> queries) {
+    std::vector<Plan> plans;
+    for (auto& q : queries) {
+      auto plan = OptimizePlan(std::move(q.logical), *db_);
+      EXPECT_TRUE(plan.ok()) << q.name << ": " << plan.status().ToString();
+      if (plan.ok()) plans.push_back(std::move(plan).value());
+    }
+    return plans;
+  }
+};
+Database* WorkloadTest::db_ = nullptr;
+
+TEST_F(WorkloadTest, MicroQueriesAllExecute) {
+  MicroOptions options;
+  options.selection_queries = 24;
+  options.join_queries = 16;
+  auto queries = MakeMicroWorkload(*db_, options);
+  EXPECT_GE(queries.size(), 36u);
+  Executor executor(db_);
+  for (Plan& plan : PlanAll(std::move(queries))) {
+    auto result = executor.Execute(plan, ExecOptions{});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+}
+
+TEST_F(WorkloadTest, MicroSelectionsSpanSelectivitySpace) {
+  MicroOptions options;
+  options.selection_queries = 32;
+  options.join_queries = 0;
+  auto queries = MakeMicroWorkload(*db_, options);
+  Executor executor(db_);
+  double min_sel = 1.0, max_sel = 0.0;
+  for (Plan& plan : PlanAll(std::move(queries))) {
+    auto result = executor.Execute(plan, ExecOptions{});
+    ASSERT_TRUE(result.ok());
+    const double sel = result->ops[0].selectivity();
+    min_sel = std::min(min_sel, sel);
+    max_sel = std::max(max_sel, sel);
+  }
+  // Picasso-style even coverage of (0, 1).
+  EXPECT_LT(min_sel, 0.15);
+  EXPECT_GT(max_sel, 0.85);
+}
+
+TEST_F(WorkloadTest, MicroJoinQueriesAreTwoWayJoins) {
+  MicroOptions options;
+  options.selection_queries = 0;
+  options.join_queries = 20;
+  auto queries = MakeMicroWorkload(*db_, options);
+  for (Plan& plan : PlanAll(std::move(queries))) {
+    int joins = 0, scans = 0;
+    for (const PlanNode* n : plan.NodesPreorder()) {
+      joins += IsJoin(n->type) ? 1 : 0;
+      scans += IsScan(n->type) ? 1 : 0;
+    }
+    EXPECT_EQ(joins, 1);
+    EXPECT_EQ(scans, 2);
+  }
+}
+
+TEST_F(WorkloadTest, SelJoinHasNoAggregatesAndDeepJoins) {
+  SelJoinOptions options;
+  options.instances_per_template = 2;
+  auto queries = MakeSelJoinWorkload(*db_, options);
+  EXPECT_EQ(queries.size(), 18u);  // 9 templates x 2
+  Executor executor(db_);
+  int max_joins = 0;
+  for (Plan& plan : PlanAll(std::move(queries))) {
+    int joins = 0;
+    for (const PlanNode* n : plan.NodesPreorder()) {
+      EXPECT_NE(n->type, OpType::kAggregate);
+      joins += IsJoin(n->type) ? 1 : 0;
+    }
+    EXPECT_GE(joins, 1);
+    max_joins = std::max(max_joins, joins);
+    auto result = executor.Execute(plan, ExecOptions{});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  EXPECT_GE(max_joins, 4);  // multi-way joins present (e.g. SJ5)
+}
+
+TEST_F(WorkloadTest, TpchTemplatesAllExecuteAndAggregate) {
+  TpchWorkloadOptions options;
+  options.instances_per_template = 1;
+  auto queries = MakeTpchWorkload(*db_, options);
+  EXPECT_EQ(queries.size(), 14u);  // the paper's 14 templates
+  std::set<std::string> names;
+  for (const auto& q : queries) names.insert(q.name);
+  EXPECT_EQ(names.size(), queries.size());
+  Executor executor(db_);
+  for (Plan& plan : PlanAll(std::move(queries))) {
+    bool has_aggregate = false;
+    for (const PlanNode* n : plan.NodesPreorder()) {
+      has_aggregate |= n->type == OpType::kAggregate;
+    }
+    EXPECT_TRUE(has_aggregate);
+    auto result = executor.Execute(plan, ExecOptions{});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GE(result->output.num_rows(), 0);
+  }
+}
+
+TEST_F(WorkloadTest, InstancesOfATemplateDiffer) {
+  TpchWorkloadOptions options;
+  options.instances_per_template = 2;
+  auto queries = MakeTpchWorkload(*db_, options);
+  // Find the two q6 instances and compare their predicates.
+  const Expr* first = nullptr;
+  for (const auto& q : queries) {
+    if (q.name.rfind("tpch_q6_", 0) != 0) continue;
+    const PlanNode* scan = q.logical.get();
+    while (scan->left != nullptr) scan = scan->left.get();
+    if (first == nullptr) {
+      first = scan->predicate.get();
+    } else {
+      EXPECT_NE(first->ToString(), scan->predicate->ToString());
+    }
+  }
+}
+
+TEST_F(WorkloadTest, DispatchByKind) {
+  EXPECT_FALSE(MakeWorkload(*db_, "micro", 1, 10).empty());
+  EXPECT_FALSE(MakeWorkload(*db_, "seljoin", 1, 9).empty());
+  EXPECT_FALSE(MakeWorkload(*db_, "tpch", 1, 14).empty());
+  EXPECT_DEATH(MakeWorkload(*db_, "nope", 1, 10), "unknown workload");
+}
+
+TEST_F(WorkloadTest, SizeHintCapsQueryCount) {
+  EXPECT_LE(MakeWorkload(*db_, "micro", 1, 12).size(), 12u);
+  EXPECT_LE(MakeWorkload(*db_, "tpch", 1, 14).size(), 14u);
+}
+
+TEST_F(WorkloadTest, DeterministicPerSeed) {
+  auto a = MakeWorkload(*db_, "seljoin", 99, 9);
+  auto b = MakeWorkload(*db_, "seljoin", 99, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    const PlanNode* sa = a[i].logical.get();
+    const PlanNode* sb = b[i].logical.get();
+    while (sa->left != nullptr) sa = sa->left.get();
+    while (sb->left != nullptr) sb = sb->left.get();
+    if (sa->predicate != nullptr && sb->predicate != nullptr) {
+      EXPECT_EQ(sa->predicate->ToString(), sb->predicate->ToString());
+    }
+  }
+}
+
+TEST_F(WorkloadTest, ConstantPickerTargetsSelectivity) {
+  Rng rng(3);
+  ConstantPicker pick(db_, &rng);
+  Executor executor(db_);
+  for (double target : {0.1, 0.5, 0.9}) {
+    Plan plan(MakeSeqScan("lineitem",
+                          pick.LessEqAtFraction("lineitem", "l_quantity", target)));
+    ASSERT_TRUE(plan.Finalize(*db_).ok());
+    auto result = executor.Execute(plan, ExecOptions{});
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->ops[0].selectivity(), target, 0.08) << target;
+  }
+}
+
+TEST_F(WorkloadTest, JoinChainBuilderTracksColumns) {
+  JoinChainBuilder chain(db_);
+  chain.Start("lineitem", nullptr)
+      .Join("orders", nullptr, {{"lineitem.l_orderkey", "o_orderkey"}});
+  const int lineitem_cols = db_->GetTable("lineitem").schema().num_columns();
+  EXPECT_EQ(chain.Col("lineitem.l_orderkey"), 0);
+  EXPECT_EQ(chain.Col("orders.o_orderkey"), lineitem_cols);
+  EXPECT_EQ(chain.Col("orders.o_custkey"), lineitem_cols + 1);
+}
+
+}  // namespace
+}  // namespace uqp

@@ -1,0 +1,141 @@
+// Service-layer throughput: single sequential predictions (the seed's
+// monolithic Predictor path, one sample run per call) versus the staged
+// PredictionService with batched execution, fingerprint dedup and
+// sample-run caching.
+//
+// The workload models a multi-user admission path: a stream of queries in
+// which each distinct plan recurs a few times (recurring dashboards /
+// templated queries), which is exactly where the service's fingerprint
+// cache converts repeated sample runs into cheap fit/combine stages.
+//
+//   build/bench/bench_service_throughput
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/predictor.h"
+#include "cost/calibration.h"
+#include "datagen/tpch.h"
+#include "engine/planner.h"
+#include "hw/machine.h"
+#include "sampling/sample_db.h"
+#include "service/prediction_service.h"
+#include "workload/common.h"
+
+using namespace uqp;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  Database db = MakeTpchDatabase(TpchConfig::Profile("tiny"));
+  SimulatedMachine machine(MachineProfile::PC1(), 23);
+  Calibrator calibrator(&machine);
+  const CostUnits units = calibrator.Calibrate();
+  SampleOptions sample_options;
+  sample_options.sampling_ratio = 0.05;
+  const SampleDb samples = SampleDb::Build(db, sample_options);
+
+  // Distinct plans from the SELJOIN templates...
+  SelJoinOptions wopts;
+  wopts.instances_per_template = 2;
+  auto queries = MakeSelJoinWorkload(db, wopts);
+  std::vector<Plan> distinct;
+  for (auto& q : queries) {
+    auto plan_or = OptimizePlan(std::move(q.logical), db);
+    if (plan_or.ok()) distinct.push_back(std::move(plan_or).value());
+  }
+  // ... each recurring kRepeats times, interleaved round-robin.
+  const int kRepeats = 4;
+  std::vector<const Plan*> stream;
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const Plan& p : distinct) stream.push_back(&p);
+  }
+  std::printf("workload: %zu predictions (%zu distinct plans x %d repeats)\n\n",
+              stream.size(), distinct.size(), kRepeats);
+
+  const int kReps = 3;
+
+  // --- baseline: sequential single-plan Predict, no service layer -------
+  // One full pipeline run (sample + fit + combine) per prediction.
+  double seq_ms = 0.0;
+  {
+    Predictor predictor(&db, &samples, units);
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const Plan* p : stream) {
+        auto pred = predictor.Predict(*p);
+        if (!pred.ok()) {
+          std::fprintf(stderr, "predict failed: %s\n",
+                       pred.status().ToString().c_str());
+          return 1;
+        }
+      }
+      seq_ms += MsSince(t0);
+    }
+    seq_ms /= kReps;
+  }
+
+  // --- service: PredictBatch, cold cache each rep -----------------------
+  // Fingerprint dedup means each distinct plan samples once per rep.
+  double batch_ms = 0.0;
+  {
+    for (int rep = 0; rep < kReps; ++rep) {
+      PredictionService service(&db, &samples, units);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto results = service.PredictBatch(stream);
+      batch_ms += MsSince(t0);
+      for (const auto& r : results) {
+        if (!r.ok()) {
+          std::fprintf(stderr, "batch predict failed: %s\n",
+                       r.status().ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    batch_ms /= kReps;
+  }
+
+  // --- service: hot cache (recurring plans already sampled) -------------
+  double hot_ms = 0.0;
+  {
+    PredictionService service(&db, &samples, units);
+    auto warm = service.PredictBatch(stream);  // populate the cache
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto results = service.PredictBatch(stream);
+      hot_ms += MsSince(t0);
+      for (const auto& r : results) {
+        if (!r.ok()) return 1;
+      }
+    }
+    hot_ms /= kReps;
+  }
+
+  const double n = static_cast<double>(stream.size());
+  const double seq_qps = 1000.0 * n / seq_ms;
+  const double batch_qps = 1000.0 * n / batch_ms;
+  const double hot_qps = 1000.0 * n / hot_ms;
+  std::printf("%-38s %10s %14s %8s\n", "mode", "ms/stream", "predictions/s",
+              "speedup");
+  std::printf("%-38s %10.1f %14.1f %8s\n", "sequential Predict (no service)",
+              seq_ms, seq_qps, "1.00x");
+  std::printf("%-38s %10.1f %14.1f %7.2fx\n",
+              "PredictBatch (cold cache, dedup)", batch_ms, batch_qps,
+              batch_qps / seq_qps);
+  std::printf("%-38s %10.1f %14.1f %7.2fx\n", "PredictBatch (hot cache)",
+              hot_ms, hot_qps, hot_qps / seq_qps);
+
+  const bool pass = batch_qps >= 2.0 * seq_qps;
+  std::printf("\nbatched/sequential = %.2fx (target >= 2x): %s\n",
+              batch_qps / seq_qps, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -12,12 +12,12 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/predictor.h"
 #include "cost/calibration.h"
 #include "datagen/tpch.h"
 #include "engine/planner.h"
 #include "hw/machine.h"
 #include "sampling/sample_db.h"
+#include "service/prediction_service.h"
 #include "workload/common.h"
 
 using namespace uqp;
@@ -30,7 +30,10 @@ int main() {
   SampleOptions sample_options;
   sample_options.sampling_ratio = 0.05;
   const SampleDb samples = SampleDb::Build(db, sample_options);
-  Predictor predictor(&db, &samples, units);
+  // Admission decisions arrive one query at a time, so this example uses
+  // the service's single-plan path; the fingerprint cache still makes
+  // recurring queries nearly free to re-evaluate.
+  PredictionService service(&db, &samples, units);
   Executor executor(&db);
 
   // A mixed workload of 36 selection-join queries.
@@ -51,7 +54,7 @@ int main() {
     auto plan_or = OptimizePlan(std::move(q.logical), db);
     if (!plan_or.ok()) continue;
     const Plan plan = std::move(plan_or).value();
-    auto pred_or = predictor.Predict(plan);
+    auto pred_or = service.Predict(plan);
     if (!pred_or.ok()) continue;
     const Prediction& pred = *pred_or;
 
@@ -93,5 +96,11 @@ int main() {
               dist.admitted, dist.violations, dist.rejected_ok);
   std::printf("\nThe distribution-aware policy declines the high-variance "
               "queries whose deadline is a coin flip, cutting violations.\n");
+
+  const ServiceStats stats = service.stats();
+  std::printf("\nservice: %llu predictions, %llu sample runs, %llu cache hits\n",
+              static_cast<unsigned long long>(stats.predictions),
+              static_cast<unsigned long long>(stats.sample_runs),
+              static_cast<unsigned long long>(stats.cache_hits));
   return 0;
 }

@@ -12,13 +12,13 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/predictor.h"
 #include "cost/calibration.h"
 #include "datagen/tpch.h"
 #include "engine/planner.h"
 #include "hw/machine.h"
 #include "math/gaussian.h"
 #include "sampling/sample_db.h"
+#include "service/prediction_service.h"
 #include "workload/common.h"
 
 using namespace uqp;
@@ -51,25 +51,35 @@ int main() {
   SampleOptions sample_options;
   sample_options.sampling_ratio = 0.05;
   const SampleDb samples = SampleDb::Build(db, sample_options);
-  Predictor predictor(&db, &samples, units);
+  // The scheduler predicts its whole queue at once: PredictBatch shards
+  // the staged pipeline across the service's worker pool and dedupes
+  // repeated plans by fingerprint.
+  PredictionService service(&db, &samples, units);
   Executor executor(&db);
 
   // Build a pool of candidate jobs from the SELJOIN workload.
   SelJoinOptions wopts;
   wopts.instances_per_template = 3;
   auto queries = MakeSelJoinWorkload(db, wopts);
-  std::vector<Job> jobs;
-  Rng rng(5);
+  std::vector<Plan> plans;
+  std::vector<std::string> names;
   for (auto& q : queries) {
     auto plan_or = OptimizePlan(std::move(q.logical), db);
     if (!plan_or.ok()) continue;
-    const Plan plan = std::move(plan_or).value();
-    auto pred = predictor.Predict(plan);
-    auto full = executor.Execute(plan, ExecOptions{});
-    if (!pred.ok() || !full.ok()) continue;
+    plans.push_back(std::move(plan_or).value());
+    names.push_back(q.name);
+  }
+
+  const auto predictions = service.PredictBatch(plans);
+  std::vector<Job> jobs;
+  Rng rng(5);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (!predictions[i].ok()) continue;
+    auto full = executor.Execute(plans[i], ExecOptions{});
+    if (!full.ok()) continue;
     Job job;
-    job.name = q.name;
-    job.time = pred->distribution();
+    job.name = names[i];
+    job.time = predictions[i]->distribution();
     job.actual = machine.ExecuteOnce(*full);
     jobs.push_back(job);
   }

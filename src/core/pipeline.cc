@@ -1,0 +1,89 @@
+#include "core/pipeline.h"
+
+#include <cmath>
+#include <utility>
+
+#include "math/gaussian.h"
+
+namespace uqp {
+
+double Prediction::ProbBelow(double t) const {
+  return NormalCdf(t, breakdown.mean, breakdown.variance);
+}
+
+void Prediction::ConfidenceInterval(double level, double* lo, double* hi) const {
+  const double alpha = NormalQuantile(0.5 + 0.5 * level);
+  const double sd = stddev();
+  *lo = breakdown.mean - alpha * sd;
+  *hi = breakdown.mean + alpha * sd;
+}
+
+StatusOr<SampleRunOutput> SampleRunStage::Run(const SampleRunInput& input) const {
+  if (input.plan == nullptr) return Status::InvalidArgument("null plan");
+  SampleRunOutput out;
+  UQP_ASSIGN_OR_RETURN(out.estimates, estimator_.Estimate(*input.plan));
+  return out;
+}
+
+StatusOr<CostFitOutput> CostFitStage::Run(const CostFitInput& input) const {
+  if (input.plan == nullptr || input.sample_run == nullptr) {
+    return Status::InvalidArgument("cost-fit stage needs a plan and a sample run");
+  }
+  CostFitOutput out;
+  UQP_ASSIGN_OR_RETURN(
+      out.cost_functions,
+      fitter_.FitPlan(*input.plan, input.sample_run->estimates));
+  return out;
+}
+
+VarianceCombineOutput VarianceCombineStage::Run(
+    const VarianceCombineInput& input) const {
+  const VarianceEngine engine(&input.sample_run->estimates,
+                              &input.cost_fit->cost_functions, &units_,
+                              input.variant, input.bound);
+  VarianceCombineOutput out;
+  out.breakdown = engine.Compute();
+  return out;
+}
+
+StatusOr<Prediction> PredictionPipeline::Predict(const Plan& plan) const {
+  SampleRunInput in;
+  in.plan = &plan;
+  UQP_ASSIGN_OR_RETURN(SampleRunOutput sample_run, sample_run_.Run(in));
+  return PredictFromSampleRun(plan, sample_run);
+}
+
+StatusOr<Prediction> PredictionPipeline::PredictFromSampleRun(
+    const Plan& plan, const SampleRunOutput& sample_run) const {
+  CostFitInput fit_in;
+  fit_in.plan = &plan;
+  fit_in.sample_run = &sample_run;
+  UQP_ASSIGN_OR_RETURN(CostFitOutput cost_fit, cost_fit_.Run(fit_in));
+  return PredictFromArtifacts(sample_run, cost_fit);
+}
+
+Prediction PredictionPipeline::PredictFromArtifacts(
+    const SampleRunOutput& sample_run, const CostFitOutput& cost_fit) const {
+  VarianceCombineInput var_in;
+  var_in.sample_run = &sample_run;
+  var_in.cost_fit = &cost_fit;
+  var_in.variant = options_.variant;
+  var_in.bound = options_.bound;
+  const VarianceCombineOutput combined = variance_combine_.Run(var_in);
+
+  Prediction out;
+  out.breakdown = combined.breakdown;
+  out.estimates = sample_run.estimates;
+  out.cost_functions = cost_fit.cost_functions;
+  return out;
+}
+
+VarianceBreakdown PredictionPipeline::Recompute(const Prediction& prediction,
+                                                PredictorVariant variant,
+                                                CovarianceBoundKind bound) const {
+  const VarianceEngine engine(&prediction.estimates, &prediction.cost_functions,
+                              &units_, variant, bound);
+  return engine.Compute();
+}
+
+}  // namespace uqp

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/status.h"
+#include "core/variance.h"
+#include "cost/units.h"
+#include "costfunc/fitter.h"
+#include "engine/plan.h"
+#include "sampling/estimator.h"
+#include "sampling/sample_db.h"
+#include "storage/database.h"
+
+namespace uqp {
+
+/// Predictor configuration (shared by the facade and the pipeline).
+struct PredictorOptions {
+  PredictorVariant variant = PredictorVariant::kAll;
+  CovarianceBoundKind bound = CovarianceBoundKind::kBest;
+  /// How aggregate cardinalities are estimated (kGee enables the §3.2.2
+  /// future-work extension).
+  AggregateEstimateMode aggregate_mode = AggregateEstimateMode::kOptimizer;
+  /// How scan selectivities are estimated (kHistogram enables the §3.2
+  /// histogram alternative).
+  ScanEstimateMode scan_mode = ScanEstimateMode::kSampling;
+  FitOptions fit;
+};
+
+/// A prediction: the distribution of likely running times plus the
+/// intermediate artifacts, for diagnostics and the experiment harness.
+struct Prediction {
+  VarianceBreakdown breakdown;
+
+  double mean() const { return breakdown.mean; }
+  double stddev() const { return std::sqrt(std::max(0.0, breakdown.variance)); }
+  Gaussian distribution() const { return breakdown.AsGaussian(); }
+
+  /// P(T <= t) under the predicted normal.
+  double ProbBelow(double t) const;
+  /// Central confidence interval [lo, hi] at the given level (e.g. 0.7
+  /// gives the paper's "with probability 70%, between lo and hi").
+  void ConfidenceInterval(double level, double* lo, double* hi) const;
+
+  PlanEstimates estimates;
+  std::vector<OperatorCostFunctions> cost_functions;
+};
+
+// ---------------------------------------------------------------------------
+// The prediction pipeline, staged. Each stage has explicit input/output
+// structs so stages can be cached (the service layer caches SampleRunStage
+// outputs by plan fingerprint), swapped (ablations re-run only
+// VarianceCombineStage), and tested in isolation.
+//
+//   Plan ──> SampleRunStage ──> CostFitStage ──> VarianceCombineStage ──> N(μ,σ²)
+//            (Algorithms 1-2)    (§4 fitting)     (§5 / Algorithm 3)
+// ---------------------------------------------------------------------------
+
+/// Input to stage 1: a finalized physical plan.
+struct SampleRunInput {
+  const Plan* plan = nullptr;
+};
+
+/// Output of stage 1: the selectivity distributions extracted from one run
+/// of the plan over the offline sample tables. This is by far the most
+/// expensive artifact of a prediction and the unit of caching.
+struct SampleRunOutput {
+  PlanEstimates estimates;
+};
+
+/// Stage 1: run the plan over the sample tables once, extracting every
+/// operator's selectivity distribution (paper Algorithms 1-2).
+class SampleRunStage {
+ public:
+  SampleRunStage(const Database* db, const SampleDb* samples,
+                 AggregateEstimateMode aggregate_mode,
+                 ScanEstimateMode scan_mode)
+      : estimator_(db, samples, aggregate_mode, scan_mode) {}
+
+  StatusOr<SampleRunOutput> Run(const SampleRunInput& input) const;
+
+ private:
+  SamplingEstimator estimator_;
+};
+
+/// Input to stage 2: the plan plus stage 1's output.
+struct CostFitInput {
+  const Plan* plan = nullptr;
+  const SampleRunOutput* sample_run = nullptr;
+};
+
+/// Output of stage 2: per-operator fitted logical cost functions.
+struct CostFitOutput {
+  std::vector<OperatorCostFunctions> cost_functions;
+};
+
+/// Stage 2: fit the logical cost functions around the likely selectivity
+/// ranges (paper §4).
+class CostFitStage {
+ public:
+  CostFitStage(const Database* db, FitOptions options)
+      : fitter_(db, options) {}
+
+  StatusOr<CostFitOutput> Run(const CostFitInput& input) const;
+
+ private:
+  CostFunctionFitter fitter_;
+};
+
+/// Input to stage 3: stages 1-2 outputs plus the variant/bound knobs. The
+/// knobs live in the input (not the stage) so ablations can re-run this
+/// stage alone under different settings against cached artifacts.
+struct VarianceCombineInput {
+  const SampleRunOutput* sample_run = nullptr;
+  const CostFitOutput* cost_fit = nullptr;
+  PredictorVariant variant = PredictorVariant::kAll;
+  CovarianceBoundKind bound = CovarianceBoundKind::kBest;
+};
+
+/// Output of stage 3: the predicted running-time distribution.
+struct VarianceCombineOutput {
+  VarianceBreakdown breakdown;
+};
+
+/// Stage 3: combine the fitted cost functions, selectivity distributions
+/// and calibrated cost-unit distributions into N(E[t_q], Var[t_q])
+/// (paper §5, Algorithm 3). Infallible and cheap. Owns its copy of the
+/// calibrated units, so stages and pipelines stay freely copyable.
+class VarianceCombineStage {
+ public:
+  explicit VarianceCombineStage(CostUnits units) : units_(units) {}
+
+  VarianceCombineOutput Run(const VarianceCombineInput& input) const;
+
+ private:
+  CostUnits units_;
+};
+
+/// The composed three-stage pipeline. `Predictor` is a thin facade over
+/// this; `PredictionService` drives the stages individually so it can cache
+/// stage 1 and shard stages 2-3 across workers.
+class PredictionPipeline {
+ public:
+  PredictionPipeline(const Database* db, const SampleDb* samples,
+                     CostUnits units, PredictorOptions options)
+      : units_(units),
+        options_(options),
+        sample_run_(db, samples, options.aggregate_mode, options.scan_mode),
+        cost_fit_(db, options.fit),
+        variance_combine_(units) {}
+
+  const CostUnits& units() const { return units_; }
+  const PredictorOptions& options() const { return options_; }
+
+  const SampleRunStage& sample_run_stage() const { return sample_run_; }
+  const CostFitStage& cost_fit_stage() const { return cost_fit_; }
+  const VarianceCombineStage& variance_combine_stage() const {
+    return variance_combine_;
+  }
+
+  /// All three stages in sequence.
+  StatusOr<Prediction> Predict(const Plan& plan) const;
+
+  /// Stages 2-3 only, from a pre-computed (possibly cached) stage 1
+  /// output. Bit-identical to Predict when `sample_run` came from the same
+  /// plan: every stage is deterministic.
+  StatusOr<Prediction> PredictFromSampleRun(
+      const Plan& plan, const SampleRunOutput& sample_run) const;
+
+  /// Stage 3 only, from pre-computed stage 1-2 outputs (the fully cached
+  /// path: a recurring plan re-runs just the variance combination).
+  Prediction PredictFromArtifacts(const SampleRunOutput& sample_run,
+                                  const CostFitOutput& cost_fit) const;
+
+  /// Stage 3 only, under a different variant/bound (ablation reuse).
+  VarianceBreakdown Recompute(const Prediction& prediction,
+                              PredictorVariant variant,
+                              CovarianceBoundKind bound) const;
+
+ private:
+  CostUnits units_;
+  PredictorOptions options_;
+  SampleRunStage sample_run_;
+  CostFitStage cost_fit_;
+  VarianceCombineStage variance_combine_;
+};
+
+}  // namespace uqp

@@ -1,88 +1,48 @@
 #pragma once
 
-#include <vector>
-
 #include "common/status.h"
-#include "core/variance.h"
-#include "cost/units.h"
-#include "costfunc/fitter.h"
+#include "core/pipeline.h"
 #include "engine/plan.h"
-#include "sampling/estimator.h"
-#include "sampling/sample_db.h"
-#include "storage/database.h"
 
 namespace uqp {
 
-/// Predictor configuration.
-struct PredictorOptions {
-  PredictorVariant variant = PredictorVariant::kAll;
-  CovarianceBoundKind bound = CovarianceBoundKind::kBest;
-  /// How aggregate cardinalities are estimated (kGee enables the §3.2.2
-  /// future-work extension).
-  AggregateEstimateMode aggregate_mode = AggregateEstimateMode::kOptimizer;
-  /// How scan selectivities are estimated (kHistogram enables the §3.2
-  /// histogram alternative).
-  ScanEstimateMode scan_mode = ScanEstimateMode::kSampling;
-  FitOptions fit;
-};
-
-/// A prediction: the distribution of likely running times plus the
-/// intermediate artifacts, for diagnostics and the experiment harness.
-struct Prediction {
-  VarianceBreakdown breakdown;
-
-  double mean() const { return breakdown.mean; }
-  double stddev() const { return std::sqrt(std::max(0.0, breakdown.variance)); }
-  Gaussian distribution() const { return breakdown.AsGaussian(); }
-
-  /// P(T <= t) under the predicted normal.
-  double ProbBelow(double t) const;
-  /// Central confidence interval [lo, hi] at the given level (e.g. 0.7
-  /// gives the paper's "with probability 70%, between lo and hi").
-  void ConfidenceInterval(double level, double* lo, double* hi) const;
-
-  PlanEstimates estimates;
-  std::vector<OperatorCostFunctions> cost_functions;
-};
-
 /// The uncertainty-aware query execution time predictor (the paper's core
-/// contribution). Pipeline per query:
-///   1. run the plan over the offline sample tables once, extracting every
-///      operator's selectivity distribution (Algorithms 1-2),
-///   2. fit the logical cost functions around the likely selectivity
-///      ranges (§4),
-///   3. combine with the calibrated cost-unit distributions into
-///      N(E[t_q], Var[t_q]) (§5, Algorithm 3).
+/// contribution). A thin facade over the staged PredictionPipeline:
+///   1. SampleRunStage — run the plan over the offline sample tables once,
+///      extracting every operator's selectivity distribution (Algs. 1-2),
+///   2. CostFitStage — fit the logical cost functions around the likely
+///      selectivity ranges (§4),
+///   3. VarianceCombineStage — combine with the calibrated cost-unit
+///      distributions into N(E[t_q], Var[t_q]) (§5, Algorithm 3).
+///
+/// `PredictorOptions` and `Prediction` live in core/pipeline.h; callers
+/// that want stage-level control (caching, sharding) should use
+/// PredictionPipeline or the service layer's PredictionService directly.
 class Predictor {
  public:
   Predictor(const Database* db, const SampleDb* samples, CostUnits units,
             PredictorOptions options = PredictorOptions())
-      : db_(db),
-        samples_(samples),
-        units_(units),
-        options_(options),
-        estimator_(db, samples, options.aggregate_mode, options.scan_mode),
-        fitter_(db, options.fit) {}
+      : pipeline_(db, samples, units, options) {}
 
-  const CostUnits& units() const { return units_; }
-  const PredictorOptions& options() const { return options_; }
+  const CostUnits& units() const { return pipeline_.units(); }
+  const PredictorOptions& options() const { return pipeline_.options(); }
+  const PredictionPipeline& pipeline() const { return pipeline_; }
 
-  /// Full prediction.
-  StatusOr<Prediction> Predict(const Plan& plan) const;
+  /// Full prediction (all three stages).
+  StatusOr<Prediction> Predict(const Plan& plan) const {
+    return pipeline_.Predict(plan);
+  }
 
   /// Re-derives the distribution from existing artifacts under a different
   /// variant/bound (used by the ablation benches to avoid re-sampling).
   VarianceBreakdown Recompute(const Prediction& prediction,
                               PredictorVariant variant,
-                              CovarianceBoundKind bound) const;
+                              CovarianceBoundKind bound) const {
+    return pipeline_.Recompute(prediction, variant, bound);
+  }
 
  private:
-  const Database* db_;
-  const SampleDb* samples_;
-  CostUnits units_;
-  PredictorOptions options_;
-  SamplingEstimator estimator_;
-  CostFunctionFitter fitter_;
+  PredictionPipeline pipeline_;
 };
 
 }  // namespace uqp

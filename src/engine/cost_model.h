@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "engine/plan.h"
 
 namespace uqp {

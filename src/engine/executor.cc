@@ -14,9 +14,7 @@ namespace {
 
 uint64_t HashKeys(RowRef row, const std::vector<int>& cols) {
   uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (int c : cols) {
-    h ^= row[c].Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  }
+  for (int c : cols) h = HashMix64(h, row[c].Hash());
   return h;
 }
 
@@ -79,6 +77,7 @@ class ExecContext {
 
   bool prov() const { return options_.collect_provenance; }
   const EngineConfig& engine() const { return options_.engine; }
+  int64_t batch() const { return std::max<int64_t>(1, options_.max_batch_size); }
 
   OpStats& stats(const PlanNode& node) {
     return stats_[static_cast<size_t>(node.id)];
@@ -142,6 +141,58 @@ class NodeRunner {
     out->values.insert(out->values.end(), row.data, row.data + row.num_columns);
   }
 
+  /// Appends the rows of a contiguous chunk whose selection-mask lane is
+  /// set, bulk-copying consecutive runs of survivors; provenance ids are
+  /// base + lane (row indexes of the source table).
+  void AppendSelected(RowBlock* out, const Value* rows, int ncols, int64_t n,
+                      const uint8_t* mask, int64_t base) {
+    int64_t i = 0;
+    while (i < n) {
+      if (mask[i] == 0) {
+        ++i;
+        continue;
+      }
+      int64_t j = i + 1;
+      while (j < n && mask[j] != 0) ++j;
+      out->values.insert(out->values.end(), rows + i * ncols, rows + j * ncols);
+      if (out->prov_width > 0) {
+        for (int64_t r = i; r < j; ++r) {
+          out->prov.push_back(static_cast<uint32_t>(base + r));
+        }
+      }
+      i = j;
+    }
+  }
+
+  /// Assembles one join output row directly in the output block: appends
+  /// lrow then rrow, evaluates the residual predicate in place (rolling
+  /// back on reject, charging `quals` ops), then appends provenance.
+  void AppendJoinRow(RowBlock* out, int out_cols, const RowBlock& left,
+                     int64_t l, const RowBlock& right, int64_t r,
+                     const PlanNode& node, int quals, OpStats* st) {
+    const RowRef lrow = left.row(l);
+    const RowRef rrow = right.row(r);
+    const size_t row_start = out->values.size();
+    out->values.insert(out->values.end(), lrow.data,
+                       lrow.data + lrow.num_columns);
+    out->values.insert(out->values.end(), rrow.data,
+                       rrow.data + rrow.num_columns);
+    if (node.predicate != nullptr) {
+      st->actual.no += quals;
+      const RowRef jrow{out->values.data() + row_start, out_cols};
+      if (!EvalPredicate(*node.predicate, jrow)) {
+        out->values.resize(row_start);
+        return;
+      }
+    }
+    if (ctx_->prov()) {
+      const uint32_t* lp = left.prov_row(l);
+      const uint32_t* rp = right.prov_row(r);
+      out->prov.insert(out->prov.end(), lp, lp + left.prov_width);
+      out->prov.insert(out->prov.end(), rp, rp + right.prov_width);
+    }
+  }
+
   StatusOr<RowBlock> RunSeqScan(const PlanNode& node) {
     const Table& src = ctx_->SourceTable(node);
     OpStats& st = ctx_->stats(node);
@@ -157,13 +208,28 @@ class NodeRunner {
     st.actual.ns += static_cast<double>(src.num_pages());
     st.actual.nt += static_cast<double>(rows);
     st.actual.no += static_cast<double>(rows) * quals;
-    for (int64_t r = 0; r < rows; ++r) {
-      const RowRef row = src.row(r);
-      if (node.predicate != nullptr && !EvalPredicate(*node.predicate, row)) {
-        continue;
+
+    const int ncols = out.schema.num_columns();
+    const Value* data = src.raw_values().data();
+    if (node.predicate == nullptr) {
+      out.values.assign(data, data + rows * ncols);
+      if (out.prov_width > 0) {
+        out.prov.resize(static_cast<size_t>(rows));
+        for (int64_t r = 0; r < rows; ++r) {
+          out.prov[static_cast<size_t>(r)] = static_cast<uint32_t>(r);
+        }
       }
-      AppendOutputRow(&out, row);
-      if (ctx_->prov()) out.prov.push_back(static_cast<uint32_t>(r));
+    } else {
+      // Filter in chunks: evaluate the predicate column-at-a-time into a
+      // selection mask, then copy survivors in runs.
+      const int64_t chunk = ctx_->batch();
+      std::vector<uint8_t> mask(static_cast<size_t>(std::min(chunk, rows)));
+      for (int64_t base = 0; base < rows; base += chunk) {
+        const int64_t nb = std::min(chunk, rows - base);
+        const Value* chunk_rows = data + base * ncols;
+        EvalPredicateBatch(*node.predicate, chunk_rows, ncols, nb, mask.data());
+        AppendSelected(&out, chunk_rows, ncols, nb, mask.data(), base);
+      }
     }
     st.out_rows = static_cast<double>(out.num_rows());
     return out;
@@ -242,42 +308,47 @@ class NodeRunner {
       rcols.push_back(r);
     }
 
-    // Build on the right input.
+    const int64_t chunk = ctx_->batch();
+    std::vector<uint64_t> hashes(static_cast<size_t>(
+        std::min(chunk, std::max(left.num_rows(), right.num_rows()))));
+
+    // Build on the right input, hashing a chunk of keys at a time.
     std::unordered_map<uint64_t, std::vector<uint32_t>> table;
     table.reserve(static_cast<size_t>(right.num_rows()) * 2 + 16);
-    for (int64_t r = 0; r < right.num_rows(); ++r) {
-      table[HashKeys(right.row(r), rcols)].push_back(static_cast<uint32_t>(r));
-      st.actual.no += 1.0;  // build-side hash op
+    for (int64_t base = 0; base < right.num_rows(); base += chunk) {
+      const int64_t nb = std::min(chunk, right.num_rows() - base);
+      for (int64_t i = 0; i < nb; ++i) {
+        hashes[static_cast<size_t>(i)] = HashKeys(right.row(base + i), rcols);
+      }
+      for (int64_t i = 0; i < nb; ++i) {
+        table[hashes[static_cast<size_t>(i)]].push_back(
+            static_cast<uint32_t>(base + i));
+      }
+      st.actual.no += static_cast<double>(nb);  // build-side hash ops
     }
 
     RowBlock out;
     out.schema = node.output_schema;
     out.prov_width = ctx_->prov() ? left.prov_width + right.prov_width : 0;
     const int quals = PredicateOpCount(node.predicate.get());
-    std::vector<Value> joined(static_cast<size_t>(out.schema.num_columns()));
-    for (int64_t l = 0; l < left.num_rows(); ++l) {
-      const RowRef lrow = left.row(l);
-      st.actual.no += 1.0;  // probe-side hash op
-      auto it = table.find(HashKeys(lrow, lcols));
-      if (it == table.end()) continue;
-      for (uint32_t r : it->second) {
-        st.actual.no += 1.0;  // chain visit / key compare
-        const RowRef rrow = right.row(r);
-        if (!KeysEqual(lrow, lcols, rrow, rcols)) continue;
-        std::copy(lrow.data, lrow.data + lrow.num_columns, joined.begin());
-        std::copy(rrow.data, rrow.data + rrow.num_columns,
-                  joined.begin() + lrow.num_columns);
-        const RowRef jrow{joined.data(), out.schema.num_columns()};
-        if (node.predicate != nullptr) {
-          st.actual.no += quals;
-          if (!EvalPredicate(*node.predicate, jrow)) continue;
-        }
-        out.values.insert(out.values.end(), joined.begin(), joined.end());
-        if (ctx_->prov()) {
-          const uint32_t* lp = left.prov_row(l);
-          const uint32_t* rp = right.prov_row(r);
-          out.prov.insert(out.prov.end(), lp, lp + left.prov_width);
-          out.prov.insert(out.prov.end(), rp, rp + right.prov_width);
+    const int out_cols = out.schema.num_columns();
+    // Probe in chunks: hash a chunk of probe keys, then walk the chains,
+    // assembling join rows directly in the output block.
+    for (int64_t base = 0; base < left.num_rows(); base += chunk) {
+      const int64_t nb = std::min(chunk, left.num_rows() - base);
+      for (int64_t i = 0; i < nb; ++i) {
+        hashes[static_cast<size_t>(i)] = HashKeys(left.row(base + i), lcols);
+      }
+      st.actual.no += static_cast<double>(nb);  // probe-side hash ops
+      for (int64_t i = 0; i < nb; ++i) {
+        auto it = table.find(hashes[static_cast<size_t>(i)]);
+        if (it == table.end()) continue;
+        const int64_t l = base + i;
+        const RowRef lrow = left.row(l);
+        for (uint32_t r : it->second) {
+          st.actual.no += 1.0;  // chain visit / key compare
+          if (!KeysEqual(lrow, lcols, right.row(r), rcols)) continue;
+          AppendJoinRow(&out, out_cols, left, l, right, r, node, quals, &st);
         }
       }
     }
@@ -312,7 +383,7 @@ class NodeRunner {
     out.schema = node.output_schema;
     out.prov_width = ctx_->prov() ? left.prov_width + right.prov_width : 0;
     const int quals = PredicateOpCount(node.predicate.get());
-    std::vector<Value> joined(static_cast<size_t>(out.schema.num_columns()));
+    const int out_cols = out.schema.num_columns();
 
     int64_t li = 0, ri = 0;
     const int64_t ln = left.num_rows(), rn = right.num_rows();
@@ -341,24 +412,8 @@ class NodeRunner {
         ++re;
       }
       for (int64_t a = li; a < le; ++a) {
-        const RowRef lrow = left.row(a);
         for (int64_t b = ri; b < re; ++b) {
-          const RowRef rrow = right.row(b);
-          std::copy(lrow.data, lrow.data + lrow.num_columns, joined.begin());
-          std::copy(rrow.data, rrow.data + rrow.num_columns,
-                    joined.begin() + lrow.num_columns);
-          const RowRef jrow{joined.data(), out.schema.num_columns()};
-          if (node.predicate != nullptr) {
-            st.actual.no += quals;
-            if (!EvalPredicate(*node.predicate, jrow)) continue;
-          }
-          out.values.insert(out.values.end(), joined.begin(), joined.end());
-          if (ctx_->prov()) {
-            const uint32_t* lp = left.prov_row(a);
-            const uint32_t* rp = right.prov_row(b);
-            out.prov.insert(out.prov.end(), lp, lp + left.prov_width);
-            out.prov.insert(out.prov.end(), rp, rp + right.prov_width);
-          }
+          AppendJoinRow(&out, out_cols, left, a, right, b, node, quals, &st);
         }
       }
       li = le;
@@ -388,28 +443,16 @@ class NodeRunner {
     out.schema = node.output_schema;
     out.prov_width = ctx_->prov() ? left.prov_width + right.prov_width : 0;
     const int quals = PredicateOpCount(node.predicate.get());
-    std::vector<Value> joined(static_cast<size_t>(out.schema.num_columns()));
+    const int out_cols = out.schema.num_columns();
+    const int64_t rn = right.num_rows();
     for (int64_t l = 0; l < left.num_rows(); ++l) {
       const RowRef lrow = left.row(l);
-      for (int64_t r = 0; r < right.num_rows(); ++r) {
-        st.actual.no += 1.0;  // per-pair key comparison
-        const RowRef rrow = right.row(r);
-        if (!lcols.empty() && !KeysEqual(lrow, lcols, rrow, rcols)) continue;
-        std::copy(lrow.data, lrow.data + lrow.num_columns, joined.begin());
-        std::copy(rrow.data, rrow.data + rrow.num_columns,
-                  joined.begin() + lrow.num_columns);
-        const RowRef jrow{joined.data(), out.schema.num_columns()};
-        if (node.predicate != nullptr) {
-          st.actual.no += quals;
-          if (!EvalPredicate(*node.predicate, jrow)) continue;
+      st.actual.no += static_cast<double>(rn);  // per-pair key comparisons
+      for (int64_t r = 0; r < rn; ++r) {
+        if (!lcols.empty() && !KeysEqual(lrow, lcols, right.row(r), rcols)) {
+          continue;
         }
-        out.values.insert(out.values.end(), joined.begin(), joined.end());
-        if (ctx_->prov()) {
-          const uint32_t* lp = left.prov_row(l);
-          const uint32_t* rp = right.prov_row(r);
-          out.prov.insert(out.prov.end(), lp, lp + left.prov_width);
-          out.prov.insert(out.prov.end(), rp, rp + right.prov_width);
-        }
+        AppendJoinRow(&out, out_cols, left, l, right, r, node, quals, &st);
       }
     }
     st.out_rows = static_cast<double>(out.num_rows());

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -62,6 +63,13 @@ struct ExecOptions {
   /// Keep a copy of every operator's output block (sampling-estimation
   /// runs post-process them into the Q_{k,j,n} counters).
   bool retain_intermediates = false;
+  /// Rows per inner-loop chunk: filters and join probes process their
+  /// input in RowBlock chunks of at most this many rows (vectorized-style
+  /// batched execution — predicates evaluate column-at-a-time into a
+  /// selection mask, survivors are copied in runs). 1 reproduces the
+  /// historical tuple-at-a-time loop; output and counters are identical
+  /// for every value.
+  int64_t max_batch_size = 1024;
   EngineConfig engine;
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -153,6 +155,138 @@ bool EvalPredicate(const Expr& e, RowRef row) {
   return false;
 }
 
+namespace {
+
+/// How a comparison node combines into the chunk mask.
+enum class MaskMode {
+  kFill,    ///< mask[i] = p(i)
+  kNarrow,  ///< mask[i] &= p(i), lanes already clear are skipped (AND)
+  kWiden,   ///< mask[i] |= p(i), lanes already set are skipped (OR)
+};
+
+template <typename RowPred>
+void ApplyMask(MaskMode mode, int64_t n, uint8_t* mask, RowPred pred) {
+  switch (mode) {
+    case MaskMode::kFill:
+      for (int64_t i = 0; i < n; ++i) mask[i] = pred(i) ? 1 : 0;
+      break;
+    case MaskMode::kNarrow:
+      for (int64_t i = 0; i < n; ++i) {
+        if (mask[i] != 0 && !pred(i)) mask[i] = 0;
+      }
+      break;
+    case MaskMode::kWiden:
+      for (int64_t i = 0; i < n; ++i) {
+        if (mask[i] == 0 && pred(i)) mask[i] = 1;
+      }
+      break;
+  }
+}
+
+void EvalBatchImpl(const Expr& e, const Value* rows, int stride, int64_t n,
+                   uint8_t* mask, MaskMode mode) {
+  switch (e.kind) {
+    case Expr::Kind::kCmp: {
+      const Value& c = e.constant;
+      const Value* col = rows + e.column;
+      auto cell = [col, stride](int64_t i) -> const Value& {
+        return col[i * stride];
+      };
+      switch (e.op) {
+        case CmpOp::kEq:
+          ApplyMask(mode, n, mask, [&](int64_t i) { return cell(i).Equals(c); });
+          break;
+        case CmpOp::kNe:
+          ApplyMask(mode, n, mask, [&](int64_t i) { return !cell(i).Equals(c); });
+          break;
+        case CmpOp::kLt:
+          ApplyMask(mode, n, mask,
+                    [&](int64_t i) { return cell(i).Compare(c) < 0; });
+          break;
+        case CmpOp::kLe:
+          ApplyMask(mode, n, mask,
+                    [&](int64_t i) { return cell(i).Compare(c) <= 0; });
+          break;
+        case CmpOp::kGt:
+          ApplyMask(mode, n, mask,
+                    [&](int64_t i) { return cell(i).Compare(c) > 0; });
+          break;
+        case CmpOp::kGe:
+          ApplyMask(mode, n, mask,
+                    [&](int64_t i) { return cell(i).Compare(c) >= 0; });
+          break;
+      }
+      return;
+    }
+    case Expr::Kind::kCmpCol: {
+      const Value* a = rows + e.column;
+      const Value* b = rows + e.column2;
+      auto cmp3 = [a, b, stride](int64_t i) {
+        return a[i * stride].Compare(b[i * stride]);
+      };
+      switch (e.op) {
+        case CmpOp::kEq:
+          ApplyMask(mode, n, mask, [&](int64_t i) { return cmp3(i) == 0; });
+          break;
+        case CmpOp::kNe:
+          ApplyMask(mode, n, mask, [&](int64_t i) { return cmp3(i) != 0; });
+          break;
+        case CmpOp::kLt:
+          ApplyMask(mode, n, mask, [&](int64_t i) { return cmp3(i) < 0; });
+          break;
+        case CmpOp::kLe:
+          ApplyMask(mode, n, mask, [&](int64_t i) { return cmp3(i) <= 0; });
+          break;
+        case CmpOp::kGt:
+          ApplyMask(mode, n, mask, [&](int64_t i) { return cmp3(i) > 0; });
+          break;
+        case CmpOp::kGe:
+          ApplyMask(mode, n, mask, [&](int64_t i) { return cmp3(i) >= 0; });
+          break;
+      }
+      return;
+    }
+    case Expr::Kind::kAnd:
+      if (mode == MaskMode::kWiden) {
+        // mask |= (a AND b): materialize the conjunction in a scratch mask.
+        std::vector<uint8_t> tmp(static_cast<size_t>(n));
+        EvalBatchImpl(*e.lhs, rows, stride, n, tmp.data(), MaskMode::kFill);
+        EvalBatchImpl(*e.rhs, rows, stride, n, tmp.data(), MaskMode::kNarrow);
+        for (int64_t i = 0; i < n; ++i) mask[i] |= tmp[static_cast<size_t>(i)];
+        return;
+      }
+      EvalBatchImpl(*e.lhs, rows, stride, n, mask, mode);
+      EvalBatchImpl(*e.rhs, rows, stride, n, mask, MaskMode::kNarrow);
+      return;
+    case Expr::Kind::kOr:
+      if (mode == MaskMode::kNarrow) {
+        // mask &= (a OR b): materialize the disjunction in a scratch mask.
+        std::vector<uint8_t> tmp(static_cast<size_t>(n));
+        EvalBatchImpl(*e.lhs, rows, stride, n, tmp.data(), MaskMode::kFill);
+        EvalBatchImpl(*e.rhs, rows, stride, n, tmp.data(), MaskMode::kWiden);
+        for (int64_t i = 0; i < n; ++i) mask[i] &= tmp[static_cast<size_t>(i)];
+        return;
+      }
+      EvalBatchImpl(*e.lhs, rows, stride, n, mask, mode);
+      EvalBatchImpl(*e.rhs, rows, stride, n, mask, MaskMode::kWiden);
+      return;
+    case Expr::Kind::kNot: {
+      std::vector<uint8_t> tmp(static_cast<size_t>(n));
+      EvalBatchImpl(*e.lhs, rows, stride, n, tmp.data(), MaskMode::kFill);
+      ApplyMask(mode, n, mask,
+                [&](int64_t i) { return tmp[static_cast<size_t>(i)] == 0; });
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void EvalPredicateBatch(const Expr& e, const Value* rows, int stride,
+                        int64_t n, uint8_t* mask) {
+  EvalBatchImpl(e, rows, stride, n, mask, MaskMode::kFill);
+}
+
 int PredicateOpCount(const Expr* e) {
   if (e == nullptr) return 0;
   switch (e->kind) {
@@ -166,6 +300,33 @@ int PredicateOpCount(const Expr* e) {
       return PredicateOpCount(e->lhs.get());
   }
   return 0;
+}
+
+uint64_t ExprFingerprint(const Expr* e) {
+  if (e == nullptr) return 0x9ae16a3b2f90404fULL;  // null-predicate tag
+  uint64_t h = 0xc3a5c85c97cb3127ULL;
+  h = HashMix64(h, static_cast<uint64_t>(e->kind));
+  switch (e->kind) {
+    case Expr::Kind::kCmp:
+      h = HashMix64(h, static_cast<uint64_t>(e->op));
+      h = HashMix64(h, static_cast<uint64_t>(e->column));
+      h = HashMix64(h, e->constant.Hash());
+      break;
+    case Expr::Kind::kCmpCol:
+      h = HashMix64(h, static_cast<uint64_t>(e->op));
+      h = HashMix64(h, static_cast<uint64_t>(e->column));
+      h = HashMix64(h, static_cast<uint64_t>(e->column2));
+      break;
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      h = HashMix64(h, ExprFingerprint(e->lhs.get()));
+      h = HashMix64(h, ExprFingerprint(e->rhs.get()));
+      break;
+    case Expr::Kind::kNot:
+      h = HashMix64(h, ExprFingerprint(e->lhs.get()));
+      break;
+  }
+  return h;
 }
 
 bool TryExtractRange(const Expr* e, int column, double* lo, double* hi) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -54,8 +55,25 @@ struct Expr {
 /// Evaluates a predicate against a row.
 bool EvalPredicate(const Expr& e, RowRef row);
 
+/// Vectorized predicate evaluation over a contiguous chunk of `n` rows
+/// laid out row-major with `stride` values per row:
+///   mask[i] = e(rows + i * stride)   for i in [0, n).
+/// Column-at-a-time: each comparison node runs one tight loop over the
+/// chunk instead of the per-row tree walk of EvalPredicate. ANDs narrow
+/// the mask (right side only probes lanes still set), ORs widen it, so a
+/// chunk evaluates the same comparisons the scalar path would up to
+/// short-circuit granularity. Semantically identical to calling
+/// EvalPredicate per row (predicates are pure).
+void EvalPredicateBatch(const Expr& e, const Value* rows, int stride,
+                        int64_t n, uint8_t* mask);
+
 /// Number of comparison nodes (CPU operations charged per tuple).
 int PredicateOpCount(const Expr* e);
+
+/// Structural 64-bit fingerprint: kind, operator, columns and constants,
+/// recursively. Stable within a process (string constants hash by interned
+/// pool id); null hashes to a fixed tag. Used by PlanFingerprint.
+uint64_t ExprFingerprint(const Expr* e);
 
 /// Remaps column indexes by adding `offset` (used when pushing predicates
 /// above a join whose left side contributes `offset` columns).

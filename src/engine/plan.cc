@@ -291,4 +291,41 @@ std::unique_ptr<PlanNode> ClonePlanTree(const PlanNode& node) {
   return n;
 }
 
+namespace {
+
+uint64_t NodeFingerprint(const PlanNode& node) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  h = HashMix64(h, static_cast<uint64_t>(node.type));
+  for (char c : node.table_name) {
+    h = HashMix64(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  h = HashMix64(h, ExprFingerprint(node.predicate.get()));
+  h = HashMix64(h, static_cast<uint64_t>(node.index_column) + 1);
+  for (const auto& [l, r] : node.join_keys) {
+    h = HashMix64(h, (static_cast<uint64_t>(l) << 32) |
+                              static_cast<uint64_t>(static_cast<uint32_t>(r)));
+  }
+  for (int c : node.sort_columns) h = HashMix64(h, 0x5000 + c);
+  for (int c : node.group_columns) h = HashMix64(h, 0x6000 + c);
+  for (const AggSpec& a : node.aggregates) {
+    h = HashMix64(h, static_cast<uint64_t>(a.kind));
+    h = HashMix64(h, static_cast<uint64_t>(a.column) + 1);
+  }
+  // Distinct tags for left/right keep the tree shape in the hash.
+  if (node.left != nullptr) {
+    h = HashMix64(h, 0xa1b2c3d4e5f60718ULL ^ NodeFingerprint(*node.left));
+  }
+  if (node.right != nullptr) {
+    h = HashMix64(h, 0x18f6e5d4c3b2a190ULL ^ NodeFingerprint(*node.right));
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t PlanFingerprint(const Plan& plan) {
+  if (plan.root() == nullptr) return 0;
+  return NodeFingerprint(*plan.root());
+}
+
 }  // namespace uqp

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -137,5 +138,14 @@ std::unique_ptr<PlanNode> MakeMaterialize(std::unique_ptr<PlanNode> child);
 
 /// Deep copy of a plan subtree (derived fields reset).
 std::unique_ptr<PlanNode> ClonePlanTree(const PlanNode& node);
+
+/// Structural 64-bit fingerprint of a finalized plan: operator types and
+/// tree shape, table names, predicates, join keys, sort/group columns and
+/// aggregate specs. Two plans with the same fingerprint execute the same
+/// physical query, so their sample-run artifacts are interchangeable —
+/// this is the cache key of the service layer. (A 64-bit hash: collisions
+/// are possible in principle but need ~2³² distinct cached plans to
+/// become likely.)
+uint64_t PlanFingerprint(const Plan& plan);
 
 }  // namespace uqp

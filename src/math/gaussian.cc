@@ -1,18 +1,17 @@
 #include "math/gaussian.h"
 
 #include <cmath>
-#include <numbers>
 
 #include "common/logging.h"
 
 namespace uqp {
 
 double NormalPdf(double x) {
-  static const double kInvSqrt2Pi = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+  static const double kInvSqrt2Pi = 1.0 / std::sqrt(2.0 * kPi);
   return kInvSqrt2Pi * std::exp(-0.5 * x * x);
 }
 
-double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / kSqrt2); }
 
 double NormalCdf(double x, double mean, double variance) {
   if (variance <= 0.0) return x >= mean ? 1.0 : 0.0;
@@ -52,7 +51,7 @@ double NormalQuantile(double p) {
   }
   // One step of Halley refinement for extra accuracy.
   const double e = NormalCdf(x) - p;
-  const double u = e * std::sqrt(2.0 * std::numbers::pi) * std::exp(0.5 * x * x);
+  const double u = e * std::sqrt(2.0 * kPi) * std::exp(0.5 * x * x);
   x = x - u / (1.0 + 0.5 * x * u);
   return x;
 }

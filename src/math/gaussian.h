@@ -4,6 +4,10 @@
 
 namespace uqp {
 
+/// Shared math constants (C++17: no std::numbers).
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+inline constexpr double kSqrt2 = 1.414213562373095048801688724209698079;
+
 /// A (possibly degenerate) normal distribution N(mean, variance).
 ///
 /// This is the core numeric object of the predictor: selectivities,

@@ -1,9 +1,9 @@
 #include "math/rng.h"
 
 #include <cmath>
-#include <numbers>
 
 #include "common/logging.h"
+#include "math/gaussian.h"
 
 namespace uqp {
 
@@ -73,7 +73,7 @@ double Rng::NextGaussian() {
   } while (u1 <= 0.0);
   const double u2 = NextDouble();
   const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
+  const double theta = 2.0 * kPi * u2;
   cached_gaussian_ = r * std::sin(theta);
   has_cached_gaussian_ = true;
   return r * std::cos(theta);

@@ -94,8 +94,7 @@ StatusOr<PlanEstimates> SamplingEstimator::Estimate(const Plan& plan) const {
           for (int64_t r = 0; r < input.num_rows(); ++r) {
             uint64_t h = 0x9e3779b97f4a7c15ULL;
             for (int c : node->group_columns) {
-              h ^= input.row(r)[c].Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) +
-                   (h >> 2);
+              h = HashMix64(h, input.row(r)[c].Hash());
             }
             counter.Add(h);
           }

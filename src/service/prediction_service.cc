@@ -1,0 +1,248 @@
+#include "service/prediction_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace uqp {
+
+namespace {
+
+/// Shared state of one ParallelFor: workers and the calling thread pull
+/// indexes from `next` until exhausted; the last finisher wakes the caller.
+struct ParallelState {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t total = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void Pull() {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= total) return;
+      (*fn)(i);
+      if (done.fetch_add(1) + 1 == total) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+PredictionService::PredictionService(const Database* db, const SampleDb* samples,
+                                     CostUnits units, ServiceOptions options)
+    : pipeline_(db, samples, units, options.predictor), options_(options) {
+  int n = options_.num_workers;
+  if (n <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = static_cast<int>(std::min(4u, std::max(1u, hw)));
+  }
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back(&PredictionService::WorkerLoop, this);
+  }
+}
+
+PredictionService::~PredictionService() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void PredictionService::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      pool_cv_.wait(lock, [&] { return shutdown_ || !pool_queue_.empty(); });
+      if (pool_queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(pool_queue_.back());
+      pool_queue_.pop_back();
+    }
+    task();
+  }
+}
+
+void PredictionService::ParallelFor(size_t n,
+                                    const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<ParallelState>();
+  state->total = n;
+  state->fn = &fn;  // outlives the call: we wait for completion below
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    for (size_t i = 0; i < helpers; ++i) {
+      pool_queue_.push_back([state] { state->Pull(); });
+    }
+  }
+  pool_cv_.notify_all();
+  state->Pull();  // the calling thread shards too
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
+}
+
+PredictionService::Artifacts PredictionService::CacheGet(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_index_.find(fingerprint);
+  if (it == cache_index_.end()) return Artifacts{};
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return it->second->artifacts;
+}
+
+void PredictionService::CachePut(uint64_t fingerprint, Artifacts artifacts) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_index_.find(fingerprint);
+  if (it != cache_index_.end()) {
+    // A concurrent miss on the same plan got here first; both artifacts
+    // are identical (deterministic stages), keep the incumbent.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(CacheEntry{fingerprint, std::move(artifacts)});
+  cache_index_[fingerprint] = lru_.begin();
+  while (lru_.size() > options_.cache_capacity) {
+    cache_index_.erase(lru_.back().fingerprint);
+    lru_.pop_back();
+  }
+}
+
+void PredictionService::InvalidateCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  lru_.clear();
+  cache_index_.clear();
+}
+
+StatusOr<PredictionService::Artifacts> PredictionService::GetArtifacts(
+    const Plan& plan, uint64_t fingerprint) {
+  const bool use_cache = options_.cache_capacity > 0;
+  Artifacts artifacts;
+  if (use_cache) {
+    artifacts = CacheGet(fingerprint);
+    if (artifacts.run != nullptr && artifacts.fit != nullptr) {
+      cache_hits_.fetch_add(1);
+      return artifacts;
+    }
+    cache_misses_.fetch_add(1);
+  }
+  if (artifacts.run == nullptr) {
+    sample_runs_.fetch_add(1);
+    SampleRunInput input;
+    input.plan = &plan;
+    UQP_ASSIGN_OR_RETURN(SampleRunOutput out,
+                         pipeline_.sample_run_stage().Run(input));
+    artifacts.run = std::make_shared<const SampleRunOutput>(std::move(out));
+  }
+  if (artifacts.fit == nullptr) {
+    fit_runs_.fetch_add(1);
+    CostFitInput input;
+    input.plan = &plan;
+    input.sample_run = artifacts.run.get();
+    UQP_ASSIGN_OR_RETURN(CostFitOutput fit, pipeline_.cost_fit_stage().Run(input));
+    artifacts.fit = std::make_shared<const CostFitOutput>(std::move(fit));
+  }
+  if (use_cache) CachePut(fingerprint, artifacts);
+  return artifacts;
+}
+
+StatusOr<Prediction> PredictionService::Predict(const Plan& plan) {
+  predictions_.fetch_add(1);
+  UQP_ASSIGN_OR_RETURN(Artifacts artifacts,
+                       GetArtifacts(plan, PlanFingerprint(plan)));
+  return pipeline_.PredictFromArtifacts(*artifacts.run, *artifacts.fit);
+}
+
+std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
+    const Plan* const* plans, size_t count) {
+  batch_calls_.fetch_add(1);
+  std::vector<StatusOr<Prediction>> results;
+  results.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    results.emplace_back(Status::Internal("prediction not yet computed"));
+  }
+  if (count == 0) return results;
+  predictions_.fetch_add(count);
+
+  // Dedup: plans sharing a fingerprint share one sample run.
+  std::vector<uint64_t> fingerprints(count);
+  std::unordered_map<uint64_t, size_t> group_of;  // fingerprint -> group id
+  std::vector<size_t> representative;             // group id -> plan index
+  for (size_t i = 0; i < count; ++i) {
+    fingerprints[i] = PlanFingerprint(*plans[i]);
+    if (group_of.emplace(fingerprints[i], representative.size()).second) {
+      representative.push_back(i);
+    }
+  }
+
+  // Stages 1-2 (through the cache) once per distinct plan, sharded.
+  std::vector<Artifacts> artifacts(representative.size());
+  std::vector<Status> group_status(representative.size());
+  const std::function<void(size_t)> stages12 = [&](size_t g) {
+    const size_t rep = representative[g];
+    auto artifacts_or = GetArtifacts(*plans[rep], fingerprints[rep]);
+    if (artifacts_or.ok()) {
+      artifacts[g] = std::move(artifacts_or).value();
+    } else {
+      group_status[g] = artifacts_or.status();
+    }
+  };
+  ParallelFor(representative.size(), stages12);
+
+  // Stage 3 per plan, sharded.
+  const std::function<void(size_t)> stage3 = [&](size_t i) {
+    const size_t g = group_of.at(fingerprints[i]);
+    if (!group_status[g].ok()) {
+      results[i] = group_status[g];
+      return;
+    }
+    results[i] =
+        pipeline_.PredictFromArtifacts(*artifacts[g].run, *artifacts[g].fit);
+  };
+  ParallelFor(count, stage3);
+  return results;
+}
+
+std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
+    const std::vector<const Plan*>& plans) {
+  return PredictBatch(plans.data(), plans.size());
+}
+
+std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
+    const std::vector<Plan>& plans) {
+  std::vector<const Plan*> ptrs;
+  ptrs.reserve(plans.size());
+  for (const Plan& p : plans) ptrs.push_back(&p);
+  return PredictBatch(ptrs.data(), ptrs.size());
+}
+
+VarianceBreakdown PredictionService::Recompute(const Prediction& prediction,
+                                               PredictorVariant variant,
+                                               CovarianceBoundKind bound) const {
+  return pipeline_.Recompute(prediction, variant, bound);
+}
+
+ServiceStats PredictionService::stats() const {
+  ServiceStats out;
+  out.predictions = predictions_.load();
+  out.batch_calls = batch_calls_.load();
+  out.sample_runs = sample_runs_.load();
+  out.fit_runs = fit_runs_.load();
+  out.cache_hits = cache_hits_.load();
+  out.cache_misses = cache_misses_.load();
+  return out;
+}
+
+}  // namespace uqp

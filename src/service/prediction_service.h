@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "engine/plan.h"
+
+namespace uqp {
+
+/// Configuration of the prediction service.
+struct ServiceOptions {
+  /// Worker threads for PredictBatch sharding. 0 sizes the pool to the
+  /// hardware concurrency, capped at 4 — prediction sits on the admission
+  /// path and must not monopolize the machine it gates.
+  int num_workers = 0;
+  /// Capacity of the sample-run cache (distinct plan fingerprints held);
+  /// 0 disables caching entirely.
+  size_t cache_capacity = 256;
+  PredictorOptions predictor;
+};
+
+/// Monotonic counters exposed for tests and monitoring.
+struct ServiceStats {
+  uint64_t predictions = 0;   ///< predictions served (single + batched)
+  uint64_t batch_calls = 0;   ///< PredictBatch invocations
+  uint64_t sample_runs = 0;   ///< SampleRunStage executions (stage 1)
+  uint64_t fit_runs = 0;      ///< CostFitStage executions (stage 2)
+  uint64_t cache_hits = 0;    ///< predictions served entirely from cache
+  uint64_t cache_misses = 0;  ///< cache lookups that had to run stages
+};
+
+/// Thread-safe, concurrent front end to the prediction pipeline — the
+/// piece that lets the predictor sit on the admission path of a
+/// multi-user system instead of being re-instantiated per query.
+///
+///   - Predict(plan): one prediction on the calling thread.
+///   - PredictBatch(plans): shards stage work across a small worker pool.
+///
+/// Both paths cache per-plan stage artifacts in an LRU keyed by plan
+/// fingerprint: the SampleRunStage output (the expensive artifact — one
+/// execution of the plan over the sample tables) together with the
+/// CostFitStage output derived from it (both are deterministic functions
+/// of the plan). A batch first dedupes its plans by fingerprint so each
+/// distinct plan runs stages 1-2 at most once; repeated predictions of a
+/// recurring query re-run only the cheap variance combination, and
+/// ablation-style re-derivations go through Recompute without any
+/// re-sampling. Every stage is deterministic, so cached, batched and
+/// sequential predictions are bit-identical.
+class PredictionService {
+ public:
+  PredictionService(const Database* db, const SampleDb* samples,
+                    CostUnits units, ServiceOptions options = ServiceOptions());
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  const PredictionPipeline& pipeline() const { return pipeline_; }
+  const ServiceOptions& options() const { return options_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Full prediction of one plan, on the calling thread. Safe to call
+  /// concurrently from any number of threads.
+  StatusOr<Prediction> Predict(const Plan& plan);
+
+  /// Predicts every plan in the span, sharding across the worker pool
+  /// (the calling thread participates). Results are positional; each plan
+  /// gets its own Status. Bit-identical to calling Predict sequentially.
+  std::vector<StatusOr<Prediction>> PredictBatch(const Plan* const* plans,
+                                                 size_t count);
+  std::vector<StatusOr<Prediction>> PredictBatch(
+      const std::vector<const Plan*>& plans);
+  std::vector<StatusOr<Prediction>> PredictBatch(const std::vector<Plan>& plans);
+
+  /// Re-derives the distribution of an existing prediction under a
+  /// different variant/bound without re-running any stage (the ablation /
+  /// variant re-derivation path).
+  VarianceBreakdown Recompute(const Prediction& prediction,
+                              PredictorVariant variant,
+                              CovarianceBoundKind bound) const;
+
+  /// Snapshot of the service counters.
+  ServiceStats stats() const;
+
+  /// Drops every cached sample run (e.g. after samples are rebuilt).
+  void InvalidateCache();
+
+ private:
+  using SampleRunPtr = std::shared_ptr<const SampleRunOutput>;
+  using CostFitPtr = std::shared_ptr<const CostFitOutput>;
+
+  /// The cached (shared, immutable) stage 1-2 artifacts of one plan.
+  struct Artifacts {
+    SampleRunPtr run;
+    CostFitPtr fit;
+  };
+
+  /// Cache lookup; empty pointers on miss.
+  Artifacts CacheGet(uint64_t fingerprint);
+  /// Inserts; on a lost race the incumbent wins (identical artifacts).
+  void CachePut(uint64_t fingerprint, Artifacts artifacts);
+
+  /// Stages 1-2 through the cache: returns the shared artifacts for the
+  /// plan, running the missing stages on a miss.
+  StatusOr<Artifacts> GetArtifacts(const Plan& plan, uint64_t fingerprint);
+
+  /// Runs `fn(i)` for i in [0, n) across the worker pool, the calling
+  /// thread included; returns when all indexes are done.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  void WorkerLoop();
+
+  PredictionPipeline pipeline_;
+  ServiceOptions options_;
+
+  // ----- stage-artifact LRU cache -----
+  mutable std::mutex cache_mu_;
+  struct CacheEntry {
+    uint64_t fingerprint = 0;
+    Artifacts artifacts;
+  };
+  std::list<CacheEntry> lru_;  ///< front = most recently used
+  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_index_;
+
+  // ----- worker pool -----
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::vector<std::thread> workers_;
+  std::vector<std::function<void()>> pool_queue_;
+  bool shutdown_ = false;
+
+  // ----- counters -----
+  std::atomic<uint64_t> predictions_{0};
+  std::atomic<uint64_t> batch_calls_{0};
+  std::atomic<uint64_t> sample_runs_{0};
+  std::atomic<uint64_t> fit_runs_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+};
+
+}  // namespace uqp

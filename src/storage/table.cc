@@ -27,7 +27,30 @@ void Table::AppendRow(const Value* row) {
   values_.insert(values_.end(), row, row + schema_.num_columns());
 }
 
+Table& Table::operator=(const Table& other) {
+  if (this == &other) return *this;
+  std::lock_guard<std::mutex> lock(other.index_mu_);
+  name_ = other.name_;
+  schema_ = other.schema_;
+  values_ = other.values_;
+  declared_indexes_ = other.declared_indexes_;
+  ordered_indexes_ = other.ordered_indexes_;
+  return *this;
+}
+
+Table& Table::operator=(Table&& other) {
+  if (this == &other) return *this;
+  std::lock_guard<std::mutex> lock(other.index_mu_);
+  name_ = std::move(other.name_);
+  schema_ = std::move(other.schema_);
+  values_ = std::move(other.values_);
+  declared_indexes_ = std::move(other.declared_indexes_);
+  ordered_indexes_ = std::move(other.ordered_indexes_);
+  return *this;
+}
+
 const std::vector<uint32_t>& Table::OrderedIndex(int column) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = ordered_indexes_.find(column);
   if (it != ordered_indexes_.end()) return it->second;
   const int64_t rows = num_rows();

@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/schema.h"
@@ -31,6 +33,13 @@ class Table {
   Table() = default;
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // Copy/move are explicit because of the index-build mutex: the data and
+  // any already-built indexes transfer, the new table gets a fresh mutex.
+  Table(const Table& other) { *this = other; }
+  Table& operator=(const Table& other);
+  Table(Table&& other) { *this = std::move(other); }
+  Table& operator=(Table&& other);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -67,7 +76,10 @@ class Table {
 
   /// Returns (building lazily) a B-tree-like ordered index on a numeric
   /// column: row ids sorted ascending by the column value. Used by the
-  /// index-scan operator.
+  /// index-scan operator. Thread-safe: concurrent sample runs in the
+  /// service layer may race to first use of an index; the build is
+  /// serialized and the returned reference stays valid (map nodes are
+  /// stable and entries are never erased).
   const std::vector<uint32_t>& OrderedIndex(int column) const;
 
   /// True if an ordered index has been declared for the column. Indexes are
@@ -83,6 +95,8 @@ class Table {
   Schema schema_;
   std::vector<Value> values_;
   std::map<int, bool> declared_indexes_;
+  /// Guards the lazy build of ordered_indexes_ (see OrderedIndex).
+  mutable std::mutex index_mu_;
   mutable std::map<int, std::vector<uint32_t>> ordered_indexes_;
 };
 

@@ -89,4 +89,12 @@ struct Value {
 
 static_assert(sizeof(Value) == 16, "Value must stay a compact 16-byte cell");
 
+/// Mixes one 64-bit value into a running hash (golden-ratio combine).
+/// The single mixing function behind multi-column row hashing (joins,
+/// grouping) and the structural expr/plan fingerprints.
+inline uint64_t HashMix64(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
 }  // namespace uqp

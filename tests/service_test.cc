@@ -1,0 +1,251 @@
+// Tests for the service layer: PredictionService must serve batched,
+// cached and concurrent predictions that are bit-identical to the
+// sequential single-plan path, skip the sample run on fingerprint cache
+// hits, and stay race-free under multi-threaded load.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/predictor.h"
+#include "cost/calibration.h"
+#include "datagen/tpch.h"
+#include "engine/plan.h"
+#include "engine/planner.h"
+#include "hw/machine.h"
+#include "sampling/sample_db.h"
+#include "service/prediction_service.h"
+#include "workload/common.h"
+
+namespace uqp {
+namespace {
+
+/// Shared fixture: a tiny TPC-H database, samples, calibrated units and a
+/// pool of optimized selection-join plans.
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(MakeTpchDatabase(TpchConfig::Profile("tiny")));
+    SampleOptions sample_options;
+    sample_options.sampling_ratio = 0.05;
+    samples_ = new SampleDb(SampleDb::Build(*db_, sample_options));
+    SimulatedMachine machine(MachineProfile::PC1(), 17);
+    Calibrator calibrator(&machine);
+    units_ = new CostUnits(calibrator.Calibrate());
+
+    plans_ = new std::vector<Plan>();
+    SelJoinOptions wopts;
+    wopts.instances_per_template = 2;
+    auto queries = MakeSelJoinWorkload(*db_, wopts);
+    for (auto& q : queries) {
+      auto plan_or = OptimizePlan(std::move(q.logical), *db_);
+      if (plan_or.ok()) plans_->push_back(std::move(plan_or).value());
+    }
+    ASSERT_GE(plans_->size(), 4u);
+  }
+
+  static void TearDownTestSuite() {
+    delete plans_;
+    delete units_;
+    delete samples_;
+    delete db_;
+    plans_ = nullptr;
+    units_ = nullptr;
+    samples_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static SampleDb* samples_;
+  static CostUnits* units_;
+  static std::vector<Plan>* plans_;
+};
+
+Database* ServiceTest::db_ = nullptr;
+SampleDb* ServiceTest::samples_ = nullptr;
+CostUnits* ServiceTest::units_ = nullptr;
+std::vector<Plan>* ServiceTest::plans_ = nullptr;
+
+TEST_F(ServiceTest, BatchBitIdenticalToSequential) {
+  // Sequential reference through the plain Predictor (no cache, no pool).
+  Predictor predictor(db_, samples_, *units_);
+  std::vector<Prediction> reference;
+  for (const Plan& plan : *plans_) {
+    auto pred_or = predictor.Predict(plan);
+    ASSERT_TRUE(pred_or.ok()) << pred_or.status().ToString();
+    reference.push_back(std::move(pred_or).value());
+  }
+
+  ServiceOptions options;
+  options.num_workers = 3;
+  PredictionService service(db_, samples_, *units_, options);
+  const auto batched = service.PredictBatch(*plans_);
+  ASSERT_EQ(batched.size(), plans_->size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_TRUE(batched[i].ok()) << batched[i].status().ToString();
+    // Bit-identical, not approximately equal: every stage is
+    // deterministic, so batching/sharding must not change a single bit.
+    EXPECT_EQ(batched[i]->mean(), reference[i].mean()) << "plan " << i;
+    EXPECT_EQ(batched[i]->breakdown.variance, reference[i].breakdown.variance)
+        << "plan " << i;
+    EXPECT_EQ(batched[i]->breakdown.var_cost_units,
+              reference[i].breakdown.var_cost_units);
+    EXPECT_EQ(batched[i]->breakdown.var_selectivity,
+              reference[i].breakdown.var_selectivity);
+  }
+}
+
+TEST_F(ServiceTest, CachedRepredictionSkipsSampleRun) {
+  PredictionService service(db_, samples_, *units_);
+  const Plan& plan = (*plans_)[0];
+
+  auto first = service.Predict(plan);
+  ASSERT_TRUE(first.ok());
+  const ServiceStats after_first = service.stats();
+  EXPECT_EQ(after_first.sample_runs, 1u);
+  EXPECT_EQ(after_first.cache_misses, 1u);
+  EXPECT_EQ(after_first.cache_hits, 0u);
+
+  auto second = service.Predict(plan);
+  ASSERT_TRUE(second.ok());
+  const ServiceStats after_second = service.stats();
+  EXPECT_EQ(after_second.sample_runs, 1u) << "cache hit must skip stage 1";
+  EXPECT_EQ(after_second.cache_hits, 1u);
+
+  // The cached path re-runs only fit/combine: bit-identical output.
+  EXPECT_EQ(second->mean(), first->mean());
+  EXPECT_EQ(second->breakdown.variance, first->breakdown.variance);
+}
+
+TEST_F(ServiceTest, BatchDedupesByFingerprint) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  PredictionService service(db_, samples_, *units_, options);
+
+  // The same two plans repeated: 6 predictions, 2 distinct fingerprints.
+  std::vector<const Plan*> batch = {&(*plans_)[0], &(*plans_)[1], &(*plans_)[0],
+                                    &(*plans_)[1], &(*plans_)[0], &(*plans_)[1]};
+  const auto results = service.PredictBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+  EXPECT_EQ(service.stats().sample_runs, 2u)
+      << "repeated fingerprints must share one sample run";
+  // Repeats are bit-identical to their first occurrence.
+  EXPECT_EQ(results[2]->mean(), results[0]->mean());
+  EXPECT_EQ(results[2]->breakdown.variance, results[0]->breakdown.variance);
+  EXPECT_EQ(results[5]->mean(), results[1]->mean());
+}
+
+TEST_F(ServiceTest, FingerprintDistinguishesPlans) {
+  // Sanity on the cache key: distinct plans get distinct fingerprints,
+  // and a plan's fingerprint is stable.
+  const uint64_t f0 = PlanFingerprint((*plans_)[0]);
+  const uint64_t f1 = PlanFingerprint((*plans_)[1]);
+  EXPECT_NE(f0, f1);
+  EXPECT_EQ(f0, PlanFingerprint((*plans_)[0]));
+}
+
+TEST_F(ServiceTest, ConcurrentPredictIsRaceFree) {
+  // N threads hammer Predict over a shared service (shared cache, shared
+  // pipeline); every result must equal the sequential reference.
+  Predictor predictor(db_, samples_, *units_);
+  std::vector<Prediction> reference;
+  for (const Plan& plan : *plans_) {
+    auto pred_or = predictor.Predict(plan);
+    ASSERT_TRUE(pred_or.ok());
+    reference.push_back(std::move(pred_or).value());
+  }
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  PredictionService service(db_, samples_, *units_, options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 3;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        for (size_t i = 0; i < plans_->size(); ++i) {
+          // Interleave plan order per thread to vary cache contention.
+          const size_t idx = (i + static_cast<size_t>(t)) % plans_->size();
+          auto pred_or = service.Predict((*plans_)[idx]);
+          if (!pred_or.ok()) {
+            ++failures[t];
+            continue;
+          }
+          if (pred_or->mean() != reference[idx].mean() ||
+              pred_or->breakdown.variance != reference[idx].breakdown.variance) {
+            ++mismatches[t];
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.predictions,
+            static_cast<uint64_t>(kThreads * kRoundsPerThread) * plans_->size());
+  // The cache bounds stage-1 work: at most one sample run per distinct
+  // plan, plus any lost races on first population (both run, one wins).
+  EXPECT_LE(stats.sample_runs, static_cast<uint64_t>(kThreads) * plans_->size());
+  EXPECT_GE(stats.cache_hits, 1u);
+}
+
+TEST_F(ServiceTest, CacheDisabledStillCorrect) {
+  ServiceOptions options;
+  options.cache_capacity = 0;
+  PredictionService service(db_, samples_, *units_, options);
+  const Plan& plan = (*plans_)[0];
+  auto a = service.Predict(plan);
+  auto b = service.Predict(plan);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(service.stats().sample_runs, 2u);
+  EXPECT_EQ(a->mean(), b->mean());
+  EXPECT_EQ(a->breakdown.variance, b->breakdown.variance);
+}
+
+TEST_F(ServiceTest, RecomputeMatchesPredictorRecompute) {
+  PredictionService service(db_, samples_, *units_);
+  Predictor predictor(db_, samples_, *units_);
+  auto pred_or = service.Predict((*plans_)[2]);
+  ASSERT_TRUE(pred_or.ok());
+  for (const auto variant : {PredictorVariant::kNoVarC, PredictorVariant::kNoVarX,
+                             PredictorVariant::kNoCov}) {
+    const VarianceBreakdown s =
+        service.Recompute(*pred_or, variant, CovarianceBoundKind::kBest);
+    const VarianceBreakdown p =
+        predictor.Recompute(*pred_or, variant, CovarianceBoundKind::kBest);
+    EXPECT_EQ(s.mean, p.mean);
+    EXPECT_EQ(s.variance, p.variance);
+  }
+}
+
+TEST_F(ServiceTest, LruEvictionKeepsServing) {
+  ServiceOptions options;
+  options.cache_capacity = 2;  // smaller than the plan pool
+  PredictionService service(db_, samples_, *units_, options);
+  for (int round = 0; round < 2; ++round) {
+    for (const Plan& plan : *plans_) {
+      auto pred_or = service.Predict(plan);
+      ASSERT_TRUE(pred_or.ok());
+    }
+  }
+  // With capacity 2 and a round-robin access pattern longer than the
+  // cache, every access misses: correctness is unaffected, only reuse.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.predictions, 2u * plans_->size());
+  EXPECT_EQ(stats.sample_runs, stats.cache_misses);
+}
+
+}  // namespace
+}  // namespace uqp

@@ -53,8 +53,8 @@ int main() {
   // Per-operator predicted time shares from the fitted cost functions.
   const int nops = plan.num_operators();
   std::vector<double> op_pred(nops, 0.0);
-  for (const OperatorCostFunctions& ocf : pred.cost_functions) {
-    const auto& est = pred.estimates;
+  for (const OperatorCostFunctions& ocf : pred.cost_functions()) {
+    const auto& est = pred.estimates();
     const auto g = [&est](int var) {
       return var >= 0 ? est.ops[static_cast<size_t>(var)].AsGaussian()
                       : Gaussian(1.0, 0.0);

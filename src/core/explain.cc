@@ -12,7 +12,7 @@ std::vector<OperatorExplain> ExplainOperators(const Plan& plan,
                                               const Prediction& prediction,
                                               const CostUnits& units) {
   std::vector<OperatorExplain> out;
-  const PlanEstimates& est = prediction.estimates;
+  const PlanEstimates& est = prediction.estimates();
   auto gauss = [&est](int var) {
     return var >= 0 ? est.ops[static_cast<size_t>(var)].AsGaussian()
                     : Gaussian(1.0, 0.0);
@@ -21,7 +21,7 @@ std::vector<OperatorExplain> ExplainOperators(const Plan& plan,
   double total = 0.0;
   for (const PlanNode* node : plan.NodesPreorder()) {
     const OperatorCostFunctions& ocf =
-        prediction.cost_functions[static_cast<size_t>(node->id)];
+        prediction.cost_functions()[static_cast<size_t>(node->id)];
     OperatorExplain op;
     op.node_id = node->id;
     op.op_type = node->type;

@@ -7,6 +7,14 @@
 
 namespace uqp {
 
+const PlanEstimates& Prediction::estimates() const {
+  return sample_run->estimates;
+}
+
+const std::vector<OperatorCostFunctions>& Prediction::cost_functions() const {
+  return cost_fit->cost_functions;
+}
+
 double Prediction::ProbBelow(double t) const {
   return NormalCdf(t, breakdown.mean, breakdown.variance);
 }
@@ -50,39 +58,43 @@ StatusOr<Prediction> PredictionPipeline::Predict(const Plan& plan) const {
   SampleRunInput in;
   in.plan = &plan;
   UQP_ASSIGN_OR_RETURN(SampleRunOutput sample_run, sample_run_.Run(in));
-  return PredictFromSampleRun(plan, sample_run);
+  return PredictFromSampleRun(
+      plan, std::make_shared<const SampleRunOutput>(std::move(sample_run)));
 }
 
 StatusOr<Prediction> PredictionPipeline::PredictFromSampleRun(
-    const Plan& plan, const SampleRunOutput& sample_run) const {
+    const Plan& plan, SampleRunPtr sample_run) const {
   CostFitInput fit_in;
   fit_in.plan = &plan;
-  fit_in.sample_run = &sample_run;
+  fit_in.sample_run = sample_run.get();
   UQP_ASSIGN_OR_RETURN(CostFitOutput cost_fit, cost_fit_.Run(fit_in));
-  return PredictFromArtifacts(sample_run, cost_fit);
+  return PredictFromArtifacts(
+      std::move(sample_run),
+      std::make_shared<const CostFitOutput>(std::move(cost_fit)));
 }
 
-Prediction PredictionPipeline::PredictFromArtifacts(
-    const SampleRunOutput& sample_run, const CostFitOutput& cost_fit) const {
+Prediction PredictionPipeline::PredictFromArtifacts(SampleRunPtr sample_run,
+                                                    CostFitPtr cost_fit) const {
   VarianceCombineInput var_in;
-  var_in.sample_run = &sample_run;
-  var_in.cost_fit = &cost_fit;
+  var_in.sample_run = sample_run.get();
+  var_in.cost_fit = cost_fit.get();
   var_in.variant = options_.variant;
   var_in.bound = options_.bound;
   const VarianceCombineOutput combined = variance_combine_.Run(var_in);
 
   Prediction out;
   out.breakdown = combined.breakdown;
-  out.estimates = sample_run.estimates;
-  out.cost_functions = cost_fit.cost_functions;
+  out.sample_run = std::move(sample_run);
+  out.cost_fit = std::move(cost_fit);
   return out;
 }
 
 VarianceBreakdown PredictionPipeline::Recompute(const Prediction& prediction,
                                                 PredictorVariant variant,
                                                 CovarianceBoundKind bound) const {
-  const VarianceEngine engine(&prediction.estimates, &prediction.cost_functions,
-                              &units_, variant, bound);
+  const VarianceEngine engine(&prediction.estimates(),
+                              &prediction.cost_functions(), &units_, variant,
+                              bound);
   return engine.Compute();
 }
 

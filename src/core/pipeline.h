@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -28,8 +29,19 @@ struct PredictorOptions {
   FitOptions fit;
 };
 
-/// A prediction: the distribution of likely running times plus the
-/// intermediate artifacts, for diagnostics and the experiment harness.
+struct SampleRunOutput;
+struct CostFitOutput;
+
+/// Shared ownership of the immutable stage 1-2 artifacts. Predictions,
+/// the service cache and in-flight dedup all alias the same objects, so a
+/// fully-cached prediction costs one variance combination, not an
+/// artifact deep copy.
+using SampleRunPtr = std::shared_ptr<const SampleRunOutput>;
+using CostFitPtr = std::shared_ptr<const CostFitOutput>;
+
+/// A prediction: the distribution of likely running times plus shared
+/// views of the intermediate artifacts, for diagnostics, Recompute and
+/// the experiment harness.
 struct Prediction {
   VarianceBreakdown breakdown;
 
@@ -43,8 +55,15 @@ struct Prediction {
   /// gives the paper's "with probability 70%, between lo and hi").
   void ConfidenceInterval(double level, double* lo, double* hi) const;
 
-  PlanEstimates estimates;
-  std::vector<OperatorCostFunctions> cost_functions;
+  /// Stage 1-2 artifacts, aliased rather than copied: predictions of a
+  /// recurring plan share one immutable SampleRunOutput/CostFitOutput with
+  /// the service cache (pointer-identical, see service tests). Non-null
+  /// for every prediction produced by the pipeline or service.
+  SampleRunPtr sample_run;
+  CostFitPtr cost_fit;
+
+  const PlanEstimates& estimates() const;
+  const std::vector<OperatorCostFunctions>& cost_functions() const;
 };
 
 // ---------------------------------------------------------------------------
@@ -164,14 +183,16 @@ class PredictionPipeline {
 
   /// Stages 2-3 only, from a pre-computed (possibly cached) stage 1
   /// output. Bit-identical to Predict when `sample_run` came from the same
-  /// plan: every stage is deterministic.
-  StatusOr<Prediction> PredictFromSampleRun(
-      const Plan& plan, const SampleRunOutput& sample_run) const;
+  /// plan: every stage is deterministic. The prediction shares ownership
+  /// of `sample_run` (no copy).
+  StatusOr<Prediction> PredictFromSampleRun(const Plan& plan,
+                                            SampleRunPtr sample_run) const;
 
   /// Stage 3 only, from pre-computed stage 1-2 outputs (the fully cached
-  /// path: a recurring plan re-runs just the variance combination).
-  Prediction PredictFromArtifacts(const SampleRunOutput& sample_run,
-                                  const CostFitOutput& cost_fit) const;
+  /// path: a recurring plan re-runs just the variance combination). The
+  /// prediction aliases both artifacts — zero-copy, O(variance breakdown).
+  Prediction PredictFromArtifacts(SampleRunPtr sample_run,
+                                  CostFitPtr cost_fit) const;
 
   /// Stage 3 only, under a different variant/bound (ablation reuse).
   VarianceBreakdown Recompute(const Prediction& prediction,

@@ -35,6 +35,7 @@ class Predictor {
 
   /// Re-derives the distribution from existing artifacts under a different
   /// variant/bound (used by the ablation benches to avoid re-sampling).
+  /// Reads the prediction's shared artifact views in place — no copy.
   VarianceBreakdown Recompute(const Prediction& prediction,
                               PredictorVariant variant,
                               CovarianceBoundKind bound) const {

@@ -164,6 +164,27 @@ class NodeRunner {
     }
   }
 
+  /// As AppendSelected, but for rows gathered from non-contiguous sources
+  /// (index scans): provenance ids come from the parallel `rids` array
+  /// instead of base + lane.
+  void AppendSelectedAt(RowBlock* out, const Value* rows, int ncols, int64_t n,
+                        const uint8_t* mask, const uint32_t* rids) {
+    int64_t i = 0;
+    while (i < n) {
+      if (mask[i] == 0) {
+        ++i;
+        continue;
+      }
+      int64_t j = i + 1;
+      while (j < n && mask[j] != 0) ++j;
+      out->values.insert(out->values.end(), rows + i * ncols, rows + j * ncols);
+      if (out->prov_width > 0) {
+        out->prov.insert(out->prov.end(), rids + i, rids + j);
+      }
+      i = j;
+    }
+  }
+
   /// Assembles one join output row directly in the output block: appends
   /// lrow then rrow, evaluates the residual predicate in place (rolling
   /// back on reject, charging `quals` ops), then appends provenance.
@@ -271,19 +292,35 @@ class NodeRunner {
     const int quals = PredicateOpCount(node.predicate.get());
     std::unordered_set<int64_t> pages_touched;
     const int64_t rows_per_page = src.rows_per_page();
-    int64_t matches = 0;
-    for (auto it = begin_it; it != end_it; ++it) {
-      const uint32_t rid = *it;
-      ++matches;
-      pages_touched.insert(static_cast<int64_t>(rid) / rows_per_page);
-      const RowRef row = src.row(rid);
-      // Residual filter: re-evaluate the full predicate on fetched rows.
-      if (!pure && node.predicate != nullptr &&
-          !EvalPredicate(*node.predicate, row)) {
-        continue;
+    const int64_t matches = end_it - begin_it;
+    const int ncols = out.schema.num_columns();
+    const bool residual = !pure && node.predicate != nullptr;
+
+    // Gather matched rows a chunk at a time into a contiguous block, then
+    // run the residual filter column-at-a-time over the chunk and bulk-copy
+    // survivor runs (mirroring the seq-scan/hash-join batched inner loops).
+    const int64_t chunk =
+        std::min<int64_t>(ctx_->batch(), std::max<int64_t>(1, matches));
+    std::vector<Value> gathered(static_cast<size_t>(chunk * ncols));
+    std::vector<uint32_t> rids(static_cast<size_t>(chunk));
+    std::vector<uint8_t> mask(static_cast<size_t>(chunk), 1);
+    auto it = begin_it;
+    for (int64_t base = 0; base < matches; base += chunk) {
+      const int64_t nb = std::min(chunk, matches - base);
+      for (int64_t i = 0; i < nb; ++i, ++it) {
+        const uint32_t rid = *it;
+        pages_touched.insert(static_cast<int64_t>(rid) / rows_per_page);
+        const RowRef row = src.row(rid);
+        std::copy(row.data, row.data + ncols, gathered.begin() + i * ncols);
+        rids[static_cast<size_t>(i)] = rid;
       }
-      AppendOutputRow(&out, row);
-      if (ctx_->prov()) out.prov.push_back(rid);
+      if (residual) {
+        // Residual filter: re-evaluate the full predicate on fetched rows.
+        EvalPredicateBatch(*node.predicate, gathered.data(), ncols, nb,
+                           mask.data());
+      }
+      AppendSelectedAt(&out, gathered.data(), ncols, nb, mask.data(),
+                       rids.data());
     }
     st.actual.ni += static_cast<double>(matches) + std::log2(std::max<double>(2.0, static_cast<double>(n)));
     st.actual.nr += static_cast<double>(pages_touched.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -327,6 +328,54 @@ uint64_t ExprFingerprint(const Expr* e) {
       break;
   }
   return h;
+}
+
+void AppendKeyU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+namespace {
+
+void AppendKeyValue(std::string* out, const Value& v) {
+  out->push_back(static_cast<char>(v.type));
+  // The union is 8 bytes for every type (string constants are interned
+  // pool ids, stable within a process); serialize the widest member.
+  uint64_t bits = 0;
+  static_assert(sizeof(v.i) == sizeof(bits), "value payload must be 8 bytes");
+  std::memcpy(&bits, &v.i, sizeof(bits));
+  AppendKeyU64(out, bits);
+}
+
+}  // namespace
+
+void AppendExprKey(const Expr* e, std::string* out) {
+  if (e == nullptr) {
+    out->push_back('\0');  // null-predicate tag
+    return;
+  }
+  out->push_back(static_cast<char>(static_cast<int>(e->kind) + 1));
+  switch (e->kind) {
+    case Expr::Kind::kCmp:
+      out->push_back(static_cast<char>(e->op));
+      AppendKeyU64(out, static_cast<uint64_t>(e->column));
+      AppendKeyValue(out, e->constant);
+      break;
+    case Expr::Kind::kCmpCol:
+      out->push_back(static_cast<char>(e->op));
+      AppendKeyU64(out, static_cast<uint64_t>(e->column));
+      AppendKeyU64(out, static_cast<uint64_t>(e->column2));
+      break;
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      AppendExprKey(e->lhs.get(), out);
+      AppendExprKey(e->rhs.get(), out);
+      break;
+    case Expr::Kind::kNot:
+      AppendExprKey(e->lhs.get(), out);
+      break;
+  }
 }
 
 bool TryExtractRange(const Expr* e, int column, double* lo, double* hi) {

@@ -75,6 +75,17 @@ int PredicateOpCount(const Expr* e);
 /// pool id); null hashes to a fixed tag. Used by PlanFingerprint.
 uint64_t ExprFingerprint(const Expr* e);
 
+/// Appends an unambiguous byte serialization of the expression tree to
+/// `out`: two expressions serialize identically iff they are structurally
+/// equal (same shape, operators, columns and constants; string constants
+/// compare by interned pool id, like ExprFingerprint). Used by
+/// PlanStructuralKey to confirm fingerprint cache hits exactly.
+void AppendExprKey(const Expr* e, std::string* out);
+
+/// Appends `v` to `out` as 8 little-endian bytes — the shared fixed-width
+/// integer encoding of the structural-key serializations.
+void AppendKeyU64(std::string* out, uint64_t v);
+
 /// Remaps column indexes by adding `offset` (used when pushing predicates
 /// above a join whose left side contributes `offset` columns).
 ExprPtr ShiftColumns(const ExprPtr& e, int offset);

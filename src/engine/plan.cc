@@ -328,4 +328,47 @@ uint64_t PlanFingerprint(const Plan& plan) {
   return NodeFingerprint(*plan.root());
 }
 
+namespace {
+
+void AppendKeyInt(std::string* out, int64_t v) {
+  AppendKeyU64(out, static_cast<uint64_t>(v));
+}
+
+/// Mirrors NodeFingerprint field for field, but into an unambiguous byte
+/// string (every variable-length field is length-prefixed) instead of a
+/// lossy 64-bit mix.
+void AppendNodeKey(const PlanNode& node, std::string* out) {
+  out->push_back(static_cast<char>(node.type));
+  AppendKeyInt(out, static_cast<int64_t>(node.table_name.size()));
+  out->append(node.table_name);
+  AppendExprKey(node.predicate.get(), out);
+  AppendKeyInt(out, node.index_column);
+  AppendKeyInt(out, static_cast<int64_t>(node.join_keys.size()));
+  for (const auto& [l, r] : node.join_keys) {
+    AppendKeyInt(out, l);
+    AppendKeyInt(out, r);
+  }
+  AppendKeyInt(out, static_cast<int64_t>(node.sort_columns.size()));
+  for (int c : node.sort_columns) AppendKeyInt(out, c);
+  AppendKeyInt(out, static_cast<int64_t>(node.group_columns.size()));
+  for (int c : node.group_columns) AppendKeyInt(out, c);
+  AppendKeyInt(out, static_cast<int64_t>(node.aggregates.size()));
+  for (const AggSpec& a : node.aggregates) {
+    out->push_back(static_cast<char>(a.kind));
+    AppendKeyInt(out, a.column);
+  }
+  out->push_back(node.left != nullptr ? 'L' : 'l');
+  if (node.left != nullptr) AppendNodeKey(*node.left, out);
+  out->push_back(node.right != nullptr ? 'R' : 'r');
+  if (node.right != nullptr) AppendNodeKey(*node.right, out);
+}
+
+}  // namespace
+
+std::string PlanStructuralKey(const Plan& plan) {
+  std::string out;
+  if (plan.root() != nullptr) AppendNodeKey(*plan.root(), &out);
+  return out;
+}
+
 }  // namespace uqp

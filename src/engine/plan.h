@@ -148,4 +148,13 @@ std::unique_ptr<PlanNode> ClonePlanTree(const PlanNode& node);
 /// become likely.)
 uint64_t PlanFingerprint(const Plan& plan);
 
+/// Canonical byte serialization of the plan structure: two plans produce
+/// the same key iff they are structurally equal (same tree shape, operator
+/// types, tables, predicates, join keys, sort/group columns and aggregate
+/// specs) — exactly the equivalence PlanFingerprint approximates. The
+/// service layer stores this key alongside each cache entry and confirms
+/// it on every fingerprint hit, so a 64-bit hash collision degrades to a
+/// cache miss instead of serving another plan's artifacts.
+std::string PlanStructuralKey(const Plan& plan);
+
 }  // namespace uqp

@@ -34,7 +34,8 @@ struct ParallelState {
 
 PredictionService::PredictionService(const Database* db, const SampleDb* samples,
                                      CostUnits units, ServiceOptions options)
-    : pipeline_(db, samples, units, options.predictor), options_(options) {
+    : pipeline_(db, samples, units, options.predictor),
+      options_(std::move(options)) {
   int n = options_.num_workers;
   if (n <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -52,6 +53,8 @@ PredictionService::~PredictionService() {
     shutdown_ = true;
   }
   pool_cv_.notify_all();
+  // Workers drain the queue before exiting, so every future handed out by
+  // PredictAsync is satisfied.
   for (std::thread& t : workers_) t.join();
 }
 
@@ -95,24 +98,39 @@ void PredictionService::ParallelFor(size_t n,
   state->cv.wait(lock, [&] { return state->done.load() == n; });
 }
 
-PredictionService::Artifacts PredictionService::CacheGet(uint64_t fingerprint) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  auto it = cache_index_.find(fingerprint);
-  if (it == cache_index_.end()) return Artifacts{};
-  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-  return it->second->artifacts;
+uint64_t PredictionService::Fingerprint(const Plan& plan) const {
+  return options_.fingerprint_fn != nullptr ? options_.fingerprint_fn(plan)
+                                            : PlanFingerprint(plan);
 }
 
-void PredictionService::CachePut(uint64_t fingerprint, Artifacts artifacts) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+void PredictionService::RecordRequest(bool hit, bool inflight_join) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.predictions;
+  if (hit) {
+    ++stats_.cache_hits;
+    if (inflight_join) ++stats_.inflight_joins;
+  } else {
+    ++stats_.cache_misses;
+  }
+}
+
+void PredictionService::CachePutLocked(uint64_t fingerprint,
+                                       const std::string& key,
+                                       Artifacts artifacts) {
   auto it = cache_index_.find(fingerprint);
   if (it != cache_index_.end()) {
-    // A concurrent miss on the same plan got here first; both artifacts
-    // are identical (deterministic stages), keep the incumbent.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    if (it->second->key == key) {
+      // A concurrent miss on the same plan got here first; both artifacts
+      // are identical (deterministic stages), keep the incumbent.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    // Fingerprint collision with a structurally different plan: the slot
+    // goes to the newcomer (the most recent user), like any LRU update.
+    lru_.erase(it->second);
+    cache_index_.erase(it);
   }
-  lru_.push_front(CacheEntry{fingerprint, std::move(artifacts)});
+  lru_.push_front(CacheEntry{fingerprint, key, std::move(artifacts)});
   cache_index_[fingerprint] = lru_.begin();
   while (lru_.size() > options_.cache_capacity) {
     cache_index_.erase(lru_.back().fingerprint);
@@ -124,70 +142,167 @@ void PredictionService::InvalidateCache() {
   std::lock_guard<std::mutex> lock(cache_mu_);
   lru_.clear();
   cache_index_.clear();
+  // Detach in-flight runs: their waiters still get a (pre-flush) result,
+  // but new requests must not join them, and the generation bump below
+  // keeps their late CachePut out of the flushed cache.
+  inflight_.clear();
+  ++generation_;
+}
+
+size_t PredictionService::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return lru_.size();
+}
+
+StatusOr<PredictionService::Artifacts> PredictionService::RunStages(
+    const Plan& plan) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.sample_runs;
+  }
+  SampleRunInput run_in;
+  run_in.plan = &plan;
+  UQP_ASSIGN_OR_RETURN(SampleRunOutput run_out,
+                       pipeline_.sample_run_stage().Run(run_in));
+  Artifacts artifacts;
+  artifacts.run = std::make_shared<const SampleRunOutput>(std::move(run_out));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.fit_runs;
+  }
+  CostFitInput fit_in;
+  fit_in.plan = &plan;
+  fit_in.sample_run = artifacts.run.get();
+  UQP_ASSIGN_OR_RETURN(CostFitOutput fit_out,
+                       pipeline_.cost_fit_stage().Run(fit_in));
+  artifacts.fit = std::make_shared<const CostFitOutput>(std::move(fit_out));
+  return artifacts;
 }
 
 StatusOr<PredictionService::Artifacts> PredictionService::GetArtifacts(
     const Plan& plan, uint64_t fingerprint) {
   const bool use_cache = options_.cache_capacity > 0;
-  Artifacts artifacts;
-  if (use_cache) {
-    artifacts = CacheGet(fingerprint);
-    if (artifacts.run != nullptr && artifacts.fit != nullptr) {
-      cache_hits_.fetch_add(1);
-      return artifacts;
+  std::string key = PlanStructuralKey(plan);
+  std::shared_ptr<Inflight> join;   // an in-flight run we wait on
+  std::shared_ptr<Inflight> owned;  // the in-flight run we fulfill
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    generation = generation_;
+    if (use_cache) {
+      auto it = cache_index_.find(fingerprint);
+      // Confirm the canonical structure: a fingerprint collision must be
+      // a miss, never another plan's artifacts.
+      if (it != cache_index_.end() && it->second->key == key) {
+        lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+        Artifacts artifacts = it->second->artifacts;
+        RecordRequest(/*hit=*/true);
+        return artifacts;
+      }
     }
-    cache_misses_.fetch_add(1);
+    auto it = inflight_.find(fingerprint);
+    if (it != inflight_.end() && it->second->key == key) {
+      join = it->second;
+    } else if (it == inflight_.end()) {
+      owned = std::make_shared<Inflight>(key);
+      inflight_.emplace(fingerprint, owned);
+    }
+    // else: the fingerprint is in flight for a structurally different
+    // plan (hash collision) — run solo, without registering.
   }
-  if (artifacts.run == nullptr) {
-    sample_runs_.fetch_add(1);
-    SampleRunInput input;
-    input.plan = &plan;
-    UQP_ASSIGN_OR_RETURN(SampleRunOutput out,
-                         pipeline_.sample_run_stage().Run(input));
-    artifacts.run = std::make_shared<const SampleRunOutput>(std::move(out));
+
+  if (join != nullptr) {
+    // Another request is already sampling this plan: wait for its shared
+    // artifacts instead of duplicating stage-1/2 work.
+    RecordRequest(/*hit=*/true, /*inflight_join=*/true);
+    return join->future.get();
   }
-  if (artifacts.fit == nullptr) {
-    fit_runs_.fetch_add(1);
-    CostFitInput input;
-    input.plan = &plan;
-    input.sample_run = artifacts.run.get();
-    UQP_ASSIGN_OR_RETURN(CostFitOutput fit, pipeline_.cost_fit_stage().Run(input));
-    artifacts.fit = std::make_shared<const CostFitOutput>(std::move(fit));
+
+  // This request runs the stages itself — the one classification point
+  // for misses, so hits + misses == predictions at every instant.
+  RecordRequest(/*hit=*/false);
+  StatusOr<Artifacts> result = RunStages(plan);
+  if (options_.post_stages_hook) options_.post_stages_hook();
+
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (owned != nullptr) {
+      auto it = inflight_.find(fingerprint);
+      if (it != inflight_.end() && it->second == owned) inflight_.erase(it);
+    }
+    if (use_cache && result.ok()) {
+      if (generation_ == generation) {
+        CachePutLocked(fingerprint, key, result.value());
+      } else {
+        // InvalidateCache ran while this prediction was in flight: its
+        // artifacts may predate the flush, drop the insert.
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.stale_drops;
+      }
+    }
   }
-  if (use_cache) CachePut(fingerprint, artifacts);
-  return artifacts;
+  if (owned != nullptr) owned->promise.set_value(result);
+  return result;
+}
+
+StatusOr<Prediction> PredictionService::PredictImpl(const Plan& plan) {
+  UQP_ASSIGN_OR_RETURN(Artifacts artifacts,
+                       GetArtifacts(plan, Fingerprint(plan)));
+  return pipeline_.PredictFromArtifacts(std::move(artifacts.run),
+                                        std::move(artifacts.fit));
 }
 
 StatusOr<Prediction> PredictionService::Predict(const Plan& plan) {
-  predictions_.fetch_add(1);
-  UQP_ASSIGN_OR_RETURN(Artifacts artifacts,
-                       GetArtifacts(plan, PlanFingerprint(plan)));
-  return pipeline_.PredictFromArtifacts(*artifacts.run, *artifacts.fit);
+  return PredictImpl(plan);
+}
+
+std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
+    const Plan& plan) {
+  auto task = std::make_shared<std::packaged_task<StatusOr<Prediction>()>>(
+      [this, plan_ptr = &plan] { return PredictImpl(*plan_ptr); });
+  std::future<StatusOr<Prediction>> future = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_queue_.push_back([task] { (*task)(); });
+  }
+  pool_cv_.notify_one();
+  return future;
 }
 
 std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
     const Plan* const* plans, size_t count) {
-  batch_calls_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batch_calls;
+  }
   std::vector<StatusOr<Prediction>> results;
   results.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     results.emplace_back(Status::Internal("prediction not yet computed"));
   }
   if (count == 0) return results;
-  predictions_.fetch_add(count);
 
-  // Dedup: plans sharing a fingerprint share one sample run.
+  // Dedup: plans sharing a fingerprint AND the canonical structure share
+  // one sample run. Grouping on the structural key too keeps the cache's
+  // collision guarantee inside a batch: colliding plans form separate
+  // groups instead of silently sharing artifacts.
   std::vector<uint64_t> fingerprints(count);
-  std::unordered_map<uint64_t, size_t> group_of;  // fingerprint -> group id
-  std::vector<size_t> representative;             // group id -> plan index
+  std::vector<size_t> group_ids(count);
+  std::unordered_map<std::string, size_t> group_of;  // fp ‖ key -> group id
+  std::vector<size_t> representative;                // group id -> plan index
   for (size_t i = 0; i < count; ++i) {
-    fingerprints[i] = PlanFingerprint(*plans[i]);
-    if (group_of.emplace(fingerprints[i], representative.size()).second) {
-      representative.push_back(i);
-    }
+    fingerprints[i] = Fingerprint(*plans[i]);
+    std::string group_key;
+    AppendKeyU64(&group_key, fingerprints[i]);
+    group_key += PlanStructuralKey(*plans[i]);
+    const auto [it, inserted] =
+        group_of.emplace(std::move(group_key), representative.size());
+    group_ids[i] = it->second;
+    if (inserted) representative.push_back(i);
   }
 
-  // Stages 1-2 (through the cache) once per distinct plan, sharded.
+  // Stages 1-2 (through the cache) once per distinct plan, sharded. The
+  // representative is classified (hit/miss) inside GetArtifacts.
   std::vector<Artifacts> artifacts(representative.size());
   std::vector<Status> group_status(representative.size());
   const std::function<void(size_t)> stages12 = [&](size_t g) {
@@ -201,15 +316,17 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
   };
   ParallelFor(representative.size(), stages12);
 
-  // Stage 3 per plan, sharded.
+  // Stage 3 per plan, sharded. In-batch duplicates are served from their
+  // group's shared artifacts without any stage-1/2 work: cache hits.
   const std::function<void(size_t)> stage3 = [&](size_t i) {
-    const size_t g = group_of.at(fingerprints[i]);
+    const size_t g = group_ids[i];
+    if (representative[g] != i) RecordRequest(/*hit=*/true);
     if (!group_status[g].ok()) {
       results[i] = group_status[g];
       return;
     }
     results[i] =
-        pipeline_.PredictFromArtifacts(*artifacts[g].run, *artifacts[g].fit);
+        pipeline_.PredictFromArtifacts(artifacts[g].run, artifacts[g].fit);
   };
   ParallelFor(count, stage3);
   return results;
@@ -235,14 +352,8 @@ VarianceBreakdown PredictionService::Recompute(const Prediction& prediction,
 }
 
 ServiceStats PredictionService::stats() const {
-  ServiceStats out;
-  out.predictions = predictions_.load();
-  out.batch_calls = batch_calls_.load();
-  out.sample_runs = sample_runs_.load();
-  out.fit_runs = fit_runs_.load();
-  out.cache_hits = cache_hits_.load();
-  out.cache_misses = cache_misses_.load();
-  return out;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 }  // namespace uqp

@@ -5,9 +5,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -20,24 +22,40 @@ namespace uqp {
 
 /// Configuration of the prediction service.
 struct ServiceOptions {
-  /// Worker threads for PredictBatch sharding. 0 sizes the pool to the
-  /// hardware concurrency, capped at 4 — prediction sits on the admission
-  /// path and must not monopolize the machine it gates.
+  /// Worker threads for PredictAsync and PredictBatch sharding. 0 sizes
+  /// the pool to the hardware concurrency, capped at 4 — prediction sits
+  /// on the admission path and must not monopolize the machine it gates.
   int num_workers = 0;
   /// Capacity of the sample-run cache (distinct plan fingerprints held);
   /// 0 disables caching entirely.
   size_t cache_capacity = 256;
+  /// Test seam: replaces PlanFingerprint as the cache/dedup hash when
+  /// non-null. The structural-key confirmation still applies, so tests can
+  /// force every plan onto one fingerprint to exercise collision handling.
+  uint64_t (*fingerprint_fn)(const Plan&) = nullptr;
+  /// Test seam: called after stages 1-2 of a cache miss run, before the
+  /// artifacts are published to the cache. Lets tests interleave
+  /// InvalidateCache deterministically with an in-flight prediction.
+  std::function<void()> post_stages_hook;
   PredictorOptions predictor;
 };
 
-/// Monotonic counters exposed for tests and monitoring.
+/// Monotonic counters exposed for tests and monitoring. Every prediction
+/// request is classified exactly once as a cache hit or miss at a single
+/// point, atomically with the `predictions` bump, so
+/// `cache_hits + cache_misses == predictions` holds at every instant — even
+/// sampled mid-batch from another thread. A request that runs stages 1-2
+/// itself (including with caching disabled) is a miss; a request served
+/// from the cache or from another request's in-flight execution is a hit.
 struct ServiceStats {
-  uint64_t predictions = 0;   ///< predictions served (single + batched)
-  uint64_t batch_calls = 0;   ///< PredictBatch invocations
-  uint64_t sample_runs = 0;   ///< SampleRunStage executions (stage 1)
-  uint64_t fit_runs = 0;      ///< CostFitStage executions (stage 2)
-  uint64_t cache_hits = 0;    ///< predictions served entirely from cache
-  uint64_t cache_misses = 0;  ///< cache lookups that had to run stages
+  uint64_t predictions = 0;     ///< predictions served (single + batched + async)
+  uint64_t batch_calls = 0;     ///< PredictBatch invocations
+  uint64_t sample_runs = 0;     ///< SampleRunStage executions (stage 1)
+  uint64_t fit_runs = 0;        ///< CostFitStage executions (stage 2)
+  uint64_t cache_hits = 0;      ///< predictions that ran no stage-1/2 work
+  uint64_t cache_misses = 0;    ///< predictions that ran stages themselves
+  uint64_t inflight_joins = 0;  ///< hits served by waiting on an in-flight miss
+  uint64_t stale_drops = 0;     ///< cache inserts dropped by InvalidateCache generation
 };
 
 /// Thread-safe, concurrent front end to the prediction pipeline — the
@@ -45,18 +63,25 @@ struct ServiceStats {
 /// multi-user system instead of being re-instantiated per query.
 ///
 ///   - Predict(plan): one prediction on the calling thread.
-///   - PredictBatch(plans): shards stage work across a small worker pool.
+///   - PredictAsync(plan): one prediction on the worker pool, returned as
+///     a future so admission paths overlap prediction with queueing.
+///   - PredictBatch(plans): shards stage work across the worker pool.
 ///
-/// Both paths cache per-plan stage artifacts in an LRU keyed by plan
+/// All paths cache per-plan stage artifacts in an LRU keyed by plan
 /// fingerprint: the SampleRunStage output (the expensive artifact — one
 /// execution of the plan over the sample tables) together with the
 /// CostFitStage output derived from it (both are deterministic functions
-/// of the plan). A batch first dedupes its plans by fingerprint so each
-/// distinct plan runs stages 1-2 at most once; repeated predictions of a
-/// recurring query re-run only the cheap variance combination, and
-/// ablation-style re-derivations go through Recompute without any
-/// re-sampling. Every stage is deterministic, so cached, batched and
-/// sequential predictions are bit-identical.
+/// of the plan). Each entry also stores the plan's canonical structural
+/// key, confirmed on every hit, so a 64-bit fingerprint collision degrades
+/// to a miss instead of serving another plan's artifacts.
+///
+/// Concurrent misses on the same fingerprint are deduplicated through an
+/// in-flight table: the first request runs stages 1-2, every concurrent
+/// duplicate waits on the winner's shared future instead of re-sampling.
+/// Served predictions alias the immutable cached artifacts via shared_ptr
+/// (zero-copy), so a hot-cache prediction costs one variance combination.
+/// Every stage is deterministic: cached, batched, async and sequential
+/// predictions are bit-identical.
 class PredictionService {
  public:
   PredictionService(const Database* db, const SampleDb* samples,
@@ -74,6 +99,13 @@ class PredictionService {
   /// concurrently from any number of threads.
   StatusOr<Prediction> Predict(const Plan& plan);
 
+  /// Full prediction of one plan on the worker pool; returns immediately.
+  /// The caller can overlap queueing/scheduling work with the prediction
+  /// and collect the result when the admission decision is due. The plan
+  /// must outlive the future's completion. Concurrent async misses on one
+  /// fingerprint share a single stage-1/2 execution.
+  std::future<StatusOr<Prediction>> PredictAsync(const Plan& plan);
+
   /// Predicts every plan in the span, sharding across the worker pool
   /// (the calling thread participates). Results are positional; each plan
   /// gets its own Status. Bit-identical to calling Predict sequentially.
@@ -90,30 +122,59 @@ class PredictionService {
                               PredictorVariant variant,
                               CovarianceBoundKind bound) const;
 
-  /// Snapshot of the service counters.
+  /// Snapshot of the service counters (internally consistent: the hit/miss
+  /// split always sums to `predictions`).
   ServiceStats stats() const;
 
-  /// Drops every cached sample run (e.g. after samples are rebuilt).
+  /// Number of distinct fingerprints currently cached.
+  size_t cache_size() const;
+
+  /// Drops every cached sample run (e.g. after samples are rebuilt) and
+  /// advances the cache generation: in-flight predictions that started
+  /// before the flush still complete, but their artifacts are not
+  /// re-inserted into the cache.
   void InvalidateCache();
 
  private:
-  using SampleRunPtr = std::shared_ptr<const SampleRunOutput>;
-  using CostFitPtr = std::shared_ptr<const CostFitOutput>;
-
   /// The cached (shared, immutable) stage 1-2 artifacts of one plan.
   struct Artifacts {
     SampleRunPtr run;
     CostFitPtr fit;
   };
 
-  /// Cache lookup; empty pointers on miss.
-  Artifacts CacheGet(uint64_t fingerprint);
-  /// Inserts; on a lost race the incumbent wins (identical artifacts).
-  void CachePut(uint64_t fingerprint, Artifacts artifacts);
+  /// One in-flight stage-1/2 execution: the winner fulfills the promise,
+  /// concurrent requests for the same plan wait on the shared future.
+  struct Inflight {
+    explicit Inflight(std::string key_in) : key(std::move(key_in)) {
+      future = promise.get_future().share();
+    }
+    std::string key;  ///< structural key of the plan being computed
+    std::promise<StatusOr<Artifacts>> promise;
+    std::shared_future<StatusOr<Artifacts>> future;
+  };
 
-  /// Stages 1-2 through the cache: returns the shared artifacts for the
-  /// plan, running the missing stages on a miss.
+  uint64_t Fingerprint(const Plan& plan) const;
+
+  /// Stages 1-2 through the cache and the in-flight table: returns the
+  /// shared artifacts for the plan, running the missing stages on a miss.
+  /// Classifies the request (hit/miss) exactly once.
   StatusOr<Artifacts> GetArtifacts(const Plan& plan, uint64_t fingerprint);
+
+  /// Single-plan prediction through GetArtifacts (shared by the sync,
+  /// async and batch-representative paths).
+  StatusOr<Prediction> PredictImpl(const Plan& plan);
+
+  /// Runs stages 1-2 for the plan, outside any lock.
+  StatusOr<Artifacts> RunStages(const Plan& plan);
+
+  /// The single classification point of a request: bumps `predictions` and
+  /// exactly one of `cache_hits`/`cache_misses` atomically.
+  void RecordRequest(bool hit, bool inflight_join = false);
+
+  /// Inserts into the LRU (cache_mu_ held). On a lost race the incumbent
+  /// wins; on a fingerprint collision the newcomer replaces it.
+  void CachePutLocked(uint64_t fingerprint, const std::string& key,
+                      Artifacts artifacts);
 
   /// Runs `fn(i)` for i in [0, n) across the worker pool, the calling
   /// thread included; returns when all indexes are done.
@@ -124,14 +185,17 @@ class PredictionService {
   PredictionPipeline pipeline_;
   ServiceOptions options_;
 
-  // ----- stage-artifact LRU cache -----
+  // ----- stage-artifact LRU cache + in-flight dedup table -----
   mutable std::mutex cache_mu_;
   struct CacheEntry {
     uint64_t fingerprint = 0;
+    std::string key;  ///< canonical structure, confirmed on every hit
     Artifacts artifacts;
   };
   std::list<CacheEntry> lru_;  ///< front = most recently used
   std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_index_;
+  std::unordered_map<uint64_t, std::shared_ptr<Inflight>> inflight_;
+  uint64_t generation_ = 0;  ///< bumped by InvalidateCache
 
   // ----- worker pool -----
   std::mutex pool_mu_;
@@ -140,13 +204,10 @@ class PredictionService {
   std::vector<std::function<void()>> pool_queue_;
   bool shutdown_ = false;
 
-  // ----- counters -----
-  std::atomic<uint64_t> predictions_{0};
-  std::atomic<uint64_t> batch_calls_{0};
-  std::atomic<uint64_t> sample_runs_{0};
-  std::atomic<uint64_t> fit_runs_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> cache_misses_{0};
+  // ----- counters (one mutex so the hit/miss split is always consistent
+  // with `predictions`, even when stats() samples mid-batch) -----
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
 };
 
 }  // namespace uqp

@@ -129,6 +129,39 @@ TEST(Executor, IndexScanWithResidualFilter) {
   EXPECT_LE(ri.ops[0].actual.nr, static_cast<double>(db.GetTable("t1").num_pages()));
 }
 
+TEST(Executor, IndexScanResidualBatchParity) {
+  // The batched residual-filter path (gather + EvalPredicateBatch +
+  // run-copy) must be indistinguishable from tuple-at-a-time execution:
+  // same rows in the same order, same provenance, same counters.
+  Database db = MakeTestDb();
+  ExprPtr pred = Expr::And(Expr::Cmp(1, CmpOp::kLe, Value::Double(97.0)),
+                           Expr::StrEq(2, "x"));
+  Plan tuple_plan(MakeIndexScan("t1", 1, pred));
+  Plan batch_plan(MakeIndexScan("t1", 1, pred));
+
+  ExecOptions tuple_opts;
+  tuple_opts.max_batch_size = 1;  // reproduces the historical per-row loop
+  tuple_opts.collect_provenance = true;
+  ExecOptions batch_opts;
+  batch_opts.max_batch_size = 7;  // odd chunk: exercises the tail chunk
+  batch_opts.collect_provenance = true;
+
+  const ExecResult rt = MustExecute(db, &tuple_plan, tuple_opts);
+  const ExecResult rb = MustExecute(db, &batch_plan, batch_opts);
+
+  EXPECT_EQ(rb.output.values.size(), rt.output.values.size());
+  EXPECT_EQ(RowFingerprints(rb.output), RowFingerprints(rt.output));
+  EXPECT_EQ(rb.output.prov, rt.output.prov);
+  ASSERT_EQ(rb.ops.size(), rt.ops.size());
+  const OpStats& st = rt.ops[0];
+  const OpStats& sb = rb.ops[0];
+  EXPECT_DOUBLE_EQ(sb.out_rows, st.out_rows);
+  EXPECT_DOUBLE_EQ(sb.actual.ni, st.actual.ni);
+  EXPECT_DOUBLE_EQ(sb.actual.nr, st.actual.nr);
+  EXPECT_DOUBLE_EQ(sb.actual.nt, st.actual.nt);
+  EXPECT_DOUBLE_EQ(sb.actual.no, st.actual.no);
+}
+
 // ---------- Joins ----------
 
 ExprPtr NoPred() { return nullptr; }

@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -245,6 +250,277 @@ TEST_F(ServiceTest, LruEvictionKeepsServing) {
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.predictions, 2u * plans_->size());
   EXPECT_EQ(stats.sample_runs, stats.cache_misses);
+}
+
+// ---------- Async + in-flight dedup ----------
+
+TEST_F(ServiceTest, AsyncStormSharesOneSampleRun) {
+  // A storm of concurrent PredictAsync requests on ONE fingerprint must
+  // run stage 1 exactly once: the first request wins the in-flight slot,
+  // every other request waits on its shared future or hits the cache.
+  ServiceOptions options;
+  options.num_workers = 4;
+  // Gate the winner inside the stages so the storm genuinely overlaps:
+  // the hook returns only after at least 3 requests joined the in-flight
+  // run (the other 3 workers each pull one and wait on the future).
+  PredictionService* svc = nullptr;
+  options.post_stages_hook = [&svc] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (svc->stats().inflight_joins < 3 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  };
+  PredictionService service(db_, samples_, *units_, options);
+  svc = &service;
+
+  const Plan& plan = (*plans_)[0];
+  constexpr int kRequests = 16;
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(service.PredictAsync(plan));
+  }
+
+  Predictor reference(db_, samples_, *units_);
+  auto ref = reference.Predict(plan);
+  ASSERT_TRUE(ref.ok());
+  for (auto& f : futures) {
+    auto pred_or = f.get();
+    ASSERT_TRUE(pred_or.ok()) << pred_or.status().ToString();
+    EXPECT_EQ(pred_or->mean(), ref->mean());
+    EXPECT_EQ(pred_or->breakdown.variance, ref->breakdown.variance);
+  }
+
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.sample_runs, 1u) << "concurrent misses must share one stage-1 run";
+  EXPECT_EQ(st.fit_runs, 1u);
+  EXPECT_EQ(st.predictions, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_EQ(st.cache_hits, static_cast<uint64_t>(kRequests - 1));
+  EXPECT_GE(st.inflight_joins, 1u);
+  EXPECT_EQ(st.cache_hits + st.cache_misses, st.predictions);
+}
+
+TEST_F(ServiceTest, AsyncMatchesSyncBitIdentical) {
+  PredictionService service(db_, samples_, *units_);
+  Predictor predictor(db_, samples_, *units_);
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  for (const Plan& plan : *plans_) futures.push_back(service.PredictAsync(plan));
+  for (size_t i = 0; i < plans_->size(); ++i) {
+    auto async_or = futures[i].get();
+    auto sync_or = predictor.Predict((*plans_)[i]);
+    ASSERT_TRUE(async_or.ok());
+    ASSERT_TRUE(sync_or.ok());
+    EXPECT_EQ(async_or->mean(), sync_or->mean()) << "plan " << i;
+    EXPECT_EQ(async_or->breakdown.variance, sync_or->breakdown.variance);
+  }
+}
+
+// ---------- Zero-copy cached artifacts ----------
+
+TEST_F(ServiceTest, HotCachePredictionsShareArtifacts) {
+  // Hot-cache predictions must alias the cached stage 1-2 artifacts, not
+  // copy them: pointer identity across repeated predictions of one plan.
+  PredictionService service(db_, samples_, *units_);
+  const Plan& plan = (*plans_)[0];
+  auto first = service.Predict(plan);
+  auto second = service.Predict(plan);
+  auto third = service.Predict(plan);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(third.ok());
+  ASSERT_NE(first->sample_run, nullptr);
+  ASSERT_NE(first->cost_fit, nullptr);
+  EXPECT_EQ(first->sample_run.get(), second->sample_run.get())
+      << "hot-cache prediction must share, not copy, the sample run";
+  EXPECT_EQ(first->cost_fit.get(), second->cost_fit.get());
+  EXPECT_EQ(second->sample_run.get(), third->sample_run.get());
+  // The shared artifacts stay valid and readable through the prediction.
+  EXPECT_FALSE(first->estimates().ops.empty());
+  EXPECT_EQ(&first->estimates(), &second->estimates());
+}
+
+TEST_F(ServiceTest, BatchDuplicatesShareArtifacts) {
+  PredictionService service(db_, samples_, *units_);
+  std::vector<const Plan*> batch = {&(*plans_)[0], &(*plans_)[1], &(*plans_)[0]};
+  const auto results = service.PredictBatch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+  EXPECT_EQ(results[0]->sample_run.get(), results[2]->sample_run.get());
+  EXPECT_EQ(results[0]->cost_fit.get(), results[2]->cost_fit.get());
+  EXPECT_NE(results[0]->sample_run.get(), results[1]->sample_run.get());
+}
+
+// ---------- Stats consistency ----------
+
+TEST_F(ServiceTest, StatsInvariantHoldsMidFlight) {
+  // hits + misses must equal predictions at EVERY instant, including
+  // sampled from another thread in the middle of batches, async storms
+  // and single predictions.
+  ServiceOptions options;
+  options.num_workers = 3;
+  PredictionService service(db_, samples_, *units_, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      const ServiceStats st = service.stats();
+      if (st.cache_hits + st.cache_misses != st.predictions) {
+        violations.fetch_add(1);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<const Plan*> batch;
+  for (int r = 0; r < 3; ++r) {
+    for (const Plan& p : *plans_) batch.push_back(&p);
+  }
+  for (int round = 0; round < 3; ++round) {
+    auto results = service.PredictBatch(batch);
+    for (const auto& r : results) ASSERT_TRUE(r.ok());
+    std::vector<std::future<StatusOr<Prediction>>> futures;
+    for (const Plan& p : *plans_) futures.push_back(service.PredictAsync(p));
+    for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+    ASSERT_TRUE(service.Predict((*plans_)[0]).ok());
+  }
+  stop.store(true);
+  poller.join();
+
+  EXPECT_EQ(violations.load(), 0)
+      << "stats() exposed an inconsistent hit/miss split mid-flight";
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.cache_hits + st.cache_misses, st.predictions);
+  EXPECT_EQ(st.predictions,
+            3u * (batch.size() + plans_->size() + 1));
+}
+
+// ---------- Cache invalidation vs in-flight predictions ----------
+
+TEST_F(ServiceTest, InvalidateDuringInflightDropsStaleInsert) {
+  // InvalidateCache while a prediction is between "stages done" and
+  // "cache insert" must win: the late insert is dropped (generation
+  // stamp), so no pre-flush artifact survives the flush.
+  ServiceOptions options;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool in_stages = false;
+  bool release = false;
+  options.post_stages_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    in_stages = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  PredictionService service(db_, samples_, *units_, options);
+  const Plan& plan = (*plans_)[0];
+
+  std::thread predict_thread([&] {
+    auto pred_or = service.Predict(plan);
+    EXPECT_TRUE(pred_or.ok());  // the in-flight prediction still completes
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return in_stages; });
+  }
+  service.InvalidateCache();  // flush races the pending insert — flush wins
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  predict_thread.join();
+
+  EXPECT_EQ(service.cache_size(), 0u)
+      << "a stale artifact was re-inserted after InvalidateCache";
+  EXPECT_EQ(service.stats().stale_drops, 1u);
+
+  // The next prediction must re-run stage 1 (nothing stale was kept).
+  auto again = service.Predict(plan);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(service.stats().sample_runs, 2u);
+  EXPECT_EQ(service.cache_size(), 1u);
+}
+
+// ---------- Fingerprint collisions ----------
+
+TEST_F(ServiceTest, FingerprintCollisionFallsBackToMiss) {
+  // Force every plan onto one 64-bit fingerprint: the structural key
+  // stored with each cache entry must turn would-be false hits into
+  // misses, so predictions stay bit-identical to the reference.
+  Predictor predictor(db_, samples_, *units_);
+  ServiceOptions options;
+  options.fingerprint_fn = [](const Plan&) -> uint64_t { return 42; };
+  PredictionService service(db_, samples_, *units_, options);
+
+  std::vector<Prediction> reference;
+  for (const Plan& plan : *plans_) {
+    auto pred_or = predictor.Predict(plan);
+    ASSERT_TRUE(pred_or.ok());
+    reference.push_back(std::move(pred_or).value());
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (size_t i = 0; i < plans_->size(); ++i) {
+      auto pred_or = service.Predict((*plans_)[i]);
+      ASSERT_TRUE(pred_or.ok());
+      EXPECT_EQ(pred_or->mean(), reference[i].mean())
+          << "colliding fingerprints served another plan's artifacts";
+      EXPECT_EQ(pred_or->breakdown.variance, reference[i].breakdown.variance);
+    }
+  }
+  // All plans share the single colliding slot; round-robin access evicts
+  // it every time, so every request was a (correct) miss.
+  EXPECT_EQ(service.cache_size(), 1u);
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.cache_misses, st.predictions);
+  EXPECT_EQ(st.sample_runs, st.cache_misses);
+
+  // An immediate repeat of the same plan is still a genuine hit: the
+  // structural key matches, the collision guard only rejects impostors.
+  auto a = service.Predict((*plans_)[0]);
+  auto b = service.Predict((*plans_)[0]);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+  EXPECT_EQ(a->sample_run.get(), b->sample_run.get());
+}
+
+TEST_F(ServiceTest, BatchDedupRespectsStructuralKey) {
+  // In-batch dedup must group on the structural key, not the bare 64-bit
+  // hash: colliding plans in one batch get separate groups (and separate
+  // sample runs) instead of silently sharing artifacts.
+  ServiceOptions options;
+  options.fingerprint_fn = [](const Plan&) -> uint64_t { return 7; };
+  PredictionService service(db_, samples_, *units_, options);
+  Predictor predictor(db_, samples_, *units_);
+
+  std::vector<const Plan*> batch = {&(*plans_)[0], &(*plans_)[1],
+                                    &(*plans_)[0], &(*plans_)[1]};
+  const auto results = service.PredictBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    auto ref = predictor.Predict(*batch[i]);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(results[i]->mean(), ref->mean())
+        << "colliding in-batch plans shared another plan's artifacts";
+    EXPECT_EQ(results[i]->breakdown.variance, ref->breakdown.variance);
+  }
+  // One sample run per structural group — the collision did not merge
+  // them, and true duplicates still share.
+  EXPECT_EQ(service.stats().sample_runs, 2u);
+  EXPECT_EQ(results[0]->sample_run.get(), results[2]->sample_run.get());
+  EXPECT_NE(results[0]->sample_run.get(), results[1]->sample_run.get());
+}
+
+TEST_F(ServiceTest, StructuralKeyDistinguishesPlans) {
+  const std::string k0 = PlanStructuralKey((*plans_)[0]);
+  const std::string k1 = PlanStructuralKey((*plans_)[1]);
+  EXPECT_NE(k0, k1);
+  EXPECT_EQ(k0, PlanStructuralKey((*plans_)[0]));
 }
 
 }  // namespace

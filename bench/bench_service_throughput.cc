@@ -10,9 +10,12 @@
 //
 //   build/bench/bench_service_throughput
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <future>
+#include <mutex>
 #include <vector>
 
 #include "core/predictor.h"
@@ -155,11 +158,116 @@ int main() {
     storm_ms /= kReps;
   }
 
+  // --- lifetime gate: drop-plan-early PredictAsync storm ----------------
+  // Every submission's Plan is a clone destroyed the moment PredictAsync
+  // returns — the fire-and-forget contract. The service must predict from
+  // its registry clones (one per distinct plan, interned across the
+  // storm), satisfy every future, and drain the registry afterwards.
+  double drop_ms = 0.0;
+  uint64_t drop_runs = 0, drop_clones = 0;
+  bool drop_ok = true;
+  {
+    for (int rep = 0; rep < kReps; ++rep) {
+      PredictionService service(&db, &samples, units);
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::future<StatusOr<Prediction>>> futures;
+      futures.reserve(stream.size());
+      for (const Plan* p : stream) {
+        Plan doomed = p->Clone();
+        futures.push_back(service.PredictAsync(doomed));
+      }  // doomed destroyed here, long before most workers run
+      for (auto& f : futures) {
+        auto r = f.get();
+        if (!r.ok()) {
+          std::fprintf(stderr, "drop-plan predict failed: %s\n",
+                       r.status().ToString().c_str());
+          drop_ok = false;
+        }
+      }
+      drop_ms += MsSince(t0);
+      const ServiceStats st = service.stats();
+      drop_runs += st.sample_runs;
+      drop_clones += st.plan_clones;
+      // The registry drains per-request, so a repeat submitted after its
+      // predecessor already completed legitimately re-clones: clones land
+      // between one per distinct plan (fully overlapped storm) and one
+      // per request (fully sequential), never more.
+      drop_ok = drop_ok && st.sample_runs == distinct.size() &&
+                st.plan_clones >= distinct.size() &&
+                st.plan_clones <= stream.size() &&
+                service.plan_registry_size() == 0;
+    }
+    drop_ms /= kReps;
+  }
+
+  // --- pool-progress gate: dedup losers must not block workers ----------
+  // The winner of a same-fingerprint storm is gated mid-stages on one of
+  // TWO workers. The losers must park continuations and return the second
+  // worker to the pool, so unrelated predictions keep flowing while the
+  // winner is gated; if any loser sat in future::get(), the pool would be
+  // dead and the unrelated futures below would time out.
+  bool progress_ok = true;
+  {
+    ServiceOptions o;
+    o.num_workers = 2;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool winner_parked = false;
+    bool release = false;
+    std::atomic<int> hook_calls{0};
+    o.post_stages_hook = [&] {
+      if (hook_calls.fetch_add(1) == 0) {
+        std::unique_lock<std::mutex> lock(mu);
+        winner_parked = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+      }
+    };
+    PredictionService service(&db, &samples, units, o);
+    auto winner = service.PredictAsync(distinct[0]);
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return winner_parked; });
+    }
+    std::vector<std::future<StatusOr<Prediction>>> losers;
+    for (int i = 0; i < 16; ++i) {
+      losers.push_back(service.PredictAsync(distinct[0]));
+    }
+    for (size_t i = 1; i < distinct.size(); ++i) {
+      auto f = service.PredictAsync(distinct[i]);
+      if (f.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+        std::fprintf(stderr,
+                     "pool starved: unrelated prediction stuck behind "
+                     "dedup losers\n");
+        progress_ok = false;
+        break;
+      }
+      progress_ok = progress_ok && f.get().ok();
+    }
+    for (auto& f : losers) {
+      // Parked, not finished: their artifacts exist only once the winner
+      // completes.
+      progress_ok = progress_ok &&
+                    f.wait_for(std::chrono::seconds(0)) !=
+                        std::future_status::ready;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+      cv.notify_all();
+    }
+    progress_ok = progress_ok && winner.get().ok();
+    for (auto& f : losers) progress_ok = progress_ok && f.get().ok();
+    progress_ok =
+        progress_ok && service.stats().inflight_joins == losers.size();
+  }
+
   const double n = static_cast<double>(stream.size());
   const double seq_qps = 1000.0 * n / seq_ms;
   const double batch_qps = 1000.0 * n / batch_ms;
   const double hot_qps = 1000.0 * n / hot_ms;
   const double storm_qps = 1000.0 * n / storm_ms;
+  const double drop_qps = 1000.0 * n / drop_ms;
   std::printf("%-38s %10s %14s %8s\n", "mode", "ms/stream", "predictions/s",
               "speedup");
   std::printf("%-38s %10.1f %14.1f %8s\n", "sequential Predict (no service)",
@@ -172,16 +280,50 @@ int main() {
   std::printf("%-38s %10.1f %14.1f %7.2fx\n",
               "PredictAsync storm (cold, in-flight)", storm_ms, storm_qps,
               storm_qps / seq_qps);
+  std::printf("%-38s %10.1f %14.1f %7.2fx\n",
+              "PredictAsync storm (plans dropped)", drop_ms, drop_qps,
+              drop_qps / seq_qps);
   std::printf("\nasync storm: %.1f stage-1 runs/rep for %zu requests over %zu "
               "distinct plans (%.1f in-flight joins + %.1f cache hits per rep)\n",
               static_cast<double>(storm_runs) / kReps, stream.size(),
               distinct.size(), static_cast<double>(storm_joins) / kReps,
               static_cast<double>(storm_hits) / kReps);
+  std::printf("drop-plan storm: %.1f stage-1 runs and %.1f registry clones/rep "
+              "(callers destroyed every plan at submit)\n",
+              static_cast<double>(drop_runs) / kReps,
+              static_cast<double>(drop_clones) / kReps);
 
-  const bool pass = batch_qps >= 2.0 * seq_qps;
+  const bool batch_pass = batch_qps >= 2.0 * seq_qps;
   std::printf("\nbatched/sequential = %.2fx (target >= 2x): %s\n",
-              batch_qps / seq_qps, pass ? "PASS" : "FAIL");
+              batch_qps / seq_qps, batch_pass ? "PASS" : "FAIL");
   std::printf("async dedup: one stage-1 run per distinct fingerprint: %s\n",
               dedup_ok ? "PASS" : "FAIL");
-  return pass && dedup_ok ? 0 : 1;
+  std::printf("plan lifetime: futures outlive dropped caller plans: %s\n",
+              drop_ok ? "PASS" : "FAIL");
+  std::printf("continuation handoff: losers block zero workers: %s\n",
+              progress_ok ? "PASS" : "FAIL");
+  const bool pass = batch_pass && dedup_ok && drop_ok && progress_ok;
+
+  // Machine-readable summary (one JSON object on its own line) so future
+  // PRs can track the perf trajectory: grep '^{' and parse.
+  std::printf(
+      "{\"bench\":\"service_throughput\",\"predictions\":%zu,"
+      "\"distinct_plans\":%zu,\"repeats\":%d,\"reps\":%d,"
+      "\"sequential_ms\":%.3f,\"batch_cold_ms\":%.3f,\"batch_hot_ms\":%.3f,"
+      "\"async_storm_ms\":%.3f,\"drop_plan_storm_ms\":%.3f,"
+      "\"sequential_qps\":%.1f,\"batch_cold_qps\":%.1f,\"batch_hot_qps\":%.1f,"
+      "\"async_storm_qps\":%.1f,\"drop_plan_storm_qps\":%.1f,"
+      "\"speedup_batch_cold\":%.3f,\"speedup_batch_hot\":%.3f,"
+      "\"speedup_async_storm\":%.3f,\"storm_stage1_runs_per_rep\":%.2f,"
+      "\"drop_storm_registry_clones_per_rep\":%.2f,"
+      "\"batch_pass\":%s,\"dedup_ok\":%s,\"drop_plan_ok\":%s,"
+      "\"pool_progress_ok\":%s,\"pass\":%s}\n",
+      stream.size(), distinct.size(), kRepeats, kReps, seq_ms, batch_ms,
+      hot_ms, storm_ms, drop_ms, seq_qps, batch_qps, hot_qps, storm_qps,
+      drop_qps, batch_qps / seq_qps, hot_qps / seq_qps, storm_qps / seq_qps,
+      static_cast<double>(storm_runs) / kReps,
+      static_cast<double>(drop_clones) / kReps, batch_pass ? "true" : "false",
+      dedup_ok ? "true" : "false", drop_ok ? "true" : "false",
+      progress_ok ? "true" : "false", pass ? "true" : "false");
+  return pass ? 0 : 1;
 }

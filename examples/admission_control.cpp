@@ -55,19 +55,20 @@ int main() {
   } point, dist;
 
   // Arrival: optimize and enqueue every query, kicking off its prediction
-  // asynchronously. The plans vector is built first so the futures' plan
-  // references stay stable.
+  // asynchronously the moment the plan exists. PredictAsync interns its
+  // own copy of the plan, so the plan can be moved into the queue (or
+  // destroyed outright) right after the call — no careful build-the-
+  // vector-first dance to keep references stable.
   std::vector<std::pair<std::string, Plan>> admitted_queue;
+  std::vector<std::future<StatusOr<Prediction>>> pending;
   admitted_queue.reserve(queries.size());
+  pending.reserve(queries.size());
   for (auto& q : queries) {
     auto plan_or = OptimizePlan(std::move(q.logical), db);
     if (!plan_or.ok()) continue;
-    admitted_queue.emplace_back(q.name, std::move(plan_or).value());
-  }
-  std::vector<std::future<StatusOr<Prediction>>> pending;
-  pending.reserve(admitted_queue.size());
-  for (const auto& [name, plan] : admitted_queue) {
+    Plan plan = std::move(plan_or).value();
     pending.push_back(service.PredictAsync(plan));
+    admitted_queue.emplace_back(q.name, std::move(plan));
   }
 
   std::printf("%-18s %9s %9s %9s  %-8s %-8s\n", "query", "E[t] ms", "sd ms",

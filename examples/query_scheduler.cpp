@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <future>
 #include <vector>
 
 #include "cost/calibration.h"
@@ -51,9 +52,11 @@ int main() {
   SampleOptions sample_options;
   sample_options.sampling_ratio = 0.05;
   const SampleDb samples = SampleDb::Build(db, sample_options);
-  // The scheduler predicts its whole queue at once: PredictBatch shards
-  // the staged pipeline across the service's worker pool and dedupes
-  // repeated plans by fingerprint.
+  // The scheduler kicks off each job's prediction the moment its plan is
+  // optimized: PredictAsync owns a registry copy of the plan, so the
+  // plans vector below is free to reallocate (or drop plans) while the
+  // worker pool predicts — repeated plans still share one sample run
+  // through the in-flight dedup table.
   PredictionService service(&db, &samples, units);
   Executor executor(&db);
 
@@ -63,23 +66,27 @@ int main() {
   auto queries = MakeSelJoinWorkload(db, wopts);
   std::vector<Plan> plans;
   std::vector<std::string> names;
+  std::vector<std::future<StatusOr<Prediction>>> pending;
   for (auto& q : queries) {
     auto plan_or = OptimizePlan(std::move(q.logical), db);
     if (!plan_or.ok()) continue;
+    // Submit before storing: push_back may reallocate and move every plan,
+    // which is fine — the service predicts from its own interned copy.
+    pending.push_back(service.PredictAsync(plan_or.value()));
     plans.push_back(std::move(plan_or).value());
     names.push_back(q.name);
   }
 
-  const auto predictions = service.PredictBatch(plans);
   std::vector<Job> jobs;
   Rng rng(5);
   for (size_t i = 0; i < plans.size(); ++i) {
-    if (!predictions[i].ok()) continue;
+    auto pred_or = pending[i].get();
+    if (!pred_or.ok()) continue;
     auto full = executor.Execute(plans[i], ExecOptions{});
     if (!full.ok()) continue;
     Job job;
     job.name = names[i];
-    job.time = predictions[i]->distribution();
+    job.time = pred_or->distribution();
     job.actual = machine.ExecuteOnce(*full);
     jobs.push_back(job);
   }

@@ -89,6 +89,11 @@ Prediction PredictionPipeline::PredictFromArtifacts(SampleRunPtr sample_run,
   return out;
 }
 
+Prediction PredictionPipeline::PredictFromArtifacts(
+    const StageArtifacts& artifacts) const {
+  return PredictFromArtifacts(artifacts.run, artifacts.fit);
+}
+
 VarianceBreakdown PredictionPipeline::Recompute(const Prediction& prediction,
                                                 PredictorVariant variant,
                                                 CovarianceBoundKind bound) const {

@@ -39,6 +39,16 @@ struct CostFitOutput;
 using SampleRunPtr = std::shared_ptr<const SampleRunOutput>;
 using CostFitPtr = std::shared_ptr<const CostFitOutput>;
 
+/// The shared, immutable stage 1-2 artifacts of one plan, bundled. This is
+/// the unit the service layer caches, dedups and hands between requests:
+/// stage 3 (PredictFromArtifacts) needs nothing but this bundle — not the
+/// plan — which is what makes continuation-style handoff possible: any
+/// thread holding the artifacts can finish any waiter's prediction.
+struct StageArtifacts {
+  SampleRunPtr run;
+  CostFitPtr fit;
+};
+
 /// A prediction: the distribution of likely running times plus shared
 /// views of the intermediate artifacts, for diagnostics, Recompute and
 /// the experiment harness.
@@ -193,6 +203,9 @@ class PredictionPipeline {
   /// prediction aliases both artifacts — zero-copy, O(variance breakdown).
   Prediction PredictFromArtifacts(SampleRunPtr sample_run,
                                   CostFitPtr cost_fit) const;
+  /// Bundle overload: the form the service's cache, in-flight dedup and
+  /// continuation handoff trade in.
+  Prediction PredictFromArtifacts(const StageArtifacts& artifacts) const;
 
   /// Stage 3 only, under a different variant/bound (ablation reuse).
   VarianceBreakdown Recompute(const Prediction& prediction,

@@ -442,6 +442,14 @@ void CollectIndexRange(const Expr* e, int column, double* lo, double* hi,
   }
 }
 
+ExprPtr CloneExprTree(const ExprPtr& e) {
+  if (e == nullptr) return nullptr;
+  auto out = std::make_shared<Expr>(*e);
+  out->lhs = CloneExprTree(e->lhs);
+  out->rhs = CloneExprTree(e->rhs);
+  return out;
+}
+
 ExprPtr ShiftColumns(const ExprPtr& e, int offset) {
   if (e == nullptr) return nullptr;
   auto out = std::make_shared<Expr>(*e);

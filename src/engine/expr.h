@@ -86,6 +86,14 @@ void AppendExprKey(const Expr* e, std::string* out);
 /// integer encoding of the structural-key serializations.
 void AppendKeyU64(std::string* out, uint64_t v);
 
+/// Deep copy of an expression tree: the result shares no Expr node with
+/// the input (string constants still alias the process-wide intern pool,
+/// which is immortal). Expressions are immutable and refcounted, so
+/// sharing an ExprPtr is normally enough — this exists for owners that
+/// must be independent of every allocation the builder made, e.g. the
+/// service's plan registry, whose clones outlive the caller's plan.
+ExprPtr CloneExprTree(const ExprPtr& e);
+
 /// Remaps column indexes by adding `offset` (used when pushing predicates
 /// above a join whose left side contributes `offset` columns).
 ExprPtr ShiftColumns(const ExprPtr& e, int offset);

@@ -150,6 +150,40 @@ Status Plan::Finalize(const Database& db) {
   return Status::OK();
 }
 
+namespace {
+
+/// Field-for-field deep copy, derived (Finalize-computed) fields included.
+std::unique_ptr<PlanNode> CloneNodeFinalized(const PlanNode& node) {
+  auto n = std::make_unique<PlanNode>();
+  n->type = node.type;
+  n->table_name = node.table_name;
+  n->predicate = CloneExprTree(node.predicate);
+  n->index_column = node.index_column;
+  n->join_keys = node.join_keys;
+  n->sort_columns = node.sort_columns;
+  n->group_columns = node.group_columns;
+  n->aggregates = node.aggregates;
+  n->id = node.id;
+  n->output_schema = node.output_schema;
+  n->leaf_begin = node.leaf_begin;
+  n->leaf_end = node.leaf_end;
+  n->has_aggregate_below = node.has_aggregate_below;
+  n->leaf_row_product = node.leaf_row_product;
+  if (node.left != nullptr) n->left = CloneNodeFinalized(*node.left);
+  if (node.right != nullptr) n->right = CloneNodeFinalized(*node.right);
+  return n;
+}
+
+}  // namespace
+
+Plan Plan::Clone() const {
+  Plan copy;
+  if (root_ != nullptr) copy.root_ = CloneNodeFinalized(*root_);
+  copy.num_operators_ = num_operators_;
+  copy.num_leaves_ = num_leaves_;
+  return copy;
+}
+
 std::vector<const PlanNode*> Plan::NodesPreorder() const {
   std::vector<const PlanNode*> nodes;
   std::function<void(const PlanNode*)> visit = [&](const PlanNode* n) {

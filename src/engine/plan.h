@@ -92,6 +92,15 @@ class Plan {
   /// Fails if referenced tables/columns don't exist.
   Status Finalize(const Database& db);
 
+  /// Deep copy that preserves the finalized state: operator ids, derived
+  /// schemas, leaf spans and counters are copied verbatim and expression
+  /// trees are cloned node for node, so the copy shares no allocation with
+  /// the original and needs no re-Finalize (and hence no Database). This
+  /// is the ownership primitive behind the service's plan registry:
+  /// PredictAsync clones the caller's plan, so the caller may destroy it
+  /// the moment the call returns.
+  Plan Clone() const;
+
   const PlanNode* root() const { return root_.get(); }
   PlanNode* mutable_root() { return root_.get(); }
 
@@ -136,7 +145,9 @@ std::unique_ptr<PlanNode> MakeAggregate(std::unique_ptr<PlanNode> child,
                                         std::vector<AggSpec> aggregates);
 std::unique_ptr<PlanNode> MakeMaterialize(std::unique_ptr<PlanNode> child);
 
-/// Deep copy of a plan subtree (derived fields reset).
+/// Deep copy of a plan subtree (derived fields reset; predicates shared).
+/// For a copy of a whole finalized plan use Plan::Clone, which also
+/// carries the derived fields and clones the expression trees.
 std::unique_ptr<PlanNode> ClonePlanTree(const PlanNode& node);
 
 /// Structural 64-bit fingerprint of a finalized plan: operator types and

@@ -47,14 +47,22 @@ PredictionService::PredictionService(const Database* db, const SampleDb* samples
   }
 }
 
-PredictionService::~PredictionService() {
+PredictionService::~PredictionService() { Shutdown(); }
+
+void PredictionService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(pool_mu_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   pool_cv_.notify_all();
   // Workers drain the queue before exiting, so every future handed out by
-  // PredictAsync is satisfied.
+  // PredictAsync before the shutdown flag was set is satisfied. Requests
+  // that lose the race (PredictAsync observing shutdown_ == true) are
+  // rejected with Status::Unavailable instead of being enqueued into a
+  // pool nobody drains. The joined threads stay in workers_ — the vector
+  // is never mutated after construction, so concurrent readers
+  // (ParallelFor, num_workers) race with nothing.
   for (std::thread& t : workers_) t.join();
 }
 
@@ -68,8 +76,10 @@ void PredictionService::WorkerLoop() {
         if (shutdown_) return;
         continue;
       }
-      task = std::move(pool_queue_.back());
-      pool_queue_.pop_back();
+      // FIFO: the oldest request is served next. (A LIFO pop would starve
+      // the oldest PredictAsync under sustained load.)
+      task = std::move(pool_queue_.front());
+      pool_queue_.pop_front();
     }
     task();
   }
@@ -86,13 +96,19 @@ void PredictionService::ParallelFor(size_t n,
   state->total = n;
   state->fn = &fn;  // outlives the call: we wait for completion below
   const size_t helpers = std::min(workers_.size(), n - 1);
+  bool enqueued = false;
   {
     std::lock_guard<std::mutex> lock(pool_mu_);
-    for (size_t i = 0; i < helpers; ++i) {
-      pool_queue_.push_back([state] { state->Pull(); });
+    // After Shutdown nobody pops the queue: don't park helper closures
+    // there forever — the calling thread just runs every index itself.
+    if (!shutdown_) {
+      for (size_t i = 0; i < helpers; ++i) {
+        pool_queue_.push_back([state] { state->Pull(); });
+      }
+      enqueued = true;
     }
   }
-  pool_cv_.notify_all();
+  if (enqueued) pool_cv_.notify_all();
   state->Pull();  // the calling thread shards too
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] { return state->done.load() == n; });
@@ -101,6 +117,44 @@ void PredictionService::ParallelFor(size_t n,
 uint64_t PredictionService::Fingerprint(const Plan& plan) const {
   return options_.fingerprint_fn != nullptr ? options_.fingerprint_fn(plan)
                                             : PlanFingerprint(plan);
+}
+
+std::shared_ptr<const Plan> PredictionService::InternPlan(
+    const Plan& plan, const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = plan_registry_.find(key);
+    if (it != plan_registry_.end()) {
+      ++it->second.refs;
+      return it->second.plan;
+    }
+  }
+  // Deep-copy outside the lock: the clone walks every node, schema and
+  // expression of the plan, and must not serialize unrelated submitters.
+  auto clone = std::make_shared<const Plan>(plan.Clone());
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto [it, inserted] = plan_registry_.try_emplace(key);
+  if (inserted) {
+    it->second.plan = std::move(clone);
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.plan_clones;
+  }
+  // else: a concurrent submitter interned first — use its copy, drop ours.
+  ++it->second.refs;
+  return it->second.plan;
+}
+
+void PredictionService::ReleasePlan(const std::string& key) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = plan_registry_.find(key);
+  if (it != plan_registry_.end() && --it->second.refs == 0) {
+    plan_registry_.erase(it);
+  }
+}
+
+size_t PredictionService::plan_registry_size() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return plan_registry_.size();
 }
 
 void PredictionService::RecordRequest(bool hit, bool inflight_join) {
@@ -142,9 +196,11 @@ void PredictionService::InvalidateCache() {
   std::lock_guard<std::mutex> lock(cache_mu_);
   lru_.clear();
   cache_index_.clear();
-  // Detach in-flight runs: their waiters still get a (pre-flush) result,
-  // but new requests must not join them, and the generation bump below
-  // keeps their late CachePut out of the flushed cache.
+  // Detach in-flight runs: their waiters still get a (pre-flush) result —
+  // parked continuations live on the Inflight object, not in this map, so
+  // the completing thread still drains them — but new requests must not
+  // join the detached run, and the generation bump below keeps its late
+  // CachePut out of the flushed cache.
   inflight_.clear();
   ++generation_;
 }
@@ -179,58 +235,41 @@ StatusOr<PredictionService::Artifacts> PredictionService::RunStages(
   return artifacts;
 }
 
-StatusOr<PredictionService::Artifacts> PredictionService::GetArtifacts(
-    const Plan& plan, uint64_t fingerprint) {
-  const bool use_cache = options_.cache_capacity > 0;
-  std::string key = PlanStructuralKey(plan);
-  std::shared_ptr<Inflight> join;   // an in-flight run we wait on
-  std::shared_ptr<Inflight> owned;  // the in-flight run we fulfill
-  uint64_t generation = 0;
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    generation = generation_;
-    if (use_cache) {
-      auto it = cache_index_.find(fingerprint);
-      // Confirm the canonical structure: a fingerprint collision must be
-      // a miss, never another plan's artifacts.
-      if (it != cache_index_.end() && it->second->key == key) {
-        lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-        Artifacts artifacts = it->second->artifacts;
-        RecordRequest(/*hit=*/true);
-        return artifacts;
-      }
-    }
-    auto it = inflight_.find(fingerprint);
-    if (it != inflight_.end() && it->second->key == key) {
-      join = it->second;
-    } else if (it == inflight_.end()) {
-      owned = std::make_shared<Inflight>(key);
-      inflight_.emplace(fingerprint, owned);
-    }
-    // else: the fingerprint is in flight for a structurally different
-    // plan (hash collision) — run solo, without registering.
+void PredictionService::FulfillAsync(AsyncRequest& req,
+                                     const StatusOr<Artifacts>& artifacts) {
+  // Release the registry reference (and this request's hold on the clone)
+  // before the promise fires: a caller that saw the future complete also
+  // sees the registry drained of this request. Requests that never
+  // interned (submit-time fast paths) hold no reference to release — and
+  // must not decrement one taken by a different request for the same key.
+  if (req.plan != nullptr) {
+    ReleasePlan(req.key);
+    req.plan.reset();
   }
-
-  if (join != nullptr) {
-    // Another request is already sampling this plan: wait for its shared
-    // artifacts instead of duplicating stage-1/2 work.
-    RecordRequest(/*hit=*/true, /*inflight_join=*/true);
-    return join->future.get();
+  if (artifacts.ok()) {
+    req.promise.set_value(pipeline_.PredictFromArtifacts(artifacts.value()));
+  } else {
+    req.promise.set_value(artifacts.status());
   }
+}
 
-  // This request runs the stages itself — the one classification point
-  // for misses, so hits + misses == predictions at every instant.
-  RecordRequest(/*hit=*/false);
-  StatusOr<Artifacts> result = RunStages(plan);
-  if (options_.post_stages_hook) options_.post_stages_hook();
-
+void PredictionService::CompleteRun(const std::shared_ptr<Inflight>& owned,
+                                    uint64_t fingerprint,
+                                    const std::string& key, uint64_t generation,
+                                    const StatusOr<Artifacts>& result) {
+  std::vector<std::shared_ptr<AsyncRequest>> waiters;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (owned != nullptr) {
       auto it = inflight_.find(fingerprint);
       if (it != inflight_.end() && it->second == owned) inflight_.erase(it);
+      // Detach the continuation list under the same lock that guards
+      // registration: once the entry is unreachable no new waiter can be
+      // parked, so none is ever lost. (If InvalidateCache already detached
+      // the entry, the waiters parked before the flush are still here.)
+      waiters = std::move(owned->waiters);
     }
-    if (use_cache && result.ok()) {
+    if (options_.cache_capacity > 0 && result.ok()) {
       if (generation_ == generation) {
         CachePutLocked(fingerprint, key, result.value());
       } else {
@@ -241,13 +280,81 @@ StatusOr<PredictionService::Artifacts> PredictionService::GetArtifacts(
       }
     }
   }
+  // Wake the blocking sync joiners, then finish every parked async loser
+  // with the cheap stage-3 combination (continuation handoff): the losers
+  // returned their workers long ago, so a same-fingerprint storm never
+  // starves the pool.
   if (owned != nullptr) owned->promise.set_value(result);
+  for (const auto& w : waiters) FulfillAsync(*w, result);
+}
+
+PredictionService::Lookup PredictionService::LookupArtifacts(
+    uint64_t fingerprint, const std::string& key,
+    const std::shared_ptr<AsyncRequest>& park, bool register_owned) {
+  Lookup lk;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  lk.generation = generation_;
+  if (options_.cache_capacity > 0) {
+    auto it = cache_index_.find(fingerprint);
+    // Confirm the canonical structure: a fingerprint collision must be
+    // a miss, never another plan's artifacts.
+    if (it != cache_index_.end() && it->second->key == key) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+      lk.artifacts = it->second->artifacts;
+      lk.cached = true;
+      RecordRequest(/*hit=*/true);
+      return lk;
+    }
+  }
+  auto it = inflight_.find(fingerprint);
+  if (it != inflight_.end() && it->second->key == key) {
+    if (park != nullptr) {
+      // Continuation handoff: park {request, promise} on the in-flight
+      // record — the winner finishes us with one cheap stage-3 run. No
+      // thread ever blocks in future::get() on this path.
+      RecordRequest(/*hit=*/true, /*inflight_join=*/true);
+      it->second->waiters.push_back(park);
+      lk.parked = true;
+    } else {
+      lk.join = it->second;
+    }
+  } else if (it == inflight_.end() && register_owned) {
+    lk.owned = std::make_shared<Inflight>(key);
+    inflight_.emplace(fingerprint, lk.owned);
+  }
+  // else: the fingerprint is in flight for a structurally different plan
+  // (hash collision) — run solo, without registering.
+  return lk;
+}
+
+StatusOr<PredictionService::Artifacts> PredictionService::GetArtifacts(
+    const Plan& plan, uint64_t fingerprint, const std::string& key) {
+  Lookup lk = LookupArtifacts(fingerprint, key, /*park=*/nullptr,
+                              /*register_owned=*/true);
+  if (lk.cached) return std::move(lk.artifacts);
+
+  if (lk.join != nullptr) {
+    // Another request is already sampling this plan. Sync paths must hand
+    // a value back to their caller, so waiting here is inherent — and it
+    // blocks only the caller's own thread (Predict) or one batch shard.
+    // Async requests never reach this: they park a continuation instead.
+    RecordRequest(/*hit=*/true, /*inflight_join=*/true);
+    return lk.join->future.get();
+  }
+
+  // This request runs the stages itself — the one classification point
+  // for misses, so hits + misses == predictions at every instant.
+  RecordRequest(/*hit=*/false);
+  StatusOr<Artifacts> result = RunStages(plan);
+  if (options_.post_stages_hook) options_.post_stages_hook();
+  CompleteRun(lk.owned, fingerprint, key, lk.generation, result);
   return result;
 }
 
 StatusOr<Prediction> PredictionService::PredictImpl(const Plan& plan) {
-  UQP_ASSIGN_OR_RETURN(Artifacts artifacts,
-                       GetArtifacts(plan, Fingerprint(plan)));
+  UQP_ASSIGN_OR_RETURN(
+      Artifacts artifacts,
+      GetArtifacts(plan, Fingerprint(plan), PlanStructuralKey(plan)));
   return pipeline_.PredictFromArtifacts(std::move(artifacts.run),
                                         std::move(artifacts.fit));
 }
@@ -256,14 +363,69 @@ StatusOr<Prediction> PredictionService::Predict(const Plan& plan) {
   return PredictImpl(plan);
 }
 
+void PredictionService::RunAsyncRequest(
+    const std::shared_ptr<AsyncRequest>& req) {
+  Lookup lk = LookupArtifacts(req->fingerprint, req->key, /*park=*/req,
+                              /*register_owned=*/true);
+  if (lk.parked) return;  // the winner will finish us; worker freed
+  if (lk.cached) {
+    FulfillAsync(*req, StatusOr<Artifacts>(std::move(lk.artifacts)));
+    return;
+  }
+
+  RecordRequest(/*hit=*/false);
+  StatusOr<Artifacts> result = RunStages(*req->plan);
+  if (options_.post_stages_hook) options_.post_stages_hook();
+  CompleteRun(lk.owned, req->fingerprint, req->key, lk.generation, result);
+  FulfillAsync(*req, result);
+}
+
 std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
     const Plan& plan) {
-  auto task = std::make_shared<std::packaged_task<StatusOr<Prediction>()>>(
-      [this, plan_ptr = &plan] { return PredictImpl(*plan_ptr); });
-  std::future<StatusOr<Prediction>> future = task->get_future();
+  auto req = std::make_shared<AsyncRequest>();
+  req->fingerprint = Fingerprint(plan);
+  req->key = PlanStructuralKey(plan);
+  std::future<StatusOr<Prediction>> future = req->promise.get_future();
+
+  // Submit-time fast paths on the caller's thread, before paying for a
+  // registry clone or a pool round-trip: a cache hit is one cheap stage-3
+  // combination away, and a plan already being sampled can park a
+  // plan-free continuation (stage 3 needs only the artifacts). Neither
+  // touches the caller's plan after this call returns.
+  Lookup lk = LookupArtifacts(req->fingerprint, req->key, /*park=*/req,
+                              /*register_owned=*/false);
+  if (lk.parked) return future;
+  if (lk.cached) {
+    FulfillAsync(*req, StatusOr<Artifacts>(std::move(lk.artifacts)));
+    return future;
+  }
+
+  // Cold miss: own the plan before returning. From here on the caller's
+  // Plan is never touched again, so it may be destroyed as soon as this
+  // call returns.
+  req->plan = InternPlan(plan, req->key);
+
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(pool_mu_);
-    pool_queue_.push_back([task] { (*task)(); });
+    if (shutdown_) {
+      rejected = true;
+    } else {
+      pool_queue_.push_back([this, req] { RunAsyncRequest(req); });
+    }
+  }
+  if (rejected) {
+    // The pool is gone; enqueueing would leave the future unsatisfied
+    // forever. Fail fast instead.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.async_rejects;
+    }
+    ReleasePlan(req->key);
+    req->plan.reset();
+    req->promise.set_value(
+        Status::Unavailable("PredictionService is shut down"));
+    return future;
   }
   pool_cv_.notify_one();
   return future;
@@ -287,14 +449,16 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
   // collision guarantee inside a batch: colliding plans form separate
   // groups instead of silently sharing artifacts.
   std::vector<uint64_t> fingerprints(count);
+  std::vector<std::string> keys(count);
   std::vector<size_t> group_ids(count);
   std::unordered_map<std::string, size_t> group_of;  // fp ‖ key -> group id
   std::vector<size_t> representative;                // group id -> plan index
   for (size_t i = 0; i < count; ++i) {
     fingerprints[i] = Fingerprint(*plans[i]);
+    keys[i] = PlanStructuralKey(*plans[i]);
     std::string group_key;
     AppendKeyU64(&group_key, fingerprints[i]);
-    group_key += PlanStructuralKey(*plans[i]);
+    group_key += keys[i];
     const auto [it, inserted] =
         group_of.emplace(std::move(group_key), representative.size());
     group_ids[i] = it->second;
@@ -307,7 +471,8 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
   std::vector<Status> group_status(representative.size());
   const std::function<void(size_t)> stages12 = [&](size_t g) {
     const size_t rep = representative[g];
-    auto artifacts_or = GetArtifacts(*plans[rep], fingerprints[rep]);
+    auto artifacts_or =
+        GetArtifacts(*plans[rep], fingerprints[rep], keys[rep]);
     if (artifacts_or.ok()) {
       artifacts[g] = std::move(artifacts_or).value();
     } else {
@@ -325,8 +490,7 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
       results[i] = group_status[g];
       return;
     }
-    results[i] =
-        pipeline_.PredictFromArtifacts(artifacts[g].run, artifacts[g].fit);
+    results[i] = pipeline_.PredictFromArtifacts(artifacts[g]);
   };
   ParallelFor(count, stage3);
   return results;

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <list>
@@ -35,7 +36,8 @@ struct ServiceOptions {
   uint64_t (*fingerprint_fn)(const Plan&) = nullptr;
   /// Test seam: called after stages 1-2 of a cache miss run, before the
   /// artifacts are published to the cache. Lets tests interleave
-  /// InvalidateCache deterministically with an in-flight prediction.
+  /// InvalidateCache deterministically with an in-flight prediction, and
+  /// gate an in-flight winner while async losers park continuations.
   std::function<void()> post_stages_hook;
   PredictorOptions predictor;
 };
@@ -54,8 +56,12 @@ struct ServiceStats {
   uint64_t fit_runs = 0;        ///< CostFitStage executions (stage 2)
   uint64_t cache_hits = 0;      ///< predictions that ran no stage-1/2 work
   uint64_t cache_misses = 0;    ///< predictions that ran stages themselves
-  uint64_t inflight_joins = 0;  ///< hits served by waiting on an in-flight miss
+  uint64_t inflight_joins = 0;  ///< hits served by an in-flight miss (parked
+                                ///< async continuations + blocking sync joins)
   uint64_t stale_drops = 0;     ///< cache inserts dropped by InvalidateCache generation
+  uint64_t plan_clones = 0;     ///< deep copies made by the async plan registry
+                                ///< (interned duplicates don't re-clone)
+  uint64_t async_rejects = 0;   ///< PredictAsync calls refused after Shutdown
 };
 
 /// Thread-safe, concurrent front end to the prediction pipeline — the
@@ -64,7 +70,9 @@ struct ServiceStats {
 ///
 ///   - Predict(plan): one prediction on the calling thread.
 ///   - PredictAsync(plan): one prediction on the worker pool, returned as
-///     a future so admission paths overlap prediction with queueing.
+///     a future. Fire-and-forget safe: the service deep-copies (interns)
+///     the plan into its own registry, so the caller may destroy the plan
+///     the moment the call returns.
 ///   - PredictBatch(plans): shards stage work across the worker pool.
 ///
 /// All paths cache per-plan stage artifacts in an LRU keyed by plan
@@ -76,8 +84,14 @@ struct ServiceStats {
 /// to a miss instead of serving another plan's artifacts.
 ///
 /// Concurrent misses on the same fingerprint are deduplicated through an
-/// in-flight table: the first request runs stages 1-2, every concurrent
-/// duplicate waits on the winner's shared future instead of re-sampling.
+/// in-flight table: the first request runs stages 1-2. A concurrent async
+/// duplicate parks a continuation {owned plan, promise} on the winner's
+/// in-flight record and returns its worker to the pool; when the winner
+/// finishes, it drains the continuation list by running the cheap stage-3
+/// combination per waiter. (Synchronous duplicates — Predict/PredictBatch,
+/// which must return a value to their caller — still block their own
+/// calling thread on the winner's shared future.) So a same-fingerprint
+/// storm of async misses occupies exactly one worker, never the pool.
 /// Served predictions alias the immutable cached artifacts via shared_ptr
 /// (zero-copy), so a hot-cache prediction costs one variance combination.
 /// Every stage is deterministic: cached, batched, async and sequential
@@ -96,14 +110,30 @@ class PredictionService {
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
   /// Full prediction of one plan, on the calling thread. Safe to call
-  /// concurrently from any number of threads.
+  /// concurrently from any number of threads. The plan is only read for
+  /// the duration of the call.
   StatusOr<Prediction> Predict(const Plan& plan);
 
   /// Full prediction of one plan on the worker pool; returns immediately.
   /// The caller can overlap queueing/scheduling work with the prediction
-  /// and collect the result when the admission decision is due. The plan
-  /// must outlive the future's completion. Concurrent async misses on one
-  /// fingerprint share a single stage-1/2 execution.
+  /// and collect the result when the admission decision is due.
+  ///
+  /// Ownership contract: the service owns everything it needs before
+  /// returning — for a cold plan it interns a deep copy in its registry —
+  /// so the caller may destroy (or move) the plan immediately after this
+  /// call; the future stays valid and will be satisfied. Concurrent async
+  /// misses on one fingerprint share a single stage-1/2 execution AND a
+  /// single registry clone.
+  ///
+  /// Fast paths on the submitting thread (no clone, no queue trip): a
+  /// cache hit returns an already-ready future after one cheap stage-3
+  /// combination; a plan already being sampled parks a plan-free
+  /// continuation on the in-flight run. Only a genuine cold miss pays
+  /// the clone and the pool round-trip.
+  ///
+  /// After Shutdown() the returned future is never left unsatisfied:
+  /// cache hits are still served inline, anything needing the pool is
+  /// immediately ready with Status::Unavailable.
   std::future<StatusOr<Prediction>> PredictAsync(const Plan& plan);
 
   /// Predicts every plan in the span, sharding across the worker pool
@@ -122,12 +152,25 @@ class PredictionService {
                               PredictorVariant variant,
                               CovarianceBoundKind bound) const;
 
+  /// Stops the worker pool: drains every task already enqueued (so every
+  /// previously returned future is satisfied), joins the workers, and
+  /// makes later PredictAsync calls fail fast with Status::Unavailable
+  /// instead of leaving their futures unsatisfied forever. Synchronous
+  /// Predict/PredictBatch keep working (inline on the calling thread).
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
   /// Snapshot of the service counters (internally consistent: the hit/miss
   /// split always sums to `predictions`).
   ServiceStats stats() const;
 
   /// Number of distinct fingerprints currently cached.
   size_t cache_size() const;
+
+  /// Number of plans currently interned for outstanding async requests.
+  /// Returns to 0 once every outstanding PredictAsync completed — the
+  /// registry holds clones only as long as some request needs them.
+  size_t plan_registry_size() const;
 
   /// Drops every cached sample run (e.g. after samples are rebuilt) and
   /// advances the cache generation: in-flight predictions that started
@@ -137,13 +180,24 @@ class PredictionService {
 
  private:
   /// The cached (shared, immutable) stage 1-2 artifacts of one plan.
-  struct Artifacts {
-    SampleRunPtr run;
-    CostFitPtr fit;
+  using Artifacts = StageArtifacts;
+
+  /// One PredictAsync invocation: the service-owned (registry-interned)
+  /// plan, its identity, and the caller's promise. Also the continuation
+  /// record a dedup loser parks on the winner's in-flight entry — holding
+  /// the owned plan keeps the registry entry alive until the request is
+  /// actually served.
+  struct AsyncRequest {
+    std::shared_ptr<const Plan> plan;  ///< owned by the registry, not the caller
+    uint64_t fingerprint = 0;
+    std::string key;  ///< canonical structural key (registry + cache identity)
+    std::promise<StatusOr<Prediction>> promise;
   };
 
   /// One in-flight stage-1/2 execution: the winner fulfills the promise,
-  /// concurrent requests for the same plan wait on the shared future.
+  /// concurrent sync requests for the same plan wait on the shared future,
+  /// concurrent async requests park on `waiters` and are finished by the
+  /// winner (continuation handoff) without pinning a worker.
   struct Inflight {
     explicit Inflight(std::string key_in) : key(std::move(key_in)) {
       future = promise.get_future().share();
@@ -151,18 +205,81 @@ class PredictionService {
     std::string key;  ///< structural key of the plan being computed
     std::promise<StatusOr<Artifacts>> promise;
     std::shared_future<StatusOr<Artifacts>> future;
+    /// Parked async losers, guarded by cache_mu_. Only mutated while this
+    /// entry is reachable from inflight_; the completing thread detaches
+    /// the list under the same lock, so no continuation is ever lost.
+    std::vector<std::shared_ptr<AsyncRequest>> waiters;
+  };
+
+  /// An interned plan: one deep copy shared by every outstanding async
+  /// request with the same structural key.
+  struct RegisteredPlan {
+    std::shared_ptr<const Plan> plan;
+    size_t refs = 0;
   };
 
   uint64_t Fingerprint(const Plan& plan) const;
 
+  /// Result of one locked pass over the cache and the in-flight table.
+  struct Lookup {
+    bool cached = false;  ///< `artifacts` valid; request recorded as a hit
+    bool parked = false;  ///< continuation parked; request recorded as a join
+    Artifacts artifacts;
+    std::shared_ptr<Inflight> join;   ///< in-flight run to block on (sync)
+    std::shared_ptr<Inflight> owned;  ///< in-flight entry this request owns
+    uint64_t generation = 0;
+  };
+
+  /// The single shared lookup of every request path (sync, async worker,
+  /// async submit), so the collision, classification and generation rules
+  /// live in exactly one place: probes the cache (structural key
+  /// confirmed, LRU bumped, hit recorded under the lock), then the
+  /// in-flight table. A joinable run is parked on when `park` is non-null
+  /// (async — atomic with the lookup, so the winner cannot complete in
+  /// between and lose the continuation) or returned as `join` for
+  /// blocking (sync). On a full miss, registers this request as the new
+  /// in-flight owner when `register_owned` (worker/sync paths); the
+  /// submit-time fast path passes false and enqueues instead.
+  Lookup LookupArtifacts(uint64_t fingerprint, const std::string& key,
+                         const std::shared_ptr<AsyncRequest>& park,
+                         bool register_owned);
+
+  /// Deep-copies (or reuses the already-interned copy of) `plan` into the
+  /// registry and takes a reference; every Intern must be paired with one
+  /// ReleasePlan(key).
+  std::shared_ptr<const Plan> InternPlan(const Plan& plan,
+                                         const std::string& key);
+  void ReleasePlan(const std::string& key);
+
   /// Stages 1-2 through the cache and the in-flight table: returns the
   /// shared artifacts for the plan, running the missing stages on a miss.
-  /// Classifies the request (hit/miss) exactly once.
-  StatusOr<Artifacts> GetArtifacts(const Plan& plan, uint64_t fingerprint);
+  /// Classifies the request (hit/miss) exactly once. Blocks the calling
+  /// thread when joining another request's in-flight run (sync paths only
+  /// — async requests go through RunAsyncRequest instead).
+  StatusOr<Artifacts> GetArtifacts(const Plan& plan, uint64_t fingerprint,
+                                   const std::string& key);
 
-  /// Single-plan prediction through GetArtifacts (shared by the sync,
-  /// async and batch-representative paths).
+  /// Single-plan prediction through GetArtifacts (shared by the sync and
+  /// batch-representative paths).
   StatusOr<Prediction> PredictImpl(const Plan& plan);
+
+  /// Body of one pool-executed PredictAsync: cache hit → finish inline;
+  /// in-flight duplicate → park the continuation and return the worker;
+  /// miss → run the stages and drain every parked continuation.
+  void RunAsyncRequest(const std::shared_ptr<AsyncRequest>& req);
+
+  /// Finishes one async request from shared artifacts (stage 3), releasing
+  /// its registry reference before the promise fires so a caller that saw
+  /// the future complete also sees the registry drained.
+  void FulfillAsync(AsyncRequest& req, const StatusOr<Artifacts>& artifacts);
+
+  /// Publishes a finished stage-1/2 run: removes the in-flight entry,
+  /// inserts into the cache (unless the generation moved), completes the
+  /// in-flight promise for blocking sync joiners, and drains the parked
+  /// async continuations. `owned` may be null (collision solo run).
+  void CompleteRun(const std::shared_ptr<Inflight>& owned, uint64_t fingerprint,
+                   const std::string& key, uint64_t generation,
+                   const StatusOr<Artifacts>& result);
 
   /// Runs stages 1-2 for the plan, outside any lock.
   StatusOr<Artifacts> RunStages(const Plan& plan);
@@ -197,11 +314,18 @@ class PredictionService {
   std::unordered_map<uint64_t, std::shared_ptr<Inflight>> inflight_;
   uint64_t generation_ = 0;  ///< bumped by InvalidateCache
 
+  // ----- plan registry (owned clones for outstanding async requests) -----
+  mutable std::mutex registry_mu_;
+  std::unordered_map<std::string, RegisteredPlan> plan_registry_;
+
   // ----- worker pool -----
   std::mutex pool_mu_;
   std::condition_variable pool_cv_;
   std::vector<std::thread> workers_;
-  std::vector<std::function<void()>> pool_queue_;
+  /// FIFO: workers pop the front, enqueuers push the back, so the oldest
+  /// PredictAsync request is always served next (no starvation under
+  /// sustained load).
+  std::deque<std::function<void()>> pool_queue_;
   bool shutdown_ = false;
 
   // ----- counters (one mutex so the hit/miss split is always consistent

@@ -475,6 +475,55 @@ TEST(Plan, ClonePreservesStructure) {
   EXPECT_EQ(RowFingerprints(a.output), RowFingerprints(b.output));
 }
 
+TEST(Plan, CloneCarriesFinalizedStateAndSharesNothing) {
+  Database db = MakeTestDb();
+  Plan plan(MakeHashJoin(
+      MakeSeqScan("t1", Expr::And(Expr::Cmp(0, CmpOp::kLt, Value::Int64(10)),
+                                  Expr::Cmp(1, CmpOp::kGe, Value::Double(2.0)))),
+      MakeSeqScan("t2", NoPred()), {{0, 0}}));
+  ASSERT_TRUE(plan.Finalize(db).ok());
+
+  const Plan clone = plan.Clone();
+  // Finalized state survives without re-running Finalize.
+  EXPECT_EQ(clone.num_operators(), plan.num_operators());
+  EXPECT_EQ(clone.num_leaves(), plan.num_leaves());
+  const auto orig_nodes = plan.NodesPreorder();
+  const auto clone_nodes = clone.NodesPreorder();
+  ASSERT_EQ(clone_nodes.size(), orig_nodes.size());
+  for (size_t i = 0; i < orig_nodes.size(); ++i) {
+    EXPECT_EQ(clone_nodes[i]->id, orig_nodes[i]->id);
+    EXPECT_EQ(clone_nodes[i]->leaf_begin, orig_nodes[i]->leaf_begin);
+    EXPECT_EQ(clone_nodes[i]->leaf_end, orig_nodes[i]->leaf_end);
+    EXPECT_EQ(clone_nodes[i]->output_schema.num_columns(),
+              orig_nodes[i]->output_schema.num_columns());
+    EXPECT_DOUBLE_EQ(clone_nodes[i]->leaf_row_product,
+                     orig_nodes[i]->leaf_row_product);
+    // A deep copy: no PlanNode and no Expr node is shared.
+    EXPECT_NE(clone_nodes[i], orig_nodes[i]);
+    if (orig_nodes[i]->predicate != nullptr) {
+      EXPECT_NE(clone_nodes[i]->predicate.get(), orig_nodes[i]->predicate.get());
+    }
+  }
+  // Identical structural identity: same fingerprint and canonical key.
+  EXPECT_EQ(PlanFingerprint(clone), PlanFingerprint(plan));
+  EXPECT_EQ(PlanStructuralKey(clone), PlanStructuralKey(plan));
+  EXPECT_EQ(clone.ToString(), plan.ToString());
+
+  // The clone executes standalone, WITHOUT re-running Finalize — and keeps
+  // working after every plan it was cloned from is gone (the lifetime
+  // contract PredictAsync's registry relies on).
+  const ExecResult a = MustExecute(db, &plan);
+  Plan survivor;
+  {
+    Plan doomed = plan.Clone();
+    survivor = doomed.Clone();
+  }  // doomed destroyed; survivor must share nothing with it
+  Executor executor(&db);
+  auto b = executor.Execute(survivor, ExecOptions{});
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(RowFingerprints(a.output), RowFingerprints(b->output));
+}
+
 // ---------- Planner ----------
 
 TEST(Planner, PicksIndexScanForSelectiveRange) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -521,6 +522,333 @@ TEST_F(ServiceTest, StructuralKeyDistinguishesPlans) {
   const std::string k1 = PlanStructuralKey((*plans_)[1]);
   EXPECT_NE(k0, k1);
   EXPECT_EQ(k0, PlanStructuralKey((*plans_)[0]));
+}
+
+// ---------- Plan lifetime: fire-and-forget PredictAsync ----------
+
+TEST_F(ServiceTest, AsyncCallerDropsPlanImmediately) {
+  // The ownership contract: the caller may destroy its Plan the moment
+  // PredictAsync returns — the service predicts from its own registry
+  // clone. Under AddressSanitizer this test is what proves the old
+  // capture-by-raw-pointer use-after-free is gone.
+  PredictionService service(db_, samples_, *units_);
+  Predictor reference(db_, samples_, *units_);
+  auto ref = reference.Predict((*plans_)[0]);
+  ASSERT_TRUE(ref.ok());
+
+  std::future<StatusOr<Prediction>> future;
+  {
+    Plan doomed = (*plans_)[0].Clone();
+    future = service.PredictAsync(doomed);
+  }  // doomed destroyed before the worker may even have started
+
+  auto pred_or = future.get();
+  ASSERT_TRUE(pred_or.ok()) << pred_or.status().ToString();
+  EXPECT_EQ(pred_or->mean(), ref->mean());
+  EXPECT_EQ(pred_or->breakdown.variance, ref->breakdown.variance);
+  // The registry holds clones only while requests are outstanding.
+  EXPECT_EQ(service.plan_registry_size(), 0u);
+  EXPECT_EQ(service.stats().plan_clones, 1u);
+}
+
+TEST_F(ServiceTest, AsyncStormWithDroppedPlansSharesOneCloneAndOneRun) {
+  // A same-plan async storm where every caller plan dies right after
+  // submission: the registry must intern ONE clone for all of them, the
+  // in-flight table must collapse them to one stage-1 run, and every
+  // future must still be satisfied bit-identically.
+  ServiceOptions options;
+  options.num_workers = 2;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool winner_parked = false;
+  bool release = false;
+  std::atomic<int> hook_calls{0};
+  options.post_stages_hook = [&] {
+    if (hook_calls.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      winner_parked = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  PredictionService service(db_, samples_, *units_, options);
+  Predictor reference(db_, samples_, *units_);
+  auto ref = reference.Predict((*plans_)[1]);
+  ASSERT_TRUE(ref.ok());
+
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  {
+    Plan doomed = (*plans_)[1].Clone();
+    futures.push_back(service.PredictAsync(doomed));
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return winner_parked; });
+  }
+  constexpr int kLosers = 6;
+  for (int i = 0; i < kLosers; ++i) {
+    Plan doomed = (*plans_)[1].Clone();
+    futures.push_back(service.PredictAsync(doomed));
+  }  // every original destroyed while the winner is still gated
+  // Wait until every loser has parked its continuation (none may block a
+  // worker, so this drains quickly even with the winner gated).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.stats().inflight_joins < kLosers &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(service.stats().inflight_joins, static_cast<uint64_t>(kLosers));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  for (auto& f : futures) {
+    auto pred_or = f.get();
+    ASSERT_TRUE(pred_or.ok()) << pred_or.status().ToString();
+    EXPECT_EQ(pred_or->mean(), ref->mean());
+    EXPECT_EQ(pred_or->breakdown.variance, ref->breakdown.variance);
+  }
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.plan_clones, 1u) << "duplicate asyncs must reuse the interned clone";
+  EXPECT_EQ(st.sample_runs, 1u);
+  EXPECT_EQ(service.plan_registry_size(), 0u)
+      << "the registry must drain once every outstanding request completed";
+}
+
+TEST_F(ServiceTest, AsyncPlanDroppedWhileBatchOwnsTheInflightRun) {
+  // Cross-path dedup with dropped plans: a PredictBatch shard wins the
+  // in-flight slot and is gated mid-stages; async clones of the same plan
+  // arrive, park continuations, and their caller plans are destroyed. The
+  // batch (sync) winner must drain the async waiters on completion.
+  ServiceOptions options;
+  options.num_workers = 2;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<int> in_stages{0};
+  bool release = false;
+  options.post_stages_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    ++in_stages;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  PredictionService service(db_, samples_, *units_, options);
+
+  std::vector<const Plan*> batch = {&(*plans_)[0], &(*plans_)[1]};
+  std::vector<StatusOr<Prediction>> batch_results;
+  std::thread batch_thread(
+      [&] { batch_results = service.PredictBatch(batch); });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return in_stages.load() >= 2; });
+  }
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  constexpr int kAsync = 4;
+  for (int i = 0; i < kAsync; ++i) {
+    Plan doomed = (*plans_)[0].Clone();
+    futures.push_back(service.PredictAsync(doomed));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.stats().inflight_joins < kAsync &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(service.stats().inflight_joins, static_cast<uint64_t>(kAsync));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  batch_thread.join();
+  ASSERT_EQ(batch_results.size(), 2u);
+  for (const auto& r : batch_results) ASSERT_TRUE(r.ok());
+  for (auto& f : futures) {
+    auto pred_or = f.get();
+    ASSERT_TRUE(pred_or.ok()) << pred_or.status().ToString();
+    EXPECT_EQ(pred_or->mean(), batch_results[0]->mean());
+  }
+  EXPECT_EQ(service.stats().sample_runs, 2u);
+  EXPECT_EQ(service.plan_registry_size(), 0u);
+}
+
+// ---------- Continuation handoff: losers never pin a worker ----------
+
+TEST_F(ServiceTest, DedupLosersLeaveWorkersAvailable) {
+  // With the winner gated mid-stages on one of TWO workers, N dedup losers
+  // for the same plan must pass through the remaining worker (parking
+  // continuations) instead of pinning it in future::get() — proven by
+  // unrelated predictions completing while the winner is still gated.
+  ServiceOptions options;
+  options.num_workers = 2;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool winner_parked = false;
+  bool release = false;
+  std::atomic<int> hook_calls{0};
+  options.post_stages_hook = [&] {
+    if (hook_calls.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      winner_parked = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  PredictionService service(db_, samples_, *units_, options);
+
+  auto winner = service.PredictAsync((*plans_)[0]);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return winner_parked; });
+  }
+  constexpr int kLosers = 5;
+  std::vector<std::future<StatusOr<Prediction>>> losers;
+  for (int i = 0; i < kLosers; ++i) {
+    losers.push_back(service.PredictAsync((*plans_)[0]));
+  }
+
+  // Unrelated work must make progress on the remaining worker while the
+  // winner is gated. If any loser blocked that worker, these futures
+  // would never complete and the waits below would time out.
+  for (size_t i = 1; i < 4 && i < plans_->size(); ++i) {
+    auto f = service.PredictAsync((*plans_)[i]);
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(60)),
+              std::future_status::ready)
+        << "a dedup loser starved the pool";
+    ASSERT_TRUE(f.get().ok());
+  }
+  // The losers themselves are parked, not finished: their artifacts only
+  // exist once the winner completes.
+  for (auto& f : losers) {
+    EXPECT_NE(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  ASSERT_TRUE(winner.get().ok());
+  for (auto& f : losers) ASSERT_TRUE(f.get().ok());
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.inflight_joins, static_cast<uint64_t>(kLosers));
+  EXPECT_EQ(st.sample_runs, 4u);  // winner + the 3 unrelated plans
+}
+
+// ---------- Worker pool fairness ----------
+
+TEST_F(ServiceTest, PoolServesRequestsInFifoOrder) {
+  // One worker, four distinct queued plans, stage work gated by a permit
+  // semaphore: releasing one permit at a time must complete the OLDEST
+  // outstanding request next. (The old LIFO pop served the newest first,
+  // starving the oldest under sustained load.)
+  ServiceOptions options;
+  options.num_workers = 1;
+  std::mutex mu;
+  std::condition_variable cv;
+  int permits = 0;
+  options.post_stages_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return permits > 0; });
+    --permits;
+  };
+  PredictionService service(db_, samples_, *units_, options);
+
+  const size_t n = std::min<size_t>(4, plans_->size());
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(service.PredictAsync((*plans_)[i]));
+  }
+  for (size_t expect = 0; expect < n; ++expect) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++permits;
+      cv.notify_all();
+    }
+    ASSERT_EQ(futures[expect].wait_for(std::chrono::seconds(60)),
+              std::future_status::ready)
+        << "request " << expect << " was starved";
+    for (size_t later = expect + 1; later < n; ++later) {
+      EXPECT_NE(futures[later].wait_for(std::chrono::seconds(0)),
+                std::future_status::ready)
+          << "request " << later << " served before older request " << expect;
+    }
+    ASSERT_TRUE(futures[expect].get().ok());
+  }
+}
+
+// ---------- Shutdown vs PredictAsync ----------
+
+TEST_F(ServiceTest, ShutdownRejectsNewAsyncInsteadOfLosingIt) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  PredictionService service(db_, samples_, *units_, options);
+  auto before = service.PredictAsync((*plans_)[0]);
+  ASSERT_TRUE(before.get().ok());
+
+  service.Shutdown();
+  // An enqueue after shutdown must not hand back a future nobody will
+  // ever satisfy: it fails fast, already ready, with Unavailable.
+  auto after = service.PredictAsync((*plans_)[1]);
+  ASSERT_EQ(after.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  auto result = after.get();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.stats().async_rejects, 1u);
+  EXPECT_EQ(service.plan_registry_size(), 0u);
+
+  // A plan whose artifacts are already cached needs no pool: it is still
+  // served inline, already ready, on the submitting thread.
+  auto cached_after = service.PredictAsync((*plans_)[0]);
+  ASSERT_EQ(cached_after.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  ASSERT_TRUE(cached_after.get().ok());
+  EXPECT_EQ(service.stats().async_rejects, 1u);
+
+  // The synchronous paths keep working inline after shutdown.
+  ASSERT_TRUE(service.Predict((*plans_)[1]).ok());
+  const auto batch = service.PredictBatch(*plans_);
+  for (const auto& r : batch) EXPECT_TRUE(r.ok());
+
+  service.Shutdown();  // idempotent
+}
+
+TEST_F(ServiceTest, ShutdownRacingAsyncLeavesNoUnsatisfiedFuture) {
+  // Hammer the enqueue/shutdown race: every future handed out must become
+  // ready — either with a prediction (enqueued before the flag) or with
+  // Unavailable (rejected after it). None may hang.
+  for (int round = 0; round < 8; ++round) {
+    ServiceOptions options;
+    options.num_workers = 2;
+    auto service =
+        std::make_unique<PredictionService>(db_, samples_, *units_, options);
+    std::vector<std::future<StatusOr<Prediction>>> futures;
+    std::mutex futures_mu;
+    std::atomic<bool> go{false};
+    std::thread submitter([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 8; ++i) {
+        auto f = service->PredictAsync((*plans_)[i % plans_->size()]);
+        std::lock_guard<std::mutex> lock(futures_mu);
+        futures.push_back(std::move(f));
+      }
+    });
+    go.store(true);
+    if (round % 2 == 0) std::this_thread::yield();
+    service->Shutdown();
+    submitter.join();
+    for (auto& f : futures) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(60)),
+                std::future_status::ready)
+          << "a future was left unsatisfied by the shutdown race";
+      auto r = f.get();
+      if (!r.ok()) EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    }
+    EXPECT_EQ(service->plan_registry_size(), 0u);
+  }
 }
 
 }  // namespace

@@ -56,8 +56,14 @@ int main() {
   // optimized: PredictAsync owns a registry copy of the plan, so the
   // plans vector below is free to reallocate (or drop plans) while the
   // worker pool predicts — repeated plans still share one sample run
-  // through the in-flight dedup table.
-  PredictionService service(&db, &samples, units);
+  // through the in-flight dedup table. Intra-query parallelism
+  // (predictor.num_threads = 0, i.e. hardware concurrency) lets a lone
+  // cold prediction fan its sample run out across idle workers; under a
+  // full queue the shards just run on the plan's own thread. Either way
+  // the predictions are bit-identical to a sequential run.
+  ServiceOptions service_options;
+  service_options.predictor.num_threads = 0;
+  PredictionService service(&db, &samples, units, service_options);
   Executor executor(&db);
 
   // Build a pool of candidate jobs from the SELJOIN workload.

@@ -1,11 +1,62 @@
 #include "core/pipeline.h"
 
 #include <cmath>
+#include <cstring>
 #include <utility>
 
+#include "engine/expr.h"
 #include "math/gaussian.h"
 
 namespace uqp {
+
+namespace {
+
+void AppendBytesDouble(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendKeyU64(out, bits);
+}
+
+void AppendBytesCounters(std::string* out, const OpStats& st) {
+  AppendKeyU64(out, static_cast<uint64_t>(st.id));
+  AppendKeyU64(out, static_cast<uint64_t>(st.type));
+  AppendBytesDouble(out, st.actual.ns);
+  AppendBytesDouble(out, st.actual.nr);
+  AppendBytesDouble(out, st.actual.nt);
+  AppendBytesDouble(out, st.actual.ni);
+  AppendBytesDouble(out, st.actual.no);
+  AppendBytesDouble(out, st.left_rows);
+  AppendBytesDouble(out, st.right_rows);
+  AppendBytesDouble(out, st.out_rows);
+  AppendBytesDouble(out, st.leaf_row_product);
+}
+
+}  // namespace
+
+std::string SampleRunOutputBytes(const SampleRunOutput& out) {
+  const PlanEstimates& e = out.estimates;
+  std::string bytes;
+  AppendKeyU64(&bytes, e.ops.size());
+  for (const SelectivityEstimate& est : e.ops) {
+    AppendBytesDouble(&bytes, est.rho);
+    AppendBytesDouble(&bytes, est.variance);
+    AppendKeyU64(&bytes, est.var_components.size());
+    for (double v : est.var_components) AppendBytesDouble(&bytes, v);
+    AppendKeyU64(&bytes, static_cast<uint64_t>(est.leaf_begin));
+    AppendKeyU64(&bytes, static_cast<uint64_t>(est.leaf_end));
+    AppendKeyU64(&bytes, est.from_optimizer ? 1 : 0);
+  }
+  AppendKeyU64(&bytes, e.variable_of_node.size());
+  for (int v : e.variable_of_node) {
+    AppendKeyU64(&bytes, static_cast<uint64_t>(v));
+  }
+  AppendKeyU64(&bytes, e.leaf_sample_rows.size());
+  for (double v : e.leaf_sample_rows) AppendBytesDouble(&bytes, v);
+  AppendKeyU64(&bytes, e.sample_ops.size());
+  for (const OpStats& st : e.sample_ops) AppendBytesCounters(&bytes, st);
+  return bytes;
+}
 
 const PlanEstimates& Prediction::estimates() const {
   return sample_run->estimates;

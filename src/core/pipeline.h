@@ -26,6 +26,14 @@ struct PredictorOptions {
   /// How scan selectivities are estimated (kHistogram enables the §3.2
   /// histogram alternative).
   ScanEstimateMode scan_mode = ScanEstimateMode::kSampling;
+  /// Intra-query parallelism for the stage-1 sample run: the executor
+  /// shards scans, hash-join builds/probes and join subtrees across a
+  /// task pool, and the estimator merges per-shard selectivity counts in
+  /// shard order. 1 = sequential (the historical path), <= 0 = hardware
+  /// concurrency. The determinism contract, enforced by
+  /// tests/parallel_parity_test.cc: the SampleRunOutput — and hence every
+  /// prediction — is bit-identical at every value.
+  int num_threads = 1;
   FitOptions fit;
 };
 
@@ -98,14 +106,26 @@ struct SampleRunOutput {
   PlanEstimates estimates;
 };
 
+/// Canonical byte serialization of a stage-1 output: every selectivity,
+/// variance component, leaf span, resource counter and cardinality,
+/// doubles serialized by bit pattern. Two outputs serialize equal iff they
+/// are bit-identical — the equality the intra-query parallel executor's
+/// determinism contract is tested against (tests/parallel_parity_test.cc).
+std::string SampleRunOutputBytes(const SampleRunOutput& out);
+
 /// Stage 1: run the plan over the sample tables once, extracting every
-/// operator's selectivity distribution (paper Algorithms 1-2).
+/// operator's selectivity distribution (paper Algorithms 1-2). With
+/// num_threads != 1 the run fans out intra-query (bit-identical results;
+/// see PredictorOptions::num_threads); `task_runner` optionally shares a
+/// caller-owned pool across runs.
 class SampleRunStage {
  public:
   SampleRunStage(const Database* db, const SampleDb* samples,
                  AggregateEstimateMode aggregate_mode,
-                 ScanEstimateMode scan_mode)
-      : estimator_(db, samples, aggregate_mode, scan_mode) {}
+                 ScanEstimateMode scan_mode, int num_threads = 1,
+                 TaskRunner* task_runner = nullptr)
+      : estimator_(db, samples, aggregate_mode, scan_mode, num_threads,
+                   task_runner) {}
 
   StatusOr<SampleRunOutput> Run(const SampleRunInput& input) const;
 
@@ -171,11 +191,16 @@ class VarianceCombineStage {
 /// stage 1 and shard stages 2-3 across workers.
 class PredictionPipeline {
  public:
+  /// `task_runner` (optional) backs stage 1's intra-query fan-out when
+  /// options.num_threads != 1 — the service layer passes its worker pool
+  /// so plan-level and intra-plan tasks share one set of threads.
   PredictionPipeline(const Database* db, const SampleDb* samples,
-                     CostUnits units, PredictorOptions options)
+                     CostUnits units, PredictorOptions options,
+                     TaskRunner* task_runner = nullptr)
       : units_(units),
         options_(options),
-        sample_run_(db, samples, options.aggregate_mode, options.scan_mode),
+        sample_run_(db, samples, options.aggregate_mode, options.scan_mode,
+                    options.num_threads, task_runner),
         cost_fit_(db, options.fit),
         variance_combine_(units) {}
 

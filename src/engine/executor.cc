@@ -2,13 +2,105 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace uqp {
+
+int ResolveNumThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::max(1u, hw));
+}
+
+/// Shared pull-state of one RunTasks call: threads claim indexes from
+/// `next` until exhausted; the last finisher wakes the waiting caller.
+struct MorselPool::Batch {
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  int64_t total = 0;
+  const std::function<void(int64_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void Pull() {
+    for (;;) {
+      const int64_t i = next.fetch_add(1);
+      if (i >= total) return;
+      (*fn)(i);
+      if (done.fetch_add(1) + 1 == total) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+
+  bool exhausted() const { return next.load() >= total; }
+};
+
+MorselPool::MorselPool(int num_threads) {
+  const int n = std::max(1, ResolveNumThreads(num_threads));
+  threads_.reserve(static_cast<size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    threads_.emplace_back(&MorselPool::WorkerLoop, this);
+  }
+}
+
+MorselPool::~MorselPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void MorselPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Prune batches every thread has already claimed out: they only sit
+      // in the list to attract helpers.
+      while (!active_.empty() && active_.front()->exhausted()) {
+        active_.pop_front();
+      }
+      cv_.wait(lock, [&] {
+        while (!active_.empty() && active_.front()->exhausted()) {
+          active_.pop_front();
+        }
+        return stop_ || !active_.empty();
+      });
+      if (active_.empty()) return;  // stop_ set and nothing left to help
+      batch = active_.front();
+    }
+    batch->Pull();
+  }
+}
+
+void MorselPool::RunTasks(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || threads_.empty()) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->total = n;
+  batch->fn = &fn;  // outlives the call: we wait for completion below
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_) active_.push_back(batch);
+  }
+  cv_.notify_all();
+  batch->Pull();  // the calling thread shards too (incl. nested calls)
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] { return batch->done.load() == batch->total; });
+}
 
 namespace {
 
@@ -58,8 +150,8 @@ struct GroupAccumulator {
 class ExecContext {
  public:
   ExecContext(const Database* db, const ExecOptions& options, int num_operators,
-              int num_leaves)
-      : db_(db), options_(options) {
+              int num_leaves, TaskRunner* runner)
+      : db_(db), options_(options), runner_(runner) {
     stats_.resize(static_cast<size_t>(num_operators));
     leaf_source_rows_.resize(static_cast<size_t>(num_leaves), 1.0);
   }
@@ -79,6 +171,11 @@ class ExecContext {
   const EngineConfig& engine() const { return options_.engine; }
   int64_t batch() const { return std::max<int64_t>(1, options_.max_batch_size); }
 
+  /// Intra-query fan-out is on: shard chunked loops and join children
+  /// across the task runner.
+  bool parallel() const { return runner_ != nullptr; }
+  TaskRunner* runner() const { return runner_; }
+
   OpStats& stats(const PlanNode& node) {
     return stats_[static_cast<size_t>(node.id)];
   }
@@ -97,6 +194,7 @@ class ExecContext {
  private:
   const Database* db_;
   const ExecOptions& options_;
+  TaskRunner* runner_;
   std::vector<OpStats> stats_;
   std::vector<double> leaf_source_rows_;
 };
@@ -142,10 +240,13 @@ class NodeRunner {
   }
 
   /// Appends the rows of a contiguous chunk whose selection-mask lane is
-  /// set, bulk-copying consecutive runs of survivors; provenance ids are
-  /// base + lane (row indexes of the source table).
+  /// set, bulk-copying consecutive runs of survivors. Provenance ids are
+  /// base + lane (row indexes of the source table) — or, when `rids` is
+  /// non-null, come from that parallel array instead (rows gathered from
+  /// non-contiguous sources, e.g. index scans).
   void AppendSelected(RowBlock* out, const Value* rows, int ncols, int64_t n,
-                      const uint8_t* mask, int64_t base) {
+                      const uint8_t* mask, int64_t base,
+                      const uint32_t* rids = nullptr) {
     int64_t i = 0;
     while (i < n) {
       if (mask[i] == 0) {
@@ -156,33 +257,109 @@ class NodeRunner {
       while (j < n && mask[j] != 0) ++j;
       out->values.insert(out->values.end(), rows + i * ncols, rows + j * ncols);
       if (out->prov_width > 0) {
-        for (int64_t r = i; r < j; ++r) {
-          out->prov.push_back(static_cast<uint32_t>(base + r));
+        if (rids != nullptr) {
+          out->prov.insert(out->prov.end(), rids + i, rids + j);
+        } else {
+          for (int64_t r = i; r < j; ++r) {
+            out->prov.push_back(static_cast<uint32_t>(base + r));
+          }
         }
       }
       i = j;
     }
   }
 
-  /// As AppendSelected, but for rows gathered from non-contiguous sources
-  /// (index scans): provenance ids come from the parallel `rids` array
-  /// instead of base + lane.
-  void AppendSelectedAt(RowBlock* out, const Value* rows, int ncols, int64_t n,
-                        const uint8_t* mask, const uint32_t* rids) {
-    int64_t i = 0;
-    while (i < n) {
-      if (mask[i] == 0) {
-        ++i;
-        continue;
-      }
-      int64_t j = i + 1;
-      while (j < n && mask[j] != 0) ++j;
-      out->values.insert(out->values.end(), rows + i * ncols, rows + j * ncols);
-      if (out->prov_width > 0) {
-        out->prov.insert(out->prov.end(), rids + i, rids + j);
-      }
-      i = j;
+  // ----- intra-query sharding helpers -------------------------------------
+  //
+  // Chunked loops fan out one task per max_batch_size-row chunk; each task
+  // fills a private RowBlock (and counter partial), and the results merge
+  // in chunk order. That makes the parallel run bit-identical to the
+  // sequential one: the sequential loop processes the same chunks in the
+  // same order, and every counter a chunk accumulates is an integer-valued
+  // count (hash ops, chain visits, qual evaluations), so summing per-chunk
+  // partials regroups the same double additions exactly.
+
+  int64_t NumChunks(int64_t total) const {
+    const int64_t chunk = ctx_->batch();
+    return (total + chunk - 1) / chunk;
+  }
+
+  /// True when this loop of `total` rows should fan out (pool present and
+  /// more than one chunk to hand out).
+  bool ShouldShard(int64_t total) const {
+    return ctx_->parallel() && NumChunks(total) >= 2;
+  }
+
+  /// Runs `chunk_fn(base, nb, local_block, local_stats)` for every chunk
+  /// of [0, total) across the pool, then appends the chunk blocks to `out`
+  /// and the counter partials to `st` in chunk order.
+  void RunChunksParallel(
+      int64_t total, RowBlock* out, OpStats* st,
+      const std::function<void(int64_t, int64_t, RowBlock*, OpStats*)>&
+          chunk_fn) {
+    const int64_t chunk = ctx_->batch();
+    const int64_t nchunks = NumChunks(total);
+    std::vector<RowBlock> blocks(static_cast<size_t>(nchunks));
+    std::vector<OpStats> partials(static_cast<size_t>(nchunks));
+    ctx_->runner()->RunTasks(nchunks, [&](int64_t c) {
+      const int64_t base = c * chunk;
+      const int64_t nb = std::min(chunk, total - base);
+      RowBlock& local = blocks[static_cast<size_t>(c)];
+      local.schema = out->schema;
+      local.prov_width = out->prov_width;
+      chunk_fn(base, nb, &local, &partials[static_cast<size_t>(c)]);
+    });
+    // Merge in chunk order. The first chunk's vectors are stolen when the
+    // output is still empty; the rest append after one exact reserve.
+    int64_t first = 0;
+    if (out->values.empty() && out->prov.empty() && nchunks > 0) {
+      out->values = std::move(blocks[0].values);
+      out->prov = std::move(blocks[0].prov);
+      st->actual += partials[0].actual;
+      first = 1;
     }
+    size_t total_values = out->values.size();
+    size_t total_prov = out->prov.size();
+    for (int64_t c = first; c < nchunks; ++c) {
+      total_values += blocks[static_cast<size_t>(c)].values.size();
+      total_prov += blocks[static_cast<size_t>(c)].prov.size();
+    }
+    out->values.reserve(total_values);
+    out->prov.reserve(total_prov);
+    for (int64_t c = first; c < nchunks; ++c) {
+      RowBlock& b = blocks[static_cast<size_t>(c)];
+      out->values.insert(out->values.end(),
+                         std::make_move_iterator(b.values.begin()),
+                         std::make_move_iterator(b.values.end()));
+      out->prov.insert(out->prov.end(), b.prov.begin(), b.prov.end());
+      st->actual += partials[static_cast<size_t>(c)].actual;
+    }
+  }
+
+  /// Runs both children of a binary operator, concurrently when the
+  /// intra-query pool is on (independent subtrees touch disjoint stats /
+  /// retained-block slots). Errors keep the sequential precedence: the
+  /// left child's status wins.
+  Status RunChildren(const PlanNode& node, RowBlock* left, RowBlock* right) {
+    if (ctx_->parallel()) {
+      StatusOr<RowBlock> l = Status::Internal("left child did not run");
+      StatusOr<RowBlock> r = Status::Internal("right child did not run");
+      ctx_->runner()->RunTasks(2, [&](int64_t i) {
+        if (i == 0) {
+          l = Run(*node.left);
+        } else {
+          r = Run(*node.right);
+        }
+      });
+      if (!l.ok()) return l.status();
+      if (!r.ok()) return r.status();
+      *left = std::move(l).value();
+      *right = std::move(r).value();
+      return Status::OK();
+    }
+    UQP_ASSIGN_OR_RETURN(*left, Run(*node.left));
+    UQP_ASSIGN_OR_RETURN(*right, Run(*node.right));
+    return Status::OK();
   }
 
   /// Assembles one join output row directly in the output block: appends
@@ -240,6 +417,18 @@ class NodeRunner {
           out.prov[static_cast<size_t>(r)] = static_cast<uint32_t>(r);
         }
       }
+    } else if (ShouldShard(rows)) {
+      // Morsel-parallel filter: one task per chunk, merged in chunk order
+      // (bit-identical to the sequential loop below).
+      RunChunksParallel(
+          rows, &out, &st,
+          [&](int64_t base, int64_t nb, RowBlock* dst, OpStats*) {
+            std::vector<uint8_t> mask(static_cast<size_t>(nb));
+            const Value* chunk_rows = data + base * ncols;
+            EvalPredicateBatch(*node.predicate, chunk_rows, ncols, nb,
+                               mask.data());
+            AppendSelected(dst, chunk_rows, ncols, nb, mask.data(), base);
+          });
     } else {
       // Filter in chunks: evaluate the predicate column-at-a-time into a
       // selection mask, then copy survivors in runs.
@@ -299,28 +488,63 @@ class NodeRunner {
     // Gather matched rows a chunk at a time into a contiguous block, then
     // run the residual filter column-at-a-time over the chunk and bulk-copy
     // survivor runs (mirroring the seq-scan/hash-join batched inner loops).
-    const int64_t chunk =
-        std::min<int64_t>(ctx_->batch(), std::max<int64_t>(1, matches));
-    std::vector<Value> gathered(static_cast<size_t>(chunk * ncols));
-    std::vector<uint32_t> rids(static_cast<size_t>(chunk));
-    std::vector<uint8_t> mask(static_cast<size_t>(chunk), 1);
-    auto it = begin_it;
-    for (int64_t base = 0; base < matches; base += chunk) {
-      const int64_t nb = std::min(chunk, matches - base);
-      for (int64_t i = 0; i < nb; ++i, ++it) {
-        const uint32_t rid = *it;
-        pages_touched.insert(static_cast<int64_t>(rid) / rows_per_page);
-        const RowRef row = src.row(rid);
-        std::copy(row.data, row.data + ncols, gathered.begin() + i * ncols);
-        rids[static_cast<size_t>(i)] = rid;
+    if (ShouldShard(matches)) {
+      // Morsel-parallel gather: chunks index the ordered-index range
+      // directly; per-chunk page sets union into one set (same size in any
+      // order), and chunk outputs merge in chunk order.
+      std::vector<std::unordered_set<int64_t>> chunk_pages(
+          static_cast<size_t>(NumChunks(matches)));
+      const int64_t chunk = ctx_->batch();
+      RunChunksParallel(
+          matches, &out, &st,
+          [&](int64_t base, int64_t nb, RowBlock* dst, OpStats*) {
+            std::unordered_set<int64_t>& pages =
+                chunk_pages[static_cast<size_t>(base / chunk)];
+            std::vector<Value> gathered(static_cast<size_t>(nb * ncols));
+            std::vector<uint32_t> rids(static_cast<size_t>(nb));
+            std::vector<uint8_t> mask(static_cast<size_t>(nb), 1);
+            for (int64_t i = 0; i < nb; ++i) {
+              const uint32_t rid = *(begin_it + base + i);
+              pages.insert(static_cast<int64_t>(rid) / rows_per_page);
+              const RowRef row = src.row(rid);
+              std::copy(row.data, row.data + ncols,
+                        gathered.begin() + i * ncols);
+              rids[static_cast<size_t>(i)] = rid;
+            }
+            if (residual) {
+              EvalPredicateBatch(*node.predicate, gathered.data(), ncols, nb,
+                                 mask.data());
+            }
+            AppendSelected(dst, gathered.data(), ncols, nb, mask.data(),
+                           /*base=*/0, rids.data());
+          });
+      for (const auto& pages : chunk_pages) {
+        pages_touched.insert(pages.begin(), pages.end());
       }
-      if (residual) {
-        // Residual filter: re-evaluate the full predicate on fetched rows.
-        EvalPredicateBatch(*node.predicate, gathered.data(), ncols, nb,
-                           mask.data());
+    } else {
+      const int64_t chunk =
+          std::min<int64_t>(ctx_->batch(), std::max<int64_t>(1, matches));
+      std::vector<Value> gathered(static_cast<size_t>(chunk * ncols));
+      std::vector<uint32_t> rids(static_cast<size_t>(chunk));
+      std::vector<uint8_t> mask(static_cast<size_t>(chunk), 1);
+      auto it = begin_it;
+      for (int64_t base = 0; base < matches; base += chunk) {
+        const int64_t nb = std::min(chunk, matches - base);
+        for (int64_t i = 0; i < nb; ++i, ++it) {
+          const uint32_t rid = *it;
+          pages_touched.insert(static_cast<int64_t>(rid) / rows_per_page);
+          const RowRef row = src.row(rid);
+          std::copy(row.data, row.data + ncols, gathered.begin() + i * ncols);
+          rids[static_cast<size_t>(i)] = rid;
+        }
+        if (residual) {
+          // Residual filter: re-evaluate the full predicate on fetched rows.
+          EvalPredicateBatch(*node.predicate, gathered.data(), ncols, nb,
+                             mask.data());
+        }
+        AppendSelected(&out, gathered.data(), ncols, nb, mask.data(),
+                       /*base=*/0, rids.data());
       }
-      AppendSelectedAt(&out, gathered.data(), ncols, nb, mask.data(),
-                       rids.data());
     }
     st.actual.ni += static_cast<double>(matches) + std::log2(std::max<double>(2.0, static_cast<double>(n)));
     st.actual.nr += static_cast<double>(pages_touched.size());
@@ -331,8 +555,8 @@ class NodeRunner {
   }
 
   StatusOr<RowBlock> RunHashJoin(const PlanNode& node) {
-    UQP_ASSIGN_OR_RETURN(RowBlock left, Run(*node.left));
-    UQP_ASSIGN_OR_RETURN(RowBlock right, Run(*node.right));
+    RowBlock left, right;
+    UQP_RETURN_IF_ERROR(RunChildren(node, &left, &right));
     OpStats& st = ctx_->stats(node);
     st.id = node.id;
     st.type = node.type;
@@ -346,22 +570,43 @@ class NodeRunner {
     }
 
     const int64_t chunk = ctx_->batch();
-    std::vector<uint64_t> hashes(static_cast<size_t>(
-        std::min(chunk, std::max(left.num_rows(), right.num_rows()))));
 
-    // Build on the right input, hashing a chunk of keys at a time.
+    // Build on the right input. Key hashing shards across the pool; the
+    // chain inserts stay in build-row order (one sequential pass), so
+    // every chain lists the same rids in the same order as the sequential
+    // build — which is what keeps the probe output order bit-identical.
     std::unordered_map<uint64_t, std::vector<uint32_t>> table;
     table.reserve(static_cast<size_t>(right.num_rows()) * 2 + 16);
-    for (int64_t base = 0; base < right.num_rows(); base += chunk) {
-      const int64_t nb = std::min(chunk, right.num_rows() - base);
-      for (int64_t i = 0; i < nb; ++i) {
-        hashes[static_cast<size_t>(i)] = HashKeys(right.row(base + i), rcols);
+    if (ShouldShard(right.num_rows())) {
+      std::vector<uint64_t> all_hashes(
+          static_cast<size_t>(right.num_rows()));
+      ctx_->runner()->RunTasks(NumChunks(right.num_rows()), [&](int64_t c) {
+        const int64_t base = c * chunk;
+        const int64_t nb = std::min(chunk, right.num_rows() - base);
+        for (int64_t i = 0; i < nb; ++i) {
+          all_hashes[static_cast<size_t>(base + i)] =
+              HashKeys(right.row(base + i), rcols);
+        }
+      });
+      for (int64_t r = 0; r < right.num_rows(); ++r) {
+        table[all_hashes[static_cast<size_t>(r)]].push_back(
+            static_cast<uint32_t>(r));
       }
-      for (int64_t i = 0; i < nb; ++i) {
-        table[hashes[static_cast<size_t>(i)]].push_back(
-            static_cast<uint32_t>(base + i));
+      st.actual.no += static_cast<double>(right.num_rows());  // build hash ops
+    } else {
+      std::vector<uint64_t> hashes(static_cast<size_t>(
+          std::min(chunk, std::max<int64_t>(1, right.num_rows()))));
+      for (int64_t base = 0; base < right.num_rows(); base += chunk) {
+        const int64_t nb = std::min(chunk, right.num_rows() - base);
+        for (int64_t i = 0; i < nb; ++i) {
+          hashes[static_cast<size_t>(i)] = HashKeys(right.row(base + i), rcols);
+        }
+        for (int64_t i = 0; i < nb; ++i) {
+          table[hashes[static_cast<size_t>(i)]].push_back(
+              static_cast<uint32_t>(base + i));
+        }
+        st.actual.no += static_cast<double>(nb);  // build-side hash ops
       }
-      st.actual.no += static_cast<double>(nb);  // build-side hash ops
     }
 
     RowBlock out;
@@ -370,23 +615,36 @@ class NodeRunner {
     const int quals = PredicateOpCount(node.predicate.get());
     const int out_cols = out.schema.num_columns();
     // Probe in chunks: hash a chunk of probe keys, then walk the chains,
-    // assembling join rows directly in the output block.
-    for (int64_t base = 0; base < left.num_rows(); base += chunk) {
-      const int64_t nb = std::min(chunk, left.num_rows() - base);
+    // assembling join rows directly in the chunk's output block. The same
+    // body serves both modes; sequentially it appends straight into `out`
+    // chunk by chunk, in parallel each chunk fills a private block and the
+    // blocks merge in chunk order — the identical sequence of appends and
+    // (integer-valued) counter additions either way.
+    const auto probe_chunk = [&](int64_t base, int64_t nb, RowBlock* dst,
+                                 OpStats* pst) {
+      std::vector<uint64_t> hashes(static_cast<size_t>(nb));
       for (int64_t i = 0; i < nb; ++i) {
         hashes[static_cast<size_t>(i)] = HashKeys(left.row(base + i), lcols);
       }
-      st.actual.no += static_cast<double>(nb);  // probe-side hash ops
+      pst->actual.no += static_cast<double>(nb);  // probe-side hash ops
       for (int64_t i = 0; i < nb; ++i) {
         auto it = table.find(hashes[static_cast<size_t>(i)]);
         if (it == table.end()) continue;
         const int64_t l = base + i;
         const RowRef lrow = left.row(l);
         for (uint32_t r : it->second) {
-          st.actual.no += 1.0;  // chain visit / key compare
+          pst->actual.no += 1.0;  // chain visit / key compare
           if (!KeysEqual(lrow, lcols, right.row(r), rcols)) continue;
-          AppendJoinRow(&out, out_cols, left, l, right, r, node, quals, &st);
+          AppendJoinRow(dst, out_cols, left, l, right, r, node, quals, pst);
         }
+      }
+    };
+    if (ShouldShard(left.num_rows())) {
+      RunChunksParallel(left.num_rows(), &out, &st, probe_chunk);
+    } else {
+      for (int64_t base = 0; base < left.num_rows(); base += chunk) {
+        const int64_t nb = std::min(chunk, left.num_rows() - base);
+        probe_chunk(base, nb, &out, &st);
       }
     }
     st.out_rows = static_cast<double>(out.num_rows());
@@ -403,8 +661,11 @@ class NodeRunner {
   }
 
   StatusOr<RowBlock> RunMergeJoin(const PlanNode& node) {
-    UQP_ASSIGN_OR_RETURN(RowBlock left, Run(*node.left));
-    UQP_ASSIGN_OR_RETURN(RowBlock right, Run(*node.right));
+    // Children fan out; the two-pointer merge itself is inherently ordered
+    // and stays sequential (its comparison counter is defined by the
+    // sequential walk).
+    RowBlock left, right;
+    UQP_RETURN_IF_ERROR(RunChildren(node, &left, &right));
     OpStats& st = ctx_->stats(node);
     st.id = node.id;
     st.type = node.type;
@@ -462,8 +723,8 @@ class NodeRunner {
   }
 
   StatusOr<RowBlock> RunNestLoopJoin(const PlanNode& node) {
-    UQP_ASSIGN_OR_RETURN(RowBlock left, Run(*node.left));
-    UQP_ASSIGN_OR_RETURN(RowBlock right, Run(*node.right));
+    RowBlock left, right;
+    UQP_RETURN_IF_ERROR(RunChildren(node, &left, &right));
     OpStats& st = ctx_->stats(node);
     st.id = node.id;
     st.type = node.type;
@@ -482,15 +743,25 @@ class NodeRunner {
     const int quals = PredicateOpCount(node.predicate.get());
     const int out_cols = out.schema.num_columns();
     const int64_t rn = right.num_rows();
-    for (int64_t l = 0; l < left.num_rows(); ++l) {
-      const RowRef lrow = left.row(l);
-      st.actual.no += static_cast<double>(rn);  // per-pair key comparisons
-      for (int64_t r = 0; r < rn; ++r) {
-        if (!lcols.empty() && !KeysEqual(lrow, lcols, right.row(r), rcols)) {
-          continue;
+    // Outer loop sharded over left-row chunks (output order is left-row
+    // order, so chunk-order merge is bit-identical).
+    const auto outer_chunk = [&](int64_t base, int64_t nb, RowBlock* dst,
+                                 OpStats* pst) {
+      for (int64_t l = base; l < base + nb; ++l) {
+        const RowRef lrow = left.row(l);
+        pst->actual.no += static_cast<double>(rn);  // per-pair key comparisons
+        for (int64_t r = 0; r < rn; ++r) {
+          if (!lcols.empty() && !KeysEqual(lrow, lcols, right.row(r), rcols)) {
+            continue;
+          }
+          AppendJoinRow(dst, out_cols, left, l, right, r, node, quals, pst);
         }
-        AppendJoinRow(&out, out_cols, left, l, right, r, node, quals, &st);
       }
+    };
+    if (ShouldShard(left.num_rows())) {
+      RunChunksParallel(left.num_rows(), &out, &st, outer_chunk);
+    } else {
+      outer_chunk(0, left.num_rows(), &out, &st);
     }
     st.out_rows = static_cast<double>(out.num_rows());
     st.actual.nt += st.out_rows;
@@ -660,7 +931,18 @@ StatusOr<ExecResult> Executor::Execute(const Plan& plan,
       static_cast<int>(options.leaf_overrides->size()) != plan.num_leaves()) {
     return Status::InvalidArgument("leaf override count mismatch");
   }
-  ExecContext ctx(db_, options, plan.num_operators(), plan.num_leaves());
+  // Intra-query parallelism: use the caller's pool when provided (the
+  // service layer shares one pool between plan-level and intra-plan
+  // tasks), otherwise spin up an ephemeral one for this Execute call.
+  const int threads = ResolveNumThreads(options.num_threads);
+  TaskRunner* task_runner = threads > 1 ? options.task_runner : nullptr;
+  std::unique_ptr<MorselPool> owned_pool;
+  if (threads > 1 && task_runner == nullptr) {
+    owned_pool = std::make_unique<MorselPool>(threads);
+    task_runner = owned_pool.get();
+  }
+  ExecContext ctx(db_, options, plan.num_operators(), plan.num_leaves(),
+                  task_runner);
   ExecResult result;
   if (options.retain_intermediates) {
     result.blocks.resize(static_cast<size_t>(plan.num_operators()));

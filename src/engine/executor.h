@@ -1,6 +1,13 @@
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -9,6 +16,54 @@
 #include "storage/database.h"
 
 namespace uqp {
+
+/// Abstract fan-out primitive for intra-query parallelism: runs every task
+/// index in [0, n) exactly once, possibly on multiple threads, and returns
+/// only when all of them finished. The calling thread participates, so an
+/// implementation backed by a saturated pool degrades to the caller doing
+/// all the work itself — never to a deadlock. Implementations must support
+/// nested RunTasks calls from inside a task (the executor fans out both
+/// join children and, within each, table chunks).
+class TaskRunner {
+ public:
+  virtual ~TaskRunner() = default;
+  virtual void RunTasks(int64_t n, const std::function<void(int64_t)>& fn) = 0;
+};
+
+/// Work-sharing pool implementing TaskRunner: `num_threads - 1` helper
+/// threads plus the calling thread pull task indexes from a shared atomic
+/// counter (morsel-driven dispatch: skewed tasks rebalance dynamically,
+/// while merge order stays the deterministic task-index order chosen by
+/// the caller). The executor spins one up per Execute call when
+/// ExecOptions asks for parallelism without supplying a pool; long-lived
+/// callers (the sampling estimator, benches) can share one instance
+/// across runs.
+class MorselPool : public TaskRunner {
+ public:
+  explicit MorselPool(int num_threads);
+  ~MorselPool() override;
+
+  MorselPool(const MorselPool&) = delete;
+  MorselPool& operator=(const MorselPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()) + 1; }
+
+  void RunTasks(int64_t n, const std::function<void(int64_t)>& fn) override;
+
+ private:
+  struct Batch;
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+  std::deque<std::shared_ptr<Batch>> active_;
+  bool stop_ = false;
+};
+
+/// Resolves a num_threads knob: <= 0 means "use the hardware concurrency",
+/// anything else is taken literally (floored at 1).
+int ResolveNumThreads(int num_threads);
 
 /// Materialized intermediate result: schema + flat row-major values, plus
 /// optional provenance. Provenance row i holds, for each leaf position in
@@ -70,6 +125,24 @@ struct ExecOptions {
   /// historical tuple-at-a-time loop; output and counters are identical
   /// for every value.
   int64_t max_batch_size = 1024;
+  /// Intra-query parallelism: with more than one thread, filter scans,
+  /// index-scan gathers, hash-join builds/probes and nest-loop outer loops
+  /// are sharded into max_batch_size-row chunks executed across a task
+  /// pool, and independent join children run concurrently. 1 is the
+  /// historical sequential path; <= 0 means hardware concurrency. The
+  /// determinism contract (enforced by tests/parallel_parity_test.cc):
+  /// output rows, provenance, retained blocks and every resource counter
+  /// are bit-identical at every value — chunk results merge in chunk
+  /// order, and all chunk-accumulated counters are integer-valued, so
+  /// double addition regroups exactly. Sort, merge join and aggregation
+  /// stay sequential (their counters/output order are defined by the
+  /// sequential algorithm).
+  int num_threads = 1;
+  /// Pool the shards run on. When null and num_threads > 1, the executor
+  /// spins up an ephemeral MorselPool for the duration of the Execute
+  /// call; callers owning a pool (PredictionService shares its worker
+  /// pool between plan-level and intra-plan tasks) pass it here.
+  TaskRunner* task_runner = nullptr;
   EngineConfig engine;
 };
 

@@ -18,7 +18,7 @@ uint64_t SplitMix64(uint64_t* state) {
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
-Rng::Rng(uint64_t seed) {
+Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(&sm);
 }
@@ -94,6 +94,13 @@ double Rng::NextExponential(double rate) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
+
+Rng Rng::SubStream(uint64_t index) const {
+  // Avalanche (seed, index) into a fresh seed. index + 1 keeps
+  // SubStream(0) distinct from the parent stream itself.
+  uint64_t sm = seed_ ^ ((index + 1) * 0x9e3779b97f4a7c15ULL);
+  return Rng(SplitMix64(&sm));
+}
 
 std::vector<uint32_t> Rng::Permutation(uint32_t n) {
   std::vector<uint32_t> perm(n);

@@ -37,13 +37,25 @@ class Rng {
   double NextExponential(double rate);
 
   /// Forks an independent stream (useful to decorrelate sub-components
-  /// while preserving determinism).
+  /// while preserving determinism). The fork consumes one draw from this
+  /// generator, so forked streams depend on the parent's draw history.
   Rng Fork();
+
+  /// The i-th deterministic substream of this generator's *seed*. Unlike
+  /// Fork(), the result depends only on the constructing seed and `index`
+  /// — never on how many draws the parent has made — so shard i sees the
+  /// same stream no matter how many shards exist, which thread runs it,
+  /// or in what order substreams are taken. This is the primitive that
+  /// keeps randomized work seed-stable at any thread count: give every
+  /// parallel shard SubStream(shard_index) instead of slicing one
+  /// sequential stream.
+  Rng SubStream(uint64_t index) const;
 
   /// Fisher–Yates shuffle of indices [0, n); returns the permutation.
   std::vector<uint32_t> Permutation(uint32_t n);
 
  private:
+  uint64_t seed_ = 0;  ///< constructing seed, kept for SubStream
   uint64_t s_[4];
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -12,6 +13,10 @@ namespace uqp {
 namespace {
 
 double SafeSel(double rho) { return std::clamp(rho, 0.0, 1.0); }
+
+/// Rows per Q-counting shard: the provenance scan of one join output is
+/// sharded into ranges of this many rows.
+constexpr int64_t kCountMorselRows = 8192;
 
 }  // namespace
 
@@ -31,10 +36,24 @@ StatusOr<PlanEstimates> SamplingEstimator::Estimate(const Plan& plan) const {
     overrides[i] = &samples_->Get(leaves[i]->table_name, occ);
   }
 
+  // One pool covers the whole estimate: the executor's intra-query shards
+  // and the Q-counting shards below. When the caller supplied a runner
+  // (the service layer sharing its worker pool), use it; otherwise an
+  // ephemeral pool lives for this call.
+  const int threads = ResolveNumThreads(num_threads_);
+  TaskRunner* runner = threads > 1 ? task_runner_ : nullptr;
+  std::unique_ptr<MorselPool> owned_pool;
+  if (threads > 1 && runner == nullptr) {
+    owned_pool = std::make_unique<MorselPool>(threads);
+    runner = owned_pool.get();
+  }
+
   ExecOptions options;
   options.collect_provenance = true;
   options.retain_intermediates = true;
   options.leaf_overrides = &overrides;
+  options.num_threads = threads;
+  options.task_runner = runner;
   Executor executor(db_);
   UQP_ASSIGN_OR_RETURN(ExecResult run, executor.Execute(plan, options));
 
@@ -163,13 +182,59 @@ StatusOr<PlanEstimates> SamplingEstimator::Estimate(const Plan& plan) const {
     UQP_CHECK(block.prov_width == span)
         << "provenance width mismatch: " << block.prov_width << " vs " << span;
 
-    // Q maps: for each relative leaf k, counts indexed by sample tuple id.
-    std::vector<std::unordered_map<uint32_t, double>> q(
-        static_cast<size_t>(span));
-    for (int64_t r = 0; r < block.num_rows(); ++r) {
-      const uint32_t* prov = block.prov_row(r);
-      for (int k = 0; k < span; ++k) {
-        q[static_cast<size_t>(k)][prov[k]] += 1.0;
+    // Q counters: for each relative leaf k, a dense count vector indexed
+    // by sample tuple id (provenance ids index the leaf's sample table
+    // directly, so tuple ids are < n_k). Dense counts make the
+    // accumulation shard-mergeable — per-shard counts add exactly (they
+    // are integers) — and give the variance pass below a fixed, thread-
+    // count-independent tuple order.
+    std::vector<std::vector<double>> q(static_cast<size_t>(span));
+    for (int k = 0; k < span; ++k) {
+      const double nk =
+          out.leaf_sample_rows[static_cast<size_t>(node->leaf_begin + k)];
+      q[static_cast<size_t>(k)].assign(static_cast<size_t>(nk), 0.0);
+    }
+    const int64_t block_rows = block.num_rows();
+    const int64_t count_shards =
+        runner != nullptr
+            ? std::min<int64_t>(threads, (block_rows + kCountMorselRows - 1) /
+                                             kCountMorselRows)
+            : 1;
+    if (count_shards > 1) {
+      // Shard the provenance scan into contiguous row ranges, each with
+      // its own count vectors, merged in shard order.
+      std::vector<std::vector<std::vector<double>>> parts(
+          static_cast<size_t>(count_shards));
+      const int64_t per_shard = (block_rows + count_shards - 1) / count_shards;
+      runner->RunTasks(count_shards, [&](int64_t s) {
+        auto& part = parts[static_cast<size_t>(s)];
+        part.resize(static_cast<size_t>(span));
+        for (int k = 0; k < span; ++k) {
+          part[static_cast<size_t>(k)].assign(
+              q[static_cast<size_t>(k)].size(), 0.0);
+        }
+        const int64_t begin = s * per_shard;
+        const int64_t end = std::min(block_rows, begin + per_shard);
+        for (int64_t r = begin; r < end; ++r) {
+          const uint32_t* prov = block.prov_row(r);
+          for (int k = 0; k < span; ++k) {
+            part[static_cast<size_t>(k)][prov[k]] += 1.0;
+          }
+        }
+      });
+      for (const auto& part : parts) {
+        for (int k = 0; k < span; ++k) {
+          auto& qk = q[static_cast<size_t>(k)];
+          const auto& pk = part[static_cast<size_t>(k)];
+          for (size_t j = 0; j < qk.size(); ++j) qk[j] += pk[j];
+        }
+      }
+    } else {
+      for (int64_t r = 0; r < block_rows; ++r) {
+        const uint32_t* prov = block.prov_row(r);
+        for (int k = 0; k < span; ++k) {
+          q[static_cast<size_t>(k)][prov[k]] += 1.0;
+        }
       }
     }
 
@@ -187,14 +252,16 @@ StatusOr<PlanEstimates> SamplingEstimator::Estimate(const Plan& plan) const {
       if (nk < 2.0) continue;  // S²_1 = 0 by convention
       const double dk = sample_product / nk;  // Π_{k' != k} n_k'
       double acc = 0.0;
+      int64_t present = 0;
       const auto& qk = q[static_cast<size_t>(k)];
-      for (const auto& [tuple_id, count] : qk) {
-        (void)tuple_id;
+      for (const double count : qk) {
+        if (count == 0.0) continue;
+        ++present;
         const double diff = count / dk - est.rho;
         acc += diff * diff;
       }
       // Sample tuples never seen in the join output contribute (0 - ρ)².
-      const double absent = nk - static_cast<double>(qk.size());
+      const double absent = nk - static_cast<double>(present);
       acc += absent * est.rho * est.rho;
       const double vk = acc / (nk - 1.0);  // per-relation S² component
       est.var_components[static_cast<size_t>(k)] = vk / nk;

@@ -95,16 +95,26 @@ enum class AggregateEstimateMode {
 /// Runs a finalized plan over the sample tables and produces the
 /// selectivity distributions (Algorithm 1 embedded in the bottom-up
 /// refinement of Algorithm 2).
+///
+/// With num_threads > 1 the sample run fans out: the executor shards its
+/// chunked loops and join subtrees across a task pool, and the Q_{k,j,n}
+/// provenance counting below shards the output scan into per-shard count
+/// vectors merged in shard order. Counts are integers, so the merged
+/// counters — and hence every ρ_n and S²_n — are bit-identical to the
+/// sequential (num_threads == 1) run at any thread count.
 class SamplingEstimator {
  public:
   SamplingEstimator(const Database* db, const SampleDb* samples,
                     AggregateEstimateMode aggregate_mode =
                         AggregateEstimateMode::kOptimizer,
-                    ScanEstimateMode scan_mode = ScanEstimateMode::kSampling)
+                    ScanEstimateMode scan_mode = ScanEstimateMode::kSampling,
+                    int num_threads = 1, TaskRunner* task_runner = nullptr)
       : db_(db),
         samples_(samples),
         aggregate_mode_(aggregate_mode),
-        scan_mode_(scan_mode) {}
+        scan_mode_(scan_mode),
+        num_threads_(num_threads),
+        task_runner_(task_runner) {}
 
   StatusOr<PlanEstimates> Estimate(const Plan& plan) const;
 
@@ -123,6 +133,12 @@ class SamplingEstimator {
   const SampleDb* samples_;
   AggregateEstimateMode aggregate_mode_;
   ScanEstimateMode scan_mode_;
+  /// Intra-query parallelism for the sample run (1 = sequential, <= 0 =
+  /// hardware concurrency). Results are bit-identical at every value.
+  int num_threads_ = 1;
+  /// Shared pool for the fan-out; when null and num_threads > 1 an
+  /// ephemeral MorselPool covers one Estimate call.
+  TaskRunner* task_runner_ = nullptr;
 };
 
 }  // namespace uqp

@@ -2,41 +2,84 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
+#include "engine/executor.h"
 
 namespace uqp {
 
-SampleDb SampleDb::Build(const Database& db, const SampleOptions& options) {
+SampleDb SampleDb::Build(const Database& db, const SampleOptions& options,
+                         TaskRunner* task_runner) {
   UQP_CHECK(options.sampling_ratio > 0.0 && options.sampling_ratio <= 1.0)
       << "sampling ratio must be in (0, 1]";
   UQP_CHECK(options.copies_per_relation >= 1);
   SampleDb out;
   out.options_ = options;
-  Rng rng(options.seed);
+  const Rng base_rng(options.seed);
 
-  for (const std::string& name : db.TableNames()) {
-    const Table& base = db.GetTable(name);
+  // Stable substream indexing: relations in sorted name order, one
+  // substream per (relation, copy). Each build unit's randomness depends
+  // only on (seed, index) — not on which thread draws first or on the
+  // database's enumeration order — so the samples are identical at any
+  // thread count.
+  std::vector<std::string> names = db.TableNames();
+  std::sort(names.begin(), names.end());
+  const int copies = options.copies_per_relation;
+
+  struct BuildUnit {
+    const std::string* name = nullptr;
+    Entry* entry = nullptr;
+    int copy = 0;
+    uint64_t substream = 0;
+  };
+  std::vector<BuildUnit> units;
+  units.reserve(names.size() * static_cast<size_t>(copies));
+  for (size_t t = 0; t < names.size(); ++t) {
+    const Table& base = db.GetTable(names[t]);
+    Entry& entry = out.entries_[names[t]];
+    entry.base_rows = base.num_rows();
+    entry.copies.resize(static_cast<size_t>(copies));
+    for (int c = 0; c < copies; ++c) {
+      units.push_back(BuildUnit{&names[t], &entry, c,
+                                t * static_cast<uint64_t>(copies) +
+                                    static_cast<uint64_t>(c)});
+    }
+  }
+
+  const auto build_unit = [&](const BuildUnit& u) {
+    const Table& base = db.GetTable(*u.name);
     const int64_t rows = base.num_rows();
     int64_t sample_rows = static_cast<int64_t>(
         std::ceil(options.sampling_ratio * static_cast<double>(rows)));
-    sample_rows = std::clamp<int64_t>(sample_rows,
-                                      std::min(rows, options.min_sample_rows), rows);
-    Entry entry;
-    entry.base_rows = rows;
-    for (int c = 0; c < options.copies_per_relation; ++c) {
-      auto sample = std::make_unique<Table>(name + "#s" + std::to_string(c),
-                                            base.schema());
-      sample->Reserve(sample_rows);
-      // Simple random sample without replacement: take the first
-      // sample_rows entries of a random permutation.
-      std::vector<uint32_t> perm = rng.Permutation(static_cast<uint32_t>(rows));
-      for (int64_t i = 0; i < sample_rows; ++i) {
-        sample->AppendRow(base.row(perm[static_cast<size_t>(i)]).data);
-      }
-      entry.copies.push_back(std::move(sample));
+    sample_rows = std::clamp<int64_t>(
+        sample_rows, std::min(rows, options.min_sample_rows), rows);
+    auto sample = std::make_unique<Table>(
+        *u.name + "#s" + std::to_string(u.copy), base.schema());
+    sample->Reserve(sample_rows);
+    // Simple random sample without replacement: take the first
+    // sample_rows entries of a random permutation.
+    Rng rng = base_rng.SubStream(u.substream);
+    std::vector<uint32_t> perm = rng.Permutation(static_cast<uint32_t>(rows));
+    for (int64_t i = 0; i < sample_rows; ++i) {
+      sample->AppendRow(base.row(perm[static_cast<size_t>(i)]).data);
     }
-    out.entries_.emplace(name, std::move(entry));
+    u.entry->copies[static_cast<size_t>(u.copy)] = std::move(sample);
+  };
+
+  const int threads = ResolveNumThreads(options.num_threads);
+  if (threads > 1 && units.size() > 1) {
+    TaskRunner* runner = task_runner;
+    std::unique_ptr<MorselPool> owned;
+    if (runner == nullptr) {
+      owned = std::make_unique<MorselPool>(threads);
+      runner = owned.get();
+    }
+    runner->RunTasks(static_cast<int64_t>(units.size()), [&](int64_t i) {
+      build_unit(units[static_cast<size_t>(i)]);
+    });
+  } else {
+    for (const BuildUnit& u : units) build_unit(u);
   }
   return out;
 }

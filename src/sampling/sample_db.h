@@ -11,6 +11,8 @@
 
 namespace uqp {
 
+class TaskRunner;  // engine/executor.h
+
 /// Options for building the offline sample tables.
 struct SampleOptions {
   /// Fraction of each relation taken as sample (paper §6.3's SR knob).
@@ -23,6 +25,11 @@ struct SampleOptions {
   /// Floor on sample rows per relation so S²_n (which divides by n-1)
   /// stays defined.
   int64_t min_sample_rows = 4;
+  /// Threads for building the sample tables (1 = sequential, <= 0 =
+  /// hardware concurrency). Each (relation, copy) draws its permutation
+  /// from an Rng substream keyed by its position in the sorted relation
+  /// order, so the built samples are identical at every thread count.
+  int num_threads = 1;
 };
 
 /// Offline tuple-level samples, materialized one Table per (relation,
@@ -31,7 +38,12 @@ struct SampleOptions {
 /// annotations of paper §3.2.2).
 class SampleDb {
  public:
-  static SampleDb Build(const Database& db, const SampleOptions& options);
+  /// Builds the samples, fanning (relation, copy) table builds across
+  /// `task_runner` (or an ephemeral pool) when options.num_threads != 1.
+  /// The sample contents depend only on options.seed — not on the thread
+  /// count, the runner, or the database's relation enumeration order.
+  static SampleDb Build(const Database& db, const SampleOptions& options,
+                        TaskRunner* task_runner = nullptr);
 
   const SampleOptions& options() const { return options_; }
 

@@ -34,7 +34,7 @@ struct ParallelState {
 
 PredictionService::PredictionService(const Database* db, const SampleDb* samples,
                                      CostUnits units, ServiceOptions options)
-    : pipeline_(db, samples, units, options.predictor),
+    : pipeline_(db, samples, units, options.predictor, &pool_runner_),
       options_(std::move(options)) {
   int n = options_.num_workers;
   if (n <= 0) {

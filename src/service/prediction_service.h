@@ -26,6 +26,13 @@ struct ServiceOptions {
   /// Worker threads for PredictAsync and PredictBatch sharding. 0 sizes
   /// the pool to the hardware concurrency, capped at 4 — prediction sits
   /// on the admission path and must not monopolize the machine it gates.
+  ///
+  /// The same pool also backs intra-plan parallelism when
+  /// predictor.num_threads != 1: a lone cold request fans its sample run
+  /// out across idle workers, while a saturated service degrades
+  /// gracefully — shard tasks queue behind plan-level work and the thread
+  /// running the prediction executes its own shards, i.e. today's
+  /// one-thread-per-plan behavior. Results are bit-identical either way.
   int num_workers = 0;
   /// Capacity of the sample-run cache (distinct plan fingerprints held);
   /// 0 disables caching entirely.
@@ -299,6 +306,23 @@ class PredictionService {
 
   void WorkerLoop();
 
+  /// Adapter handing the worker pool to the executor as a TaskRunner, so
+  /// intra-plan shard tasks and plan-level prediction tasks share one set
+  /// of threads (see ServiceOptions::num_workers).
+  class PoolRunner : public TaskRunner {
+   public:
+    explicit PoolRunner(PredictionService* service) : service_(service) {}
+    void RunTasks(int64_t n, const std::function<void(int64_t)>& fn) override {
+      service_->ParallelFor(static_cast<size_t>(n), [&fn](size_t i) {
+        fn(static_cast<int64_t>(i));
+      });
+    }
+
+   private:
+    PredictionService* service_;
+  };
+
+  PoolRunner pool_runner_{this};  ///< must outlive (so precede) pipeline_
   PredictionPipeline pipeline_;
   ServiceOptions options_;
 

@@ -1,12 +1,27 @@
 // Tests for the §8 future-work extension: interference between concurrent
-// queries modeled as a change in the cost-unit distributions.
+// queries modeled as a change in the cost-unit distributions — plus the
+// intra-plan race suite: concurrent predictions that each fan their
+// sample run out across the shared worker pool (this file runs under TSan
+// and ASan in CI).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/predictor.h"
 #include "core/variance.h"
 #include "cost/calibration.h"
+#include "datagen/tpch.h"
+#include "engine/planner.h"
 #include "hw/machine.h"
 #include "math/stats.h"
+#include "sampling/sample_db.h"
+#include "service/prediction_service.h"
+#include "workload/common.h"
 
 namespace uqp {
 namespace {
@@ -96,6 +111,175 @@ TEST(Concurrency, MplAwareUnitsPredictMplWorkloads) {
 TEST(Concurrency, InvalidMplRejected) {
   SimulatedMachine machine(MachineProfile::PC1(), 11);
   EXPECT_DEATH(machine.ExecuteOnce({ResourceVector{}}, 0), "concurrency");
+}
+
+// ---------------------------------------------------------------------------
+// Intra-plan races: predictions whose sample runs themselves fan out
+// across the service's worker pool, racing each other and the cache
+// machinery. Full-ratio samples make the big relations span several
+// execution batches, so the shard paths genuinely run.
+// ---------------------------------------------------------------------------
+
+class IntraPlanRaceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(MakeTpchDatabase(TpchConfig::Profile("tiny")));
+    SampleOptions sample_options;
+    sample_options.sampling_ratio = 1.0;
+    samples_ = new SampleDb(SampleDb::Build(*db_, sample_options));
+    SimulatedMachine machine(MachineProfile::PC1(), 17);
+    Calibrator calibrator(&machine);
+    units_ = new CostUnits(calibrator.Calibrate());
+
+    plans_ = new std::vector<Plan>();
+    SelJoinOptions wopts;
+    wopts.instances_per_template = 2;
+    auto queries = MakeSelJoinWorkload(*db_, wopts);
+    for (auto& q : queries) {
+      auto plan_or = OptimizePlan(std::move(q.logical), *db_);
+      if (plan_or.ok()) plans_->push_back(std::move(plan_or).value());
+    }
+    ASSERT_GE(plans_->size(), 4u);
+  }
+
+  static void TearDownTestSuite() {
+    delete plans_;
+    delete units_;
+    delete samples_;
+    delete db_;
+    plans_ = nullptr;
+    units_ = nullptr;
+    samples_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static SampleDb* samples_;
+  static CostUnits* units_;
+  static std::vector<Plan>* plans_;
+};
+
+Database* IntraPlanRaceTest::db_ = nullptr;
+SampleDb* IntraPlanRaceTest::samples_ = nullptr;
+CostUnits* IntraPlanRaceTest::units_ = nullptr;
+std::vector<Plan>* IntraPlanRaceTest::plans_ = nullptr;
+
+// Concurrent PredictAsync on distinct plans, each sharding its sample run
+// across the same pool the plan-level tasks run on: every future resolves,
+// every result is bit-identical to the sequential reference, and dedup
+// still collapses repeats to one stage-1 run per distinct plan.
+TEST_F(IntraPlanRaceTest, ConcurrentAsyncPredictionsFanOutShards) {
+  PredictorOptions seq_opts;
+  Predictor reference(db_, samples_, *units_, seq_opts);
+  std::vector<Prediction> expected;
+  for (const Plan& plan : *plans_) {
+    auto ref = reference.Predict(plan);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    expected.push_back(std::move(ref).value());
+  }
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.predictor.num_threads = 4;
+  PredictionService service(db_, samples_, *units_, options);
+  const int kRepeats = 3;
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (const Plan& plan : *plans_) {
+      futures.push_back(service.PredictAsync(plan));
+    }
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const Prediction& ref = expected[i % plans_->size()];
+    EXPECT_EQ(got->mean(), ref.mean()) << "future " << i;
+    EXPECT_EQ(got->breakdown.variance, ref.breakdown.variance) << "future " << i;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sample_runs, plans_->size());
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.predictions);
+  EXPECT_EQ(service.plan_registry_size(), 0u);
+}
+
+// InvalidateCache hammered from another thread while parallel sample runs
+// are mid-flight: no run may crash, lose its waiters, or serve a result
+// that differs from the deterministic reference; late cache inserts from
+// flushed generations are dropped, never resurrected.
+TEST_F(IntraPlanRaceTest, InvalidateCacheMidParallelRun) {
+  PredictorOptions seq_opts;
+  Predictor reference(db_, samples_, *units_, seq_opts);
+  auto ref = reference.Predict((*plans_)[0]);
+  ASSERT_TRUE(ref.ok());
+
+  ServiceOptions options;
+  options.num_workers = 3;
+  options.predictor.num_threads = 3;
+  PredictionService service(db_, samples_, *units_, options);
+
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    while (!stop.load()) {
+      service.InvalidateCache();
+      std::this_thread::yield();
+    }
+  });
+
+  const int kWaves = 6;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::future<StatusOr<Prediction>>> futures;
+    for (const Plan& plan : *plans_) {
+      futures.push_back(service.PredictAsync(plan));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      auto got = futures[i].get();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      if (i == 0) {
+        EXPECT_EQ(got->mean(), ref->mean()) << "wave " << wave;
+        EXPECT_EQ(got->breakdown.variance, ref->breakdown.variance);
+      }
+    }
+  }
+  stop.store(true);
+  invalidator.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.predictions);
+  // The invalidator raced real inserts: anything it beat was re-run, so
+  // the sum of surviving inserts and dropped ones covers every stage-1
+  // execution.
+  EXPECT_GE(stats.sample_runs, plans_->size());
+  EXPECT_EQ(service.plan_registry_size(), 0u);
+}
+
+// A deterministic mid-run flush: the post-stages hook fires between the
+// stages finishing and the artifacts being published, so the insert is
+// provably stale. The prediction must still complete (with the pre-flush
+// result) and the stale insert must be counted and dropped.
+TEST_F(IntraPlanRaceTest, DeterministicFlushBetweenStagesAndPublish) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.predictor.num_threads = 2;
+  std::atomic<int> hook_calls{0};
+  PredictionService* service_ptr = nullptr;
+  options.post_stages_hook = [&] {
+    if (hook_calls.fetch_add(1) == 0) service_ptr->InvalidateCache();
+  };
+  PredictionService service(db_, samples_, *units_, options);
+  service_ptr = &service;
+
+  auto got = service.PredictAsync((*plans_)[1]).get();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.stale_drops, 1u);
+  EXPECT_EQ(service.cache_size(), 0u);
+
+  PredictorOptions seq_opts;
+  Predictor reference(db_, samples_, *units_, seq_opts);
+  auto ref = reference.Predict((*plans_)[1]);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(got->mean(), ref->mean());
+  EXPECT_EQ(got->breakdown.variance, ref->breakdown.variance);
 }
 
 }  // namespace

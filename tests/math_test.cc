@@ -87,6 +87,46 @@ TEST(Rng, ForkDecorrelates) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(Rng, SubStreamDependsOnlyOnSeedAndIndex) {
+  // The per-shard determinism primitive: SubStream(i) must be the same
+  // stream no matter how many draws the parent made, how many substreams
+  // exist, or in what order they are taken.
+  Rng fresh(19);
+  Rng drained(19);
+  for (int i = 0; i < 1000; ++i) drained.NextU64();
+  for (uint64_t index : {uint64_t{0}, uint64_t{1}, uint64_t{7}, uint64_t{63}}) {
+    Rng a = fresh.SubStream(index);
+    Rng b = drained.SubStream(index);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_EQ(a.NextU64(), b.NextU64()) << "index " << index;
+    }
+  }
+  // Order of derivation is irrelevant too.
+  Rng parent(19);
+  Rng s3_first = parent.SubStream(3);
+  Rng s0 = parent.SubStream(0);
+  Rng s3_again = parent.SubStream(3);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(s3_first.NextU64(), s3_again.NextU64());
+  }
+  (void)s0;
+}
+
+TEST(Rng, SubStreamsDecorrelated) {
+  Rng rng(19);
+  Rng a = rng.SubStream(0);
+  Rng b = rng.SubStream(1);
+  Rng parent_stream(19);
+  int equal_ab = 0, equal_parent = 0;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.NextU64();
+    if (va == b.NextU64()) ++equal_ab;
+    if (va == parent_stream.NextU64()) ++equal_parent;
+  }
+  EXPECT_LT(equal_ab, 3);
+  EXPECT_LT(equal_parent, 3) << "SubStream(0) must differ from the parent";
+}
+
 TEST(Rng, PermutationIsPermutation) {
   Rng rng(23);
   const auto perm = rng.Permutation(100);

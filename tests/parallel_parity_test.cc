@@ -1,0 +1,318 @@
+// The determinism contract of intra-query parallel sample execution: for
+// every workload plan, the parallel run must be BIT-IDENTICAL to the
+// sequential run — same rows, provenance, resource counters,
+// selectivities and final N(μ, σ²) — at every thread count. The harness
+// asserts byte-equal SampleRunOutput serializations (doubles compared by
+// bit pattern, via SampleRunOutputBytes) and exact Prediction equality
+// against the num_threads = 1 baseline, plus seed-determinism: two runs
+// at the same thread count are identical.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/predictor.h"
+#include "cost/calibration.h"
+#include "datagen/tpch.h"
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "engine/planner.h"
+#include "hw/machine.h"
+#include "sampling/sample_db.h"
+#include "workload/common.h"
+
+namespace uqp {
+namespace {
+
+/// Thread counts every parity check runs at, against the sequential
+/// baseline. hardware_concurrency is appended at runtime.
+std::vector<int> ParityThreadCounts() {
+  std::vector<int> counts = {2, 5};
+  const int hw = ResolveNumThreads(0);
+  counts.push_back(hw);
+  return counts;
+}
+
+/// Shared fixture: one tiny TPC-H database, sample tables, calibrated
+/// units, and optimized plans from all three workloads (micro, seljoin,
+/// TPC-H), capped per workload to keep the suite fast under TSan.
+class ParallelParityTest : public ::testing::Test {
+ protected:
+  struct WorkloadPlans {
+    std::string kind;
+    std::vector<Plan> plans;
+  };
+
+  static void SetUpTestSuite() {
+    db_ = new Database(MakeTpchDatabase(TpchConfig::Profile("tiny")));
+    // Full-ratio samples: the tiny profile's 5%-samples all fit in a
+    // single 1024-row batch, which would leave the chunk-sharded executor
+    // paths untested. At ratio 1.0 the big relations span several batches,
+    // so scans, builds and probes genuinely fan out.
+    SampleOptions sample_options;
+    sample_options.sampling_ratio = 1.0;
+    samples_ = new SampleDb(SampleDb::Build(*db_, sample_options));
+    SimulatedMachine machine(MachineProfile::PC1(), 17);
+    Calibrator calibrator(&machine);
+    units_ = new CostUnits(calibrator.Calibrate());
+
+    workloads_ = new std::vector<WorkloadPlans>();
+    const size_t kPlansPerWorkload = 6;
+    for (const char* kind : {"micro", "seljoin", "tpch"}) {
+      WorkloadPlans wp;
+      wp.kind = kind;
+      auto queries = MakeWorkload(*db_, kind, /*seed=*/29, /*size_hint=*/8);
+      for (auto& q : queries) {
+        if (wp.plans.size() >= kPlansPerWorkload) break;
+        auto plan_or = OptimizePlan(std::move(q.logical), *db_);
+        if (plan_or.ok()) wp.plans.push_back(std::move(plan_or).value());
+      }
+      ASSERT_GE(wp.plans.size(), 2u) << kind;
+      workloads_->push_back(std::move(wp));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete workloads_;
+    delete units_;
+    delete samples_;
+    delete db_;
+    workloads_ = nullptr;
+    units_ = nullptr;
+    samples_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static SampleRunOutput RunStage(const Plan& plan, int num_threads,
+                                  const SampleDb* samples = nullptr) {
+    SampleRunStage stage(db_, samples != nullptr ? samples : samples_,
+                         AggregateEstimateMode::kOptimizer,
+                         ScanEstimateMode::kSampling, num_threads);
+    SampleRunInput in;
+    in.plan = &plan;
+    auto out = stage.Run(in);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return std::move(out).value();
+  }
+
+  static Database* db_;
+  static SampleDb* samples_;
+  static CostUnits* units_;
+  static std::vector<WorkloadPlans>* workloads_;
+};
+
+Database* ParallelParityTest::db_ = nullptr;
+SampleDb* ParallelParityTest::samples_ = nullptr;
+CostUnits* ParallelParityTest::units_ = nullptr;
+std::vector<ParallelParityTest::WorkloadPlans>* ParallelParityTest::workloads_ =
+    nullptr;
+
+// The headline contract: every workload plan's SampleRunOutput — rows,
+// counters, selectivities, variance components — serializes to the same
+// bytes at num_threads ∈ {2, 5, hardware_concurrency} as at 1.
+TEST_F(ParallelParityTest, SampleRunBitIdenticalAcrossThreadCounts) {
+  for (const auto& wp : *workloads_) {
+    for (size_t p = 0; p < wp.plans.size(); ++p) {
+      const std::string baseline =
+          SampleRunOutputBytes(RunStage(wp.plans[p], 1));
+      for (int t : ParityThreadCounts()) {
+        EXPECT_EQ(SampleRunOutputBytes(RunStage(wp.plans[p], t)), baseline)
+            << wp.kind << " plan " << p << " at num_threads=" << t;
+      }
+    }
+  }
+}
+
+// End to end: the full pipeline's N(μ, σ²) — and every variance term in
+// the breakdown — is exactly equal under intra-query parallelism.
+TEST_F(ParallelParityTest, PredictionBitIdenticalAcrossThreadCounts) {
+  PredictorOptions sequential;
+  Predictor baseline(db_, samples_, *units_, sequential);
+  for (const auto& wp : *workloads_) {
+    for (size_t p = 0; p < wp.plans.size(); ++p) {
+      auto ref = baseline.Predict(wp.plans[p]);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      for (int t : ParityThreadCounts()) {
+        PredictorOptions opts;
+        opts.num_threads = t;
+        Predictor parallel(db_, samples_, *units_, opts);
+        auto got = parallel.Predict(wp.plans[p]);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(got->mean(), ref->mean())
+            << wp.kind << " plan " << p << " at num_threads=" << t;
+        EXPECT_EQ(got->breakdown.variance, ref->breakdown.variance);
+        EXPECT_EQ(got->breakdown.var_cost_units, ref->breakdown.var_cost_units);
+        EXPECT_EQ(got->breakdown.var_selectivity,
+                  ref->breakdown.var_selectivity);
+        EXPECT_EQ(got->breakdown.var_cov_bounds, ref->breakdown.var_cov_bounds);
+      }
+    }
+  }
+}
+
+// Seed-determinism: two parallel runs at the SAME thread count are
+// identical — shard scheduling (which thread claims which morsel, in what
+// order) must never leak into the result.
+TEST_F(ParallelParityTest, SameThreadCountRunsIdentical) {
+  const int threads = 3;
+  for (const auto& wp : *workloads_) {
+    const Plan& plan = wp.plans[0];
+    const std::string first = SampleRunOutputBytes(RunStage(plan, threads));
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(SampleRunOutputBytes(RunStage(plan, threads)), first)
+          << wp.kind << " rep " << rep;
+    }
+  }
+}
+
+// The estimator's alternative modes run through the same sharded executor
+// and Q-counting: GEE aggregate estimation and histogram scan estimation
+// must obey the same contract.
+TEST_F(ParallelParityTest, AlternativeEstimatorModesBitIdentical) {
+  for (const auto mode :
+       {AggregateEstimateMode::kOptimizer, AggregateEstimateMode::kGee}) {
+    for (const auto scan :
+         {ScanEstimateMode::kSampling, ScanEstimateMode::kHistogram}) {
+      for (const auto& wp : *workloads_) {
+        const Plan& plan = wp.plans[1];
+        SampleRunInput in;
+        in.plan = &plan;
+        SampleRunStage sequential(db_, samples_, mode, scan, 1);
+        auto ref = sequential.Run(in);
+        ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+        SampleRunStage parallel(db_, samples_, mode, scan, 4);
+        auto got = parallel.Run(in);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(SampleRunOutputBytes(got.value()),
+                  SampleRunOutputBytes(ref.value()))
+            << wp.kind;
+      }
+    }
+  }
+}
+
+// Sample construction is seed-stable at any thread count too: each
+// (relation, copy) permutation comes from an Rng substream keyed by its
+// stable index, so a pool-built SampleDb equals the sequential one.
+TEST_F(ParallelParityTest, SampleDbBuildThreadCountInvariant) {
+  SampleOptions opts;
+  opts.sampling_ratio = 0.05;
+  opts.num_threads = 1;
+  const SampleDb sequential = SampleDb::Build(*db_, opts);
+  opts.num_threads = 4;
+  const SampleDb pooled = SampleDb::Build(*db_, opts);
+  // Compare through a sample run: identical samples produce identical
+  // selectivity estimates for every plan.
+  const Plan& plan = (*workloads_)[1].plans[0];
+  EXPECT_EQ(SampleRunOutputBytes(RunStage(plan, 1, &pooled)),
+            SampleRunOutputBytes(RunStage(plan, 1, &sequential)));
+  // And cell by cell, for one relation's copies.
+  for (const std::string& name : db_->TableNames()) {
+    ASSERT_EQ(sequential.copies(name), pooled.copies(name));
+    for (int c = 0; c < sequential.copies(name); ++c) {
+      const Table& a = sequential.Get(name, c);
+      const Table& b = pooled.Get(name, c);
+      ASSERT_EQ(a.num_rows(), b.num_rows()) << name << " copy " << c;
+      for (int64_t r = 0; r < a.num_rows(); ++r) {
+        const RowRef ra = a.row(r);
+        const RowRef rb = b.row(r);
+        for (int col = 0; col < ra.num_columns; ++col) {
+          ASSERT_TRUE(ra[col].Equals(rb[col]))
+              << name << " copy " << c << " row " << r << " col " << col;
+        }
+      }
+    }
+  }
+}
+
+// Executor-level contract, checked at maximum resolution: everything an
+// ExecResult carries — output rows, provenance ids, retained per-operator
+// blocks and every resource counter — is equal under parallelism, across
+// batch sizes small enough that every operator spans many morsels.
+void ExpectBlocksEqual(const RowBlock& a, const RowBlock& b,
+                       const std::string& what) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  ASSERT_EQ(a.values.size(), b.values.size()) << what;
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    ASSERT_TRUE(a.values[i].Equals(b.values[i])) << what << " value " << i;
+  }
+  ASSERT_EQ(a.prov_width, b.prov_width) << what;
+  ASSERT_EQ(a.prov, b.prov) << what;
+}
+
+void ExpectExecResultsEqual(const ExecResult& a, const ExecResult& b,
+                            const std::string& what) {
+  ExpectBlocksEqual(a.output, b.output, what + " output");
+  ASSERT_EQ(a.ops.size(), b.ops.size()) << what;
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    const OpStats& x = a.ops[i];
+    const OpStats& y = b.ops[i];
+    EXPECT_EQ(x.actual.ns, y.actual.ns) << what << " op " << i;
+    EXPECT_EQ(x.actual.nr, y.actual.nr) << what << " op " << i;
+    EXPECT_EQ(x.actual.nt, y.actual.nt) << what << " op " << i;
+    EXPECT_EQ(x.actual.ni, y.actual.ni) << what << " op " << i;
+    EXPECT_EQ(x.actual.no, y.actual.no) << what << " op " << i;
+    EXPECT_EQ(x.left_rows, y.left_rows) << what << " op " << i;
+    EXPECT_EQ(x.right_rows, y.right_rows) << what << " op " << i;
+    EXPECT_EQ(x.out_rows, y.out_rows) << what << " op " << i;
+    EXPECT_EQ(x.leaf_row_product, y.leaf_row_product) << what << " op " << i;
+  }
+  ASSERT_EQ(a.blocks.size(), b.blocks.size()) << what;
+  for (size_t i = 0; i < a.blocks.size(); ++i) {
+    ExpectBlocksEqual(a.blocks[i], b.blocks[i],
+                      what + " block " + std::to_string(i));
+  }
+}
+
+TEST_F(ParallelParityTest, ExecutorResultsBitIdenticalAtSmallMorsels) {
+  Executor executor(db_);
+  // Two plans per workload keeps the {batch} x {threads} grid affordable
+  // under TSan.
+  for (const auto& wp : *workloads_) {
+    for (size_t p = 0; p < 2 && p < wp.plans.size(); ++p) {
+      for (int64_t batch : {int64_t{7}, int64_t{64}, int64_t{1024}}) {
+        ExecOptions sequential;
+        sequential.collect_provenance = true;
+        sequential.retain_intermediates = true;
+        sequential.max_batch_size = batch;
+        auto ref = executor.Execute(wp.plans[p], sequential);
+        ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+        for (int t : ParityThreadCounts()) {
+          ExecOptions parallel = sequential;
+          parallel.num_threads = t;
+          auto got = executor.Execute(wp.plans[p], parallel);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          ExpectExecResultsEqual(
+              got.value(), ref.value(),
+              wp.kind + " plan " + std::to_string(p) + " batch " +
+                  std::to_string(batch) + " threads " + std::to_string(t));
+        }
+      }
+    }
+  }
+}
+
+// A caller-owned pool shared across runs (the service-layer shape) gives
+// the same bytes as per-run ephemeral pools.
+TEST_F(ParallelParityTest, SharedPoolMatchesEphemeralPools) {
+  MorselPool pool(4);
+  const Plan& plan = (*workloads_)[0].plans[0];
+  SampleRunInput in;
+  in.plan = &plan;
+  SampleRunStage shared(db_, samples_, AggregateEstimateMode::kOptimizer,
+                        ScanEstimateMode::kSampling, 4, &pool);
+  SampleRunStage ephemeral(db_, samples_, AggregateEstimateMode::kOptimizer,
+                           ScanEstimateMode::kSampling, 4);
+  for (int rep = 0; rep < 2; ++rep) {
+    auto a = shared.Run(in);
+    auto b = ephemeral.Run(in);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(SampleRunOutputBytes(a.value()), SampleRunOutputBytes(b.value()));
+  }
+}
+
+}  // namespace
+}  // namespace uqp

@@ -851,5 +851,77 @@ TEST_F(ServiceTest, ShutdownRacingAsyncLeavesNoUnsatisfiedFuture) {
   }
 }
 
+// Regression pin for the one remaining blocking join path: a PredictBatch
+// shard whose plan is already being sampled by ANOTHER request joins that
+// run by blocking in future::get() (unlike async losers, which park
+// continuations and free their worker). Pinned here — batch completion
+// gated on the winner, counted as an in-flight join, results
+// bit-identical — so a future continuation rework of the batch path has
+// the current contract to preserve.
+TEST_F(ServiceTest, BatchShardJoiningInflightRunBlocksUntilWinnerFinishes) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool winner_gated = false;
+  bool release = false;
+  std::atomic<int> hook_calls{0};
+  options.post_stages_hook = [&] {
+    // Gate only the async winner's run (the first to finish stages); the
+    // batch's other shard (a distinct plan) must complete unhindered.
+    if (hook_calls.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      winner_gated = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  PredictionService service(db_, samples_, *units_, options);
+
+  auto winner = service.PredictAsync((*plans_)[0]);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return winner_gated; });
+  }
+
+  std::atomic<bool> batch_done{false};
+  std::vector<StatusOr<Prediction>> results;
+  std::thread batcher([&] {
+    const std::vector<const Plan*> batch = {&(*plans_)[0], &(*plans_)[1]};
+    results = service.PredictBatch(batch);
+    batch_done.store(true);
+  });
+
+  // The shard for plans_[0] joined the gated winner's in-flight run, so
+  // the batch cannot complete while the gate is closed — this is the
+  // pinned blocking behavior.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(batch_done.load())
+      << "batch finished while its in-flight dependency was still gated";
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  batcher.join();
+  auto winner_result = winner.get();
+  ASSERT_TRUE(winner_result.ok());
+
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  ASSERT_TRUE(results[1].ok()) << results[1].status().ToString();
+  // The joiner serves the winner's artifacts: bit-identical prediction
+  // and pointer-identical sample run.
+  EXPECT_EQ(results[0]->mean(), winner_result->mean());
+  EXPECT_EQ(results[0]->breakdown.variance, winner_result->breakdown.variance);
+  EXPECT_EQ(results[0]->sample_run.get(), winner_result->sample_run.get());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sample_runs, 2u) << "joiner must not re-run stage 1";
+  EXPECT_GE(stats.inflight_joins, 1u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.predictions);
+}
+
 }  // namespace
 }  // namespace uqp

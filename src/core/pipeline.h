@@ -27,13 +27,20 @@ struct PredictorOptions {
   /// histogram alternative).
   ScanEstimateMode scan_mode = ScanEstimateMode::kSampling;
   /// Intra-query parallelism for the stage-1 sample run: the executor
-  /// shards scans, hash-join builds/probes and join subtrees across a
-  /// task pool, and the estimator merges per-shard selectivity counts in
-  /// shard order. 1 = sequential (the historical path), <= 0 = hardware
-  /// concurrency. The determinism contract, enforced by
-  /// tests/parallel_parity_test.cc: the SampleRunOutput — and hence every
-  /// prediction — is bit-identical at every value.
+  /// shards every operator — scans, hash-join builds/probes, join
+  /// subtrees, sort leaf blocks + merge levels, aggregation chunk tables,
+  /// merge-join group emission — across a task pool, and the estimator
+  /// merges per-shard selectivity counts in shard order. 1 = sequential
+  /// (the historical path), <= 0 = hardware concurrency. The determinism
+  /// contract, enforced by tests/parallel_parity_test.cc: the
+  /// SampleRunOutput — and hence every prediction — is bit-identical at
+  /// every value.
   int num_threads = 1;
+  /// Rows per executor chunk for the stage-1 sample run (the morsel and
+  /// sort-leaf granularity — see ExecOptions::max_batch_size). Part of the
+  /// determinism contract's *shape*: results are bit-identical across
+  /// num_threads at any fixed batch size, and the parity tests sweep both.
+  int64_t max_batch_size = 1024;
   FitOptions fit;
 };
 
@@ -123,9 +130,10 @@ class SampleRunStage {
   SampleRunStage(const Database* db, const SampleDb* samples,
                  AggregateEstimateMode aggregate_mode,
                  ScanEstimateMode scan_mode, int num_threads = 1,
-                 TaskRunner* task_runner = nullptr)
+                 TaskRunner* task_runner = nullptr,
+                 int64_t max_batch_size = 1024)
       : estimator_(db, samples, aggregate_mode, scan_mode, num_threads,
-                   task_runner) {}
+                   task_runner, max_batch_size) {}
 
   StatusOr<SampleRunOutput> Run(const SampleRunInput& input) const;
 
@@ -200,7 +208,7 @@ class PredictionPipeline {
       : units_(units),
         options_(options),
         sample_run_(db, samples, options.aggregate_mode, options.scan_mode,
-                    options.num_threads, task_runner),
+                    options.num_threads, task_runner, options.max_batch_size),
         cost_fit_(db, options.fit),
         variance_combine_(units) {}
 

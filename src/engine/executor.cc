@@ -140,11 +140,62 @@ double PagesFor(double rows, double width_bytes) {
 }
 
 struct GroupAccumulator {
+  uint64_t hash = 0;  ///< group-key hash, kept so chunk tables merge cheaply
   std::vector<Value> group_values;
   std::vector<double> sums;
   std::vector<double> mins;
   std::vector<double> maxs;
   int64_t count = 0;
+};
+
+/// One aggregation hash table: accumulators in first-appearance order plus
+/// a hash index into them. Aggregation builds one table per input chunk and
+/// merges the chunk tables in chunk order, so the global first-appearance
+/// order equals the sequential scan's regardless of thread count.
+struct GroupTable {
+  std::vector<GroupAccumulator> groups;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;  ///< hash -> idx
+
+  GroupAccumulator* FindByRow(uint64_t h, RowRef row,
+                              const std::vector<int>& group_cols) {
+    auto it = index.find(h);
+    if (it == index.end()) return nullptr;
+    for (uint32_t idx : it->second) {
+      GroupAccumulator& cand = groups[idx];
+      bool same = true;
+      for (size_t g = 0; g < group_cols.size(); ++g) {
+        if (!cand.group_values[g].Equals(row[group_cols[g]])) {
+          same = false;
+          break;
+        }
+      }
+      if (same) return &cand;
+    }
+    return nullptr;
+  }
+
+  GroupAccumulator* FindByAcc(const GroupAccumulator& key) {
+    auto it = index.find(key.hash);
+    if (it == index.end()) return nullptr;
+    for (uint32_t idx : it->second) {
+      GroupAccumulator& cand = groups[idx];
+      bool same = true;
+      for (size_t g = 0; g < key.group_values.size(); ++g) {
+        if (!cand.group_values[g].Equals(key.group_values[g])) {
+          same = false;
+          break;
+        }
+      }
+      if (same) return &cand;
+    }
+    return nullptr;
+  }
+
+  GroupAccumulator* Append(GroupAccumulator&& acc) {
+    index[acc.hash].push_back(static_cast<uint32_t>(groups.size()));
+    groups.push_back(std::move(acc));
+    return &groups.back();
+  }
 };
 
 class ExecContext {
@@ -235,10 +286,6 @@ class NodeRunner {
     return Status::Internal("unknown operator type");
   }
 
-  void AppendOutputRow(RowBlock* out, RowRef row) {
-    out->values.insert(out->values.end(), row.data, row.data + row.num_columns);
-  }
-
   /// Appends the rows of a contiguous chunk whose selection-mask lane is
   /// set, bulk-copying consecutive runs of survivors. Provenance ids are
   /// base + lane (row indexes of the source table) — or, when `rids` is
@@ -271,13 +318,18 @@ class NodeRunner {
 
   // ----- intra-query sharding helpers -------------------------------------
   //
-  // Chunked loops fan out one task per max_batch_size-row chunk; each task
-  // fills a private RowBlock (and counter partial), and the results merge
-  // in chunk order. That makes the parallel run bit-identical to the
-  // sequential one: the sequential loop processes the same chunks in the
-  // same order, and every counter a chunk accumulates is an integer-valued
-  // count (hash ops, chain visits, qual evaluations), so summing per-chunk
-  // partials regroups the same double additions exactly.
+  // Sharded loops fan out one task per max_batch_size-row chunk (or per
+  // emission group batch); results merge in task order. That makes the
+  // parallel run bit-identical to the sequential one: the sequential loop
+  // processes the same work units in the same order, and every counter a
+  // task accumulates is an integer-valued count (hash ops, chain visits,
+  // qual evaluations, sort comparisons), so summing per-task partials
+  // regroups the same double additions exactly.
+  //
+  // Output assembly is two-pass: a compute pass materializes per-task
+  // results, a sizing step derives exact prefix offsets, and a placement
+  // pass writes every task's rows in place into the pre-sized output —
+  // disjoint spans, written concurrently, no sequential merge copy.
 
   int64_t NumChunks(int64_t total) const {
     const int64_t chunk = ctx_->batch();
@@ -290,50 +342,104 @@ class NodeRunner {
     return ctx_->parallel() && NumChunks(total) >= 2;
   }
 
-  /// Runs `chunk_fn(base, nb, local_block, local_stats)` for every chunk
-  /// of [0, total) across the pool, then appends the chunk blocks to `out`
-  /// and the counter partials to `st` in chunk order.
+  /// Runs task indexes [0, n) — on the pool when intra-query parallelism
+  /// is on and there is more than one task, inline otherwise. Either way
+  /// the task decomposition (and hence every per-task counter) is
+  /// identical; only the dispatch differs.
+  void RunTaskRange(int64_t n, const std::function<void(int64_t)>& fn) {
+    if (ctx_->parallel() && n >= 2) {
+      ctx_->runner()->RunTasks(n, fn);
+    } else {
+      for (int64_t t = 0; t < n; ++t) fn(t);
+    }
+  }
+
+  /// Runs `task_fn(t, local_block, local_stats)` for every task in
+  /// [0, ntasks) across the pool, then assembles the output two-pass:
+  /// exact per-task offsets are prefix-summed, `out` is resized once, and
+  /// every task's rows are placed in-place — concurrently, into disjoint
+  /// spans — instead of being merge-copied one task at a time.
+  void RunShardedTasks(
+      int64_t ntasks, RowBlock* out, OpStats* st,
+      const std::function<void(int64_t, RowBlock*, OpStats*)>& task_fn) {
+    std::vector<RowBlock> blocks(static_cast<size_t>(ntasks));
+    std::vector<OpStats> partials(static_cast<size_t>(ntasks));
+    ctx_->runner()->RunTasks(ntasks, [&](int64_t t) {
+      RowBlock& local = blocks[static_cast<size_t>(t)];
+      local.prov_width = out->prov_width;
+      task_fn(t, &local, &partials[static_cast<size_t>(t)]);
+    });
+    // Sizing: exact prefix offsets per task, one resize of the output.
+    const size_t vbase = out->values.size();
+    const size_t pbase = out->prov.size();
+    std::vector<size_t> voff(static_cast<size_t>(ntasks) + 1, 0);
+    std::vector<size_t> poff(static_cast<size_t>(ntasks) + 1, 0);
+    for (int64_t t = 0; t < ntasks; ++t) {
+      voff[static_cast<size_t>(t) + 1] =
+          voff[static_cast<size_t>(t)] + blocks[static_cast<size_t>(t)].values.size();
+      poff[static_cast<size_t>(t) + 1] =
+          poff[static_cast<size_t>(t)] + blocks[static_cast<size_t>(t)].prov.size();
+    }
+    out->values.resize(vbase + voff[static_cast<size_t>(ntasks)]);
+    out->prov.resize(pbase + poff[static_cast<size_t>(ntasks)]);
+    // Placement: every task writes its span of the pre-sized output.
+    ctx_->runner()->RunTasks(ntasks, [&](int64_t t) {
+      const RowBlock& b = blocks[static_cast<size_t>(t)];
+      std::copy(b.values.begin(), b.values.end(),
+                out->values.begin() + vbase + voff[static_cast<size_t>(t)]);
+      std::copy(b.prov.begin(), b.prov.end(),
+                out->prov.begin() + pbase + poff[static_cast<size_t>(t)]);
+    });
+    for (int64_t t = 0; t < ntasks; ++t) {
+      st->actual += partials[static_cast<size_t>(t)].actual;
+    }
+  }
+
+  /// Row-chunk flavor of RunShardedTasks: one task per max_batch_size-row
+  /// chunk of [0, total), `chunk_fn(base, nb, local_block, local_stats)`.
   void RunChunksParallel(
       int64_t total, RowBlock* out, OpStats* st,
       const std::function<void(int64_t, int64_t, RowBlock*, OpStats*)>&
           chunk_fn) {
     const int64_t chunk = ctx_->batch();
-    const int64_t nchunks = NumChunks(total);
-    std::vector<RowBlock> blocks(static_cast<size_t>(nchunks));
-    std::vector<OpStats> partials(static_cast<size_t>(nchunks));
-    ctx_->runner()->RunTasks(nchunks, [&](int64_t c) {
-      const int64_t base = c * chunk;
-      const int64_t nb = std::min(chunk, total - base);
-      RowBlock& local = blocks[static_cast<size_t>(c)];
-      local.schema = out->schema;
-      local.prov_width = out->prov_width;
-      chunk_fn(base, nb, &local, &partials[static_cast<size_t>(c)]);
-    });
-    // Merge in chunk order. The first chunk's vectors are stolen when the
-    // output is still empty; the rest append after one exact reserve.
-    int64_t first = 0;
-    if (out->values.empty() && out->prov.empty() && nchunks > 0) {
-      out->values = std::move(blocks[0].values);
-      out->prov = std::move(blocks[0].prov);
-      st->actual += partials[0].actual;
-      first = 1;
+    RunShardedTasks(NumChunks(total), out, st,
+                    [&](int64_t c, RowBlock* local, OpStats* pst) {
+                      const int64_t base = c * chunk;
+                      const int64_t nb = std::min(chunk, total - base);
+                      chunk_fn(base, nb, local, pst);
+                    });
+  }
+
+  /// In-place flavor of AppendSelected: writes the selected rows of a
+  /// contiguous chunk (and their provenance ids) at `vdst`/`pdst`, which
+  /// must have room for every survivor. Returns the rows written. Value is
+  /// a trivially copyable 16-byte cell, so the run copies lower to memmove.
+  static int64_t PlaceSelected(Value* vdst, uint32_t* pdst, const Value* rows,
+                               int ncols, int64_t n, const uint8_t* mask,
+                               int64_t base, const uint32_t* rids = nullptr) {
+    int64_t written = 0;
+    int64_t i = 0;
+    while (i < n) {
+      if (mask[i] == 0) {
+        ++i;
+        continue;
+      }
+      int64_t j = i + 1;
+      while (j < n && mask[j] != 0) ++j;
+      std::copy(rows + i * ncols, rows + j * ncols, vdst + written * ncols);
+      if (pdst != nullptr) {
+        if (rids != nullptr) {
+          std::copy(rids + i, rids + j, pdst + written);
+        } else {
+          for (int64_t r = i; r < j; ++r) {
+            pdst[written + (r - i)] = static_cast<uint32_t>(base + r);
+          }
+        }
+      }
+      written += j - i;
+      i = j;
     }
-    size_t total_values = out->values.size();
-    size_t total_prov = out->prov.size();
-    for (int64_t c = first; c < nchunks; ++c) {
-      total_values += blocks[static_cast<size_t>(c)].values.size();
-      total_prov += blocks[static_cast<size_t>(c)].prov.size();
-    }
-    out->values.reserve(total_values);
-    out->prov.reserve(total_prov);
-    for (int64_t c = first; c < nchunks; ++c) {
-      RowBlock& b = blocks[static_cast<size_t>(c)];
-      out->values.insert(out->values.end(),
-                         std::make_move_iterator(b.values.begin()),
-                         std::make_move_iterator(b.values.end()));
-      out->prov.insert(out->prov.end(), b.prov.begin(), b.prov.end());
-      st->actual += partials[static_cast<size_t>(c)].actual;
-    }
+    return written;
   }
 
   /// Runs both children of a binary operator, concurrently when the
@@ -418,17 +524,42 @@ class NodeRunner {
         }
       }
     } else if (ShouldShard(rows)) {
-      // Morsel-parallel filter: one task per chunk, merged in chunk order
-      // (bit-identical to the sequential loop below).
-      RunChunksParallel(
-          rows, &out, &st,
-          [&](int64_t base, int64_t nb, RowBlock* dst, OpStats*) {
-            std::vector<uint8_t> mask(static_cast<size_t>(nb));
-            const Value* chunk_rows = data + base * ncols;
-            EvalPredicateBatch(*node.predicate, chunk_rows, ncols, nb,
-                               mask.data());
-            AppendSelected(dst, chunk_rows, ncols, nb, mask.data(), base);
-          });
+      // Morsel-parallel filter, fully in place: a sizing pass evaluates
+      // the predicate into one shared mask and counts survivors per chunk,
+      // then the output is sized once and a placement pass copies each
+      // chunk's surviving source rows directly into its span — no
+      // intermediate chunk blocks, no merge copy. Survivors land in chunk
+      // order, bit-identical to the sequential loop below.
+      const int64_t chunk = ctx_->batch();
+      const int64_t nchunks = NumChunks(rows);
+      std::vector<uint8_t> mask(static_cast<size_t>(rows));
+      std::vector<int64_t> survivors(static_cast<size_t>(nchunks), 0);
+      ctx_->runner()->RunTasks(nchunks, [&](int64_t c) {
+        const int64_t base = c * chunk;
+        const int64_t nb = std::min(chunk, rows - base);
+        uint8_t* chunk_mask = mask.data() + base;
+        EvalPredicateBatch(*node.predicate, data + base * ncols, ncols, nb,
+                           chunk_mask);
+        int64_t count = 0;
+        for (int64_t i = 0; i < nb; ++i) count += chunk_mask[i] != 0;
+        survivors[static_cast<size_t>(c)] = count;
+      });
+      std::vector<int64_t> offsets(static_cast<size_t>(nchunks) + 1, 0);
+      for (int64_t c = 0; c < nchunks; ++c) {
+        offsets[static_cast<size_t>(c) + 1] =
+            offsets[static_cast<size_t>(c)] + survivors[static_cast<size_t>(c)];
+      }
+      const int64_t total = offsets[static_cast<size_t>(nchunks)];
+      out.values.resize(static_cast<size_t>(total * ncols));
+      if (out.prov_width > 0) out.prov.resize(static_cast<size_t>(total));
+      ctx_->runner()->RunTasks(nchunks, [&](int64_t c) {
+        const int64_t base = c * chunk;
+        const int64_t nb = std::min(chunk, rows - base);
+        const int64_t off = offsets[static_cast<size_t>(c)];
+        PlaceSelected(out.values.data() + off * ncols,
+                      out.prov_width > 0 ? out.prov.data() + off : nullptr,
+                      data + base * ncols, ncols, nb, mask.data() + base, base);
+      });
     } else {
       // Filter in chunks: evaluate the predicate column-at-a-time into a
       // selection mask, then copy survivors in runs.
@@ -661,9 +792,6 @@ class NodeRunner {
   }
 
   StatusOr<RowBlock> RunMergeJoin(const PlanNode& node) {
-    // Children fan out; the two-pointer merge itself is inherently ordered
-    // and stays sequential (its comparison counter is defined by the
-    // sequential walk).
     RowBlock left, right;
     UQP_RETURN_IF_ERROR(RunChildren(node, &left, &right));
     OpStats& st = ctx_->stats(node);
@@ -683,6 +811,13 @@ class NodeRunner {
     const int quals = PredicateOpCount(node.predicate.get());
     const int out_cols = out.schema.num_columns();
 
+    // Phase 1 — the two-pointer walk stays sequential and defines the
+    // comparison counter exactly as before; it now only records the
+    // equal-group boundaries instead of emitting inside the loop.
+    struct EqualGroup {
+      int64_t li, le, ri, re;
+    };
+    std::vector<EqualGroup> eq_groups;
     int64_t li = 0, ri = 0;
     const int64_t ln = left.num_rows(), rn = right.num_rows();
     while (li < ln && ri < rn) {
@@ -696,7 +831,7 @@ class NodeRunner {
         ++ri;
         continue;
       }
-      // Equal group: gather [li, le) x [ri, re).
+      // Equal group: [li, le) x [ri, re).
       int64_t le = li + 1;
       while (le < ln) {
         st.actual.no += 1.0;
@@ -709,13 +844,51 @@ class NodeRunner {
         if (ValueCompare3(right.row(re)[rc], right.row(ri)[rc]) != 0) break;
         ++re;
       }
-      for (int64_t a = li; a < le; ++a) {
-        for (int64_t b = ri; b < re; ++b) {
-          AppendJoinRow(&out, out_cols, left, a, right, b, node, quals, &st);
-        }
-      }
+      eq_groups.push_back({li, le, ri, re});
       li = le;
       ri = re;
+    }
+
+    // Phase 2 — cross-product emission, sharded: consecutive groups batch
+    // into tasks of roughly max_batch_size output pairs (an input-derived
+    // decomposition — thread count never shapes it), each task emits its
+    // groups in order, and task outputs place in task order. Group order,
+    // residual-qual charges (integers) and row order match the sequential
+    // emission exactly.
+    const auto emit_groups = [&](size_t gbegin, size_t gend, RowBlock* dst,
+                                 OpStats* pst) {
+      for (size_t g = gbegin; g < gend; ++g) {
+        const EqualGroup& eq = eq_groups[g];
+        for (int64_t a = eq.li; a < eq.le; ++a) {
+          for (int64_t b = eq.ri; b < eq.re; ++b) {
+            AppendJoinRow(dst, out_cols, left, a, right, b, node, quals, pst);
+          }
+        }
+      }
+    };
+    std::vector<size_t> task_bounds{0};
+    int64_t pending_pairs = 0;
+    for (size_t g = 0; g < eq_groups.size(); ++g) {
+      const EqualGroup& eq = eq_groups[g];
+      pending_pairs += (eq.le - eq.li) * (eq.re - eq.ri);
+      if (pending_pairs >= ctx_->batch()) {
+        task_bounds.push_back(g + 1);
+        pending_pairs = 0;
+      }
+    }
+    if (task_bounds.back() < eq_groups.size()) {
+      task_bounds.push_back(eq_groups.size());
+    }
+    const int64_t ntasks = static_cast<int64_t>(task_bounds.size()) - 1;
+    if (ctx_->parallel() && ntasks >= 2) {
+      RunShardedTasks(ntasks, &out, &st,
+                      [&](int64_t t, RowBlock* dst, OpStats* pst) {
+                        emit_groups(task_bounds[static_cast<size_t>(t)],
+                                    task_bounds[static_cast<size_t>(t) + 1],
+                                    dst, pst);
+                      });
+    } else {
+      emit_groups(0, eq_groups.size(), &out, &st);
     }
     st.out_rows = static_cast<double>(out.num_rows());
     st.actual.nt += st.out_rows;
@@ -775,12 +948,19 @@ class NodeRunner {
     st.type = node.type;
     st.left_rows = static_cast<double>(in.num_rows());
 
+    // Fixed-shape blocked merge sort. Leaf blocks of max_batch_size rows
+    // are sorted independently, then merged pairwise up a tree whose shape
+    // is fully determined by (row count, batch size) — never by thread
+    // count. Leaf sorts, same-level merges and the permuted output writes
+    // all dispatch as independent tasks; the comparison count is the sum
+    // of per-task integer counts accumulated in task order, so the counter
+    // and the output are bit-identical at every num_threads value.
     const int64_t n = in.num_rows();
-    std::vector<uint32_t> order(static_cast<size_t>(n));
-    for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
-    int64_t comparisons = 0;
-    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-      ++comparisons;
+    const int64_t block = ctx_->batch();
+    const int64_t nleaves = n > 0 ? NumChunks(n) : 0;
+    // Total order: sort columns first, original row index as tiebreak —
+    // no two indexes compare equal, so the sorted permutation is unique.
+    const auto row_less = [&](uint32_t a, uint32_t b) {
       const RowRef ra = in.row(a);
       const RowRef rb = in.row(b);
       for (int c : node.sort_columns) {
@@ -788,20 +968,94 @@ class NodeRunner {
         if (cmp != 0) return cmp < 0;
       }
       return a < b;
-    });
+    };
 
+    std::vector<uint32_t> order(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      order[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
+    }
+    int64_t comparisons = 0;
+    {
+      // Leaf sorts: each block sorted independently, counting comparisons
+      // into its own slot.
+      std::vector<int64_t> leaf_comps(static_cast<size_t>(nleaves), 0);
+      RunTaskRange(nleaves, [&](int64_t l) {
+        const int64_t lo = l * block;
+        const int64_t hi = std::min(n, lo + block);
+        int64_t* comps = &leaf_comps[static_cast<size_t>(l)];
+        std::sort(order.begin() + lo, order.begin() + hi,
+                  [&](uint32_t a, uint32_t b) {
+                    ++*comps;
+                    return row_less(a, b);
+                  });
+      });
+      for (int64_t l = 0; l < nleaves; ++l) {
+        comparisons += leaf_comps[static_cast<size_t>(l)];
+      }
+    }
+    // Merge tree: at each level, runs of `width` rows merge pairwise; an
+    // unpaired tail run carries over untouched. Same-level merges are
+    // independent tasks with per-merge comparison counts.
+    std::vector<uint32_t> buffer(static_cast<size_t>(n));
+    uint32_t* src = order.data();
+    uint32_t* dst = buffer.data();
+    for (int64_t width = block; width < n; width *= 2) {
+      const int64_t nmerges = (n + 2 * width - 1) / (2 * width);
+      std::vector<int64_t> merge_comps(static_cast<size_t>(nmerges), 0);
+      RunTaskRange(nmerges, [&](int64_t m) {
+        const int64_t lo = m * 2 * width;
+        const int64_t mid = std::min(n, lo + width);
+        const int64_t hi = std::min(n, lo + 2 * width);
+        if (mid >= hi) {  // unpaired tail: carry over, no comparisons
+          std::copy(src + lo, src + hi, dst + lo);
+          return;
+        }
+        int64_t comps = 0;
+        int64_t i = lo, j = mid, k = lo;
+        while (i < mid && j < hi) {
+          ++comps;
+          if (row_less(src[j], src[i])) {
+            dst[k++] = src[j++];
+          } else {
+            dst[k++] = src[i++];
+          }
+        }
+        std::copy(src + i, src + mid, dst + k);
+        std::copy(src + j, src + hi, dst + k + (mid - i));
+        merge_comps[static_cast<size_t>(m)] = comps;
+      });
+      for (int64_t m = 0; m < nmerges; ++m) {
+        comparisons += merge_comps[static_cast<size_t>(m)];
+      }
+      std::swap(src, dst);
+    }
+    const uint32_t* sorted = src;
+
+    // Permuted output, written in place: size the output once, then each
+    // chunk of the permutation bulk-copies its rows' contiguous Value (and
+    // provenance) spans into its span of the output.
     RowBlock out;
     out.schema = in.schema;
     out.prov_width = in.prov_width;
-    out.values.reserve(in.values.size());
-    out.prov.reserve(in.prov.size());
-    for (uint32_t i : order) {
-      AppendOutputRow(&out, in.row(i));
-      if (out.prov_width > 0) {
-        const uint32_t* p = in.prov_row(i);
-        out.prov.insert(out.prov.end(), p, p + in.prov_width);
+    const int ncols = in.schema.num_columns();
+    out.values.resize(static_cast<size_t>(n * ncols));
+    out.prov.resize(static_cast<size_t>(n) * out.prov_width);
+    RunTaskRange(nleaves, [&](int64_t c) {
+      const int64_t base = c * block;
+      const int64_t nb = std::min(block, n - base);
+      Value* vdst = out.values.data() + base * ncols;
+      for (int64_t i = 0; i < nb; ++i) {
+        const RowRef row = in.row(sorted[base + i]);
+        std::copy(row.data, row.data + ncols, vdst + i * ncols);
       }
-    }
+      if (out.prov_width > 0) {
+        uint32_t* pdst = out.prov.data() + base * out.prov_width;
+        for (int64_t i = 0; i < nb; ++i) {
+          const uint32_t* p = in.prov_row(sorted[base + i]);
+          std::copy(p, p + out.prov_width, pdst + i * out.prov_width);
+        }
+      }
+    });
     st.actual.no += static_cast<double>(comparisons);
     st.actual.nt += static_cast<double>(n);
     const double bytes = static_cast<double>(n) * in.schema.TupleWidthBytes();
@@ -820,77 +1074,105 @@ class NodeRunner {
     st.type = node.type;
     st.left_rows = static_cast<double>(in.num_rows());
 
+    // Sharded aggregation with a pinned output contract: groups emit in
+    // FIRST-APPEARANCE order of their key in the input (stable across
+    // standard-library implementations — the old code followed
+    // unordered_map bucket iteration order). Each max_batch_size-row chunk
+    // builds a private hash table in chunk-local first-appearance order;
+    // the chunk tables then merge in chunk order, which reproduces the
+    // global first-appearance order exactly. The same two-phase algorithm
+    // runs at every thread count (only the chunk dispatch differs), so
+    // transition counters (integers) and the chunk-wise double
+    // accumulations regroup identically — bit-identical output.
     const size_t nagg = node.aggregates.size();
-    std::unordered_map<uint64_t, std::vector<GroupAccumulator>> groups;
-    for (int64_t r = 0; r < in.num_rows(); ++r) {
-      const RowRef row = in.row(r);
-      st.actual.no += 1.0;  // group hash / transition op
-      const uint64_t h = HashKeys(row, node.group_columns);
-      auto& bucket = groups[h];
-      GroupAccumulator* acc = nullptr;
-      for (auto& cand : bucket) {
-        bool same = true;
-        for (size_t g = 0; g < node.group_columns.size(); ++g) {
-          if (!cand.group_values[g].Equals(row[node.group_columns[g]])) {
-            same = false;
-            break;
-          }
+    const int64_t rows = in.num_rows();
+    const int64_t chunk = ctx_->batch();
+    const int64_t nchunks = rows > 0 ? NumChunks(rows) : 0;
+    st.actual.no += static_cast<double>(rows);  // group hash / transition ops
+
+    std::vector<GroupTable> locals(static_cast<size_t>(nchunks));
+    RunTaskRange(nchunks, [&](int64_t c) {
+      const int64_t base = c * chunk;
+      const int64_t nb = std::min(chunk, rows - base);
+      GroupTable& table = locals[static_cast<size_t>(c)];
+      for (int64_t i = 0; i < nb; ++i) {
+        const RowRef row = in.row(base + i);
+        const uint64_t h = HashKeys(row, node.group_columns);
+        GroupAccumulator* acc = table.FindByRow(h, row, node.group_columns);
+        if (acc == nullptr) {
+          GroupAccumulator fresh;
+          fresh.hash = h;
+          for (int g : node.group_columns) fresh.group_values.push_back(row[g]);
+          fresh.sums.assign(nagg, 0.0);
+          fresh.mins.assign(nagg, std::numeric_limits<double>::infinity());
+          fresh.maxs.assign(nagg, -std::numeric_limits<double>::infinity());
+          acc = table.Append(std::move(fresh));
         }
-        if (same) {
-          acc = &cand;
-          break;
+        ++acc->count;
+        for (size_t a = 0; a < nagg; ++a) {
+          const AggSpec& spec = node.aggregates[a];
+          if (spec.kind == AggSpec::Kind::kCount) continue;
+          const double v = row[spec.column].AsDouble();
+          acc->sums[a] += v;
+          acc->mins[a] = std::min(acc->mins[a], v);
+          acc->maxs[a] = std::max(acc->maxs[a], v);
         }
       }
-      if (acc == nullptr) {
-        bucket.emplace_back();
-        acc = &bucket.back();
-        for (int g : node.group_columns) acc->group_values.push_back(row[g]);
-        acc->sums.assign(nagg, 0.0);
-        acc->mins.assign(nagg, std::numeric_limits<double>::infinity());
-        acc->maxs.assign(nagg, -std::numeric_limits<double>::infinity());
+    });
+
+    // Merge the chunk tables in chunk order (within a chunk, in local
+    // first-appearance order): the first chunk that saw a key determines
+    // its output position, matching the sequential scan.
+    GroupTable merged;
+    for (GroupTable& local : locals) {
+      for (GroupAccumulator& acc : local.groups) {
+        GroupAccumulator* into = merged.FindByAcc(acc);
+        if (into == nullptr) {
+          merged.Append(std::move(acc));
+          continue;
+        }
+        into->count += acc.count;
+        for (size_t a = 0; a < nagg; ++a) {
+          into->sums[a] += acc.sums[a];
+          into->mins[a] = std::min(into->mins[a], acc.mins[a]);
+          into->maxs[a] = std::max(into->maxs[a], acc.maxs[a]);
+        }
       }
-      ++acc->count;
-      for (size_t a = 0; a < nagg; ++a) {
-        const AggSpec& spec = node.aggregates[a];
-        if (spec.kind == AggSpec::Kind::kCount) continue;
-        const double v = row[spec.column].AsDouble();
-        acc->sums[a] += v;
-        acc->mins[a] = std::min(acc->mins[a], v);
-        acc->maxs[a] = std::max(acc->maxs[a], v);
-      }
+      local.groups.clear();
+      local.index.clear();
     }
 
     RowBlock out;
     out.schema = node.output_schema;
     out.prov_width = 0;  // provenance does not flow through aggregates
-    for (auto& [h, bucket] : groups) {
-      (void)h;
-      for (auto& acc : bucket) {
-        for (const Value& v : acc.group_values) out.values.push_back(v);
-        for (size_t a = 0; a < nagg; ++a) {
-          const AggSpec& spec = node.aggregates[a];
-          double v = 0.0;
-          switch (spec.kind) {
-            case AggSpec::Kind::kCount:
-              v = static_cast<double>(acc.count);
-              break;
-            case AggSpec::Kind::kSum:
-              v = acc.sums[a];
-              break;
-            case AggSpec::Kind::kMin:
-              v = acc.mins[a];
-              break;
-            case AggSpec::Kind::kMax:
-              v = acc.maxs[a];
-              break;
-            case AggSpec::Kind::kAvg:
-              v = acc.count > 0 ? acc.sums[a] / static_cast<double>(acc.count) : 0.0;
-              break;
-          }
-          out.values.push_back(Value::Double(v));
+    out.values.reserve(merged.groups.size() *
+                       (node.group_columns.size() + nagg));
+    for (const GroupAccumulator& acc : merged.groups) {
+      for (const Value& v : acc.group_values) out.values.push_back(v);
+      for (size_t a = 0; a < nagg; ++a) {
+        const AggSpec& spec = node.aggregates[a];
+        double v = 0.0;
+        switch (spec.kind) {
+          case AggSpec::Kind::kCount:
+            v = static_cast<double>(acc.count);
+            break;
+          case AggSpec::Kind::kSum:
+            v = acc.sums[a];
+            break;
+          case AggSpec::Kind::kMin:
+            v = acc.mins[a];
+            break;
+          case AggSpec::Kind::kMax:
+            v = acc.maxs[a];
+            break;
+          case AggSpec::Kind::kAvg:
+            v = acc.count > 0 ? acc.sums[a] / static_cast<double>(acc.count)
+                              : 0.0;
+            break;
         }
-        st.actual.no += 1.0;  // finalize op
+        out.values.push_back(Value::Double(v));
       }
+      st.actual.no += 1.0;  // finalize op
     }
     st.out_rows = static_cast<double>(out.num_rows());
     st.actual.nt += st.out_rows;

@@ -126,17 +126,25 @@ struct ExecOptions {
   /// for every value.
   int64_t max_batch_size = 1024;
   /// Intra-query parallelism: with more than one thread, filter scans,
-  /// index-scan gathers, hash-join builds/probes and nest-loop outer loops
-  /// are sharded into max_batch_size-row chunks executed across a task
-  /// pool, and independent join children run concurrently. 1 is the
-  /// historical sequential path; <= 0 means hardware concurrency. The
-  /// determinism contract (enforced by tests/parallel_parity_test.cc):
-  /// output rows, provenance, retained blocks and every resource counter
-  /// are bit-identical at every value — chunk results merge in chunk
-  /// order, and all chunk-accumulated counters are integer-valued, so
-  /// double addition regroups exactly. Sort, merge join and aggregation
-  /// stay sequential (their counters/output order are defined by the
-  /// sequential algorithm).
+  /// index-scan gathers, hash-join builds/probes, nest-loop outer loops,
+  /// sort leaf blocks + merge-tree levels, per-chunk aggregation tables
+  /// and merge-join group emission are sharded across a task pool, and
+  /// independent join children run concurrently. 1 is the historical
+  /// sequential path; <= 0 means hardware concurrency. The determinism
+  /// contract (enforced by tests/parallel_parity_test.cc): output rows,
+  /// provenance, retained blocks and every resource counter are
+  /// bit-identical at every value. Three ingredients: task results merge
+  /// (or place in-place) in task order; task-accumulated counters are
+  /// integer-valued, so double addition regroups exactly; and operators
+  /// whose algorithm shape matters — sort's merge tree, aggregation's
+  /// per-chunk tables — run the SAME fixed shape (determined by row count
+  /// and max_batch_size, never thread count) at num_threads == 1 too.
+  /// Sort comparison counts are therefore defined by the blocked merge
+  /// tree over std::sort-sorted leaf blocks (deterministic for a given
+  /// standard library, invariant to thread count — though not portable
+  /// across standard-library implementations, whose introsorts compare
+  /// differently), and aggregate output order by first appearance in the
+  /// input.
   int num_threads = 1;
   /// Pool the shards run on. When null and num_threads > 1, the executor
   /// spins up an ephemeral MorselPool for the duration of the Execute

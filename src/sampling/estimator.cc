@@ -54,6 +54,7 @@ StatusOr<PlanEstimates> SamplingEstimator::Estimate(const Plan& plan) const {
   options.leaf_overrides = &overrides;
   options.num_threads = threads;
   options.task_runner = runner;
+  options.max_batch_size = max_batch_size_;
   Executor executor(db_);
   UQP_ASSIGN_OR_RETURN(ExecResult run, executor.Execute(plan, options));
 

@@ -108,13 +108,15 @@ class SamplingEstimator {
                     AggregateEstimateMode aggregate_mode =
                         AggregateEstimateMode::kOptimizer,
                     ScanEstimateMode scan_mode = ScanEstimateMode::kSampling,
-                    int num_threads = 1, TaskRunner* task_runner = nullptr)
+                    int num_threads = 1, TaskRunner* task_runner = nullptr,
+                    int64_t max_batch_size = 1024)
       : db_(db),
         samples_(samples),
         aggregate_mode_(aggregate_mode),
         scan_mode_(scan_mode),
         num_threads_(num_threads),
-        task_runner_(task_runner) {}
+        task_runner_(task_runner),
+        max_batch_size_(max_batch_size) {}
 
   StatusOr<PlanEstimates> Estimate(const Plan& plan) const;
 
@@ -139,6 +141,9 @@ class SamplingEstimator {
   /// Shared pool for the fan-out; when null and num_threads > 1 an
   /// ephemeral MorselPool covers one Estimate call.
   TaskRunner* task_runner_ = nullptr;
+  /// Executor chunk granularity for the sample run (see
+  /// ExecOptions::max_batch_size).
+  int64_t max_batch_size_ = 1024;
 };
 
 }  // namespace uqp

@@ -29,10 +29,13 @@ struct ServiceOptions {
   ///
   /// The same pool also backs intra-plan parallelism when
   /// predictor.num_threads != 1: a lone cold request fans its sample run
-  /// out across idle workers, while a saturated service degrades
-  /// gracefully — shard tasks queue behind plan-level work and the thread
-  /// running the prediction executes its own shards, i.e. today's
-  /// one-thread-per-plan behavior. Results are bit-identical either way.
+  /// out across idle workers — every operator shards, including sort
+  /// (fixed-shape blocked merge tree), aggregation (per-chunk tables
+  /// merged in chunk order) and merge-join group emission — while a
+  /// saturated service degrades gracefully: shard tasks queue behind
+  /// plan-level work and the thread running the prediction executes its
+  /// own shards, i.e. one-thread-per-plan behavior. Results are
+  /// bit-identical either way.
   int num_workers = 0;
   /// Capacity of the sample-run cache (distinct plan fingerprints held);
   /// 0 disables caching entirely.

@@ -252,6 +252,68 @@ TEST_F(IntraPlanRaceTest, InvalidateCacheMidParallelRun) {
   EXPECT_EQ(service.plan_registry_size(), 0u);
 }
 
+// InvalidateCache hammered while parallel SORTS and aggregations are
+// mid-flight: the fixed-shape merge sort, the per-chunk aggregation
+// tables and the merge-join group emission all dispatch onto the same
+// shared pool as the plan-level work, at a small batch size so one sample
+// run fans out into many leaf/merge/placement tasks. No run may crash,
+// lose its waiters, or serve a result differing from the sequential
+// reference.
+TEST_F(IntraPlanRaceTest, InvalidateCacheMidParallelSort) {
+  // ORDER BY + GROUP BY + merge-join stack over the full-ratio lineitem
+  // sample (~6k rows): scan -> sort -> merge join -> aggregate -> sort.
+  auto join = MakeMergeJoin(MakeSort(MakeSeqScan("orders", nullptr), {0}),
+                            MakeSort(MakeSeqScan("lineitem", nullptr), {0}),
+                            {{0, 0}});
+  auto agg = MakeAggregate(std::move(join), {1},
+                           {{AggSpec::Kind::kSum, 12, "revenue"}});
+  Plan plan(MakeSort(std::move(agg), {1}));
+  ASSERT_TRUE(plan.Finalize(*db_).ok());
+
+  PredictorOptions seq_opts;
+  seq_opts.max_batch_size = 64;
+  Predictor reference(db_, samples_, *units_, seq_opts);
+  auto ref = reference.Predict(plan);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  ServiceOptions options;
+  options.num_workers = 3;
+  options.predictor.num_threads = 3;
+  options.predictor.max_batch_size = 64;  // many sort/agg tasks per run
+  PredictionService service(db_, samples_, *units_, options);
+
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    while (!stop.load()) {
+      service.InvalidateCache();
+      std::this_thread::yield();
+    }
+  });
+
+  const int kWaves = 4;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::future<StatusOr<Prediction>>> futures;
+    futures.push_back(service.PredictAsync(plan));
+    for (size_t i = 0; i < 2 && i < plans_->size(); ++i) {
+      futures.push_back(service.PredictAsync((*plans_)[i]));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      auto got = futures[i].get();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      if (i == 0) {
+        EXPECT_EQ(got->mean(), ref->mean()) << "wave " << wave;
+        EXPECT_EQ(got->breakdown.variance, ref->breakdown.variance);
+      }
+    }
+  }
+  stop.store(true);
+  invalidator.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.predictions);
+  EXPECT_EQ(service.plan_registry_size(), 0u);
+}
+
 // A deterministic mid-run flush: the post-stages hook fires between the
 // stages finishing and the artifacts being published, so the insert is
 // provably stale. The prediction must still complete (with the pre-flush

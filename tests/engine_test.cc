@@ -370,6 +370,59 @@ TEST(Executor, AggregateGroupsAndFunctions) {
   EXPECT_DOUBLE_EQ(by_tag["x"][4], sum_x / cnt_x);
 }
 
+TEST(Executor, AggregateOutputsGroupsInFirstAppearanceOrder) {
+  Database db = MakeTestDb();
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggSpec::Kind::kCount, -1, "cnt"});
+  // t1.a = i % 50, so grouping by a sees keys 0, 1, ..., 49 in row order.
+  // The pinned contract: groups emit in FIRST-APPEARANCE order of their
+  // key in the input — stable across standard-library implementations
+  // (the old code followed unordered_map bucket iteration order) — and
+  // independent of the chunking, so the same rows come back at every
+  // batch size.
+  for (int64_t batch : {int64_t{1024}, int64_t{7}, int64_t{1}}) {
+    Plan plan(MakeAggregate(MakeSeqScan("t1", NoPred()), {0}, aggs));
+    ExecOptions options;
+    options.max_batch_size = batch;
+    const ExecResult result = MustExecute(db, &plan, options);
+    ASSERT_EQ(result.output.num_rows(), 50) << "batch " << batch;
+    for (int64_t r = 0; r < 50; ++r) {
+      EXPECT_EQ(result.output.row(r)[0].AsInt64(), r) << "batch " << batch;
+      EXPECT_DOUBLE_EQ(result.output.row(r)[1].AsDouble(), 4.0);
+    }
+  }
+  // String keys too: tag "x" appears at row 0, "y" at row 1.
+  Plan by_tag(MakeAggregate(MakeSeqScan("t1", NoPred()), {2}, aggs));
+  const ExecResult result = MustExecute(db, &by_tag);
+  ASSERT_EQ(result.output.num_rows(), 2);
+  EXPECT_EQ(result.output.row(0)[0].AsString(), "x");
+  EXPECT_EQ(result.output.row(1)[0].AsString(), "y");
+}
+
+TEST(Executor, SortOutputIdenticalAcrossBatchSizes) {
+  // The blocked merge sort's leaf/merge shape follows max_batch_size, but
+  // its comparator is a total order (sort keys, then row index), so the
+  // sorted permutation — and hence every output row — is unique: batch
+  // size may change the comparison counter, never the rows.
+  Database db = MakeTestDb();
+  ExecOptions reference_options;
+  reference_options.collect_provenance = true;
+  Plan reference_plan(MakeSort(MakeSeqScan("t1", NoPred()), {0, 1}));
+  const ExecResult reference = MustExecute(db, &reference_plan, reference_options);
+  for (int64_t batch : {int64_t{3}, int64_t{64}}) {
+    Plan plan(MakeSort(MakeSeqScan("t1", NoPred()), {0, 1}));
+    ExecOptions options = reference_options;
+    options.max_batch_size = batch;
+    const ExecResult result = MustExecute(db, &plan, options);
+    ASSERT_EQ(result.output.values.size(), reference.output.values.size());
+    for (size_t i = 0; i < reference.output.values.size(); ++i) {
+      ASSERT_TRUE(result.output.values[i].Equals(reference.output.values[i]))
+          << "batch " << batch << " value " << i;
+    }
+    EXPECT_EQ(result.output.prov, reference.output.prov) << "batch " << batch;
+  }
+}
+
 TEST(Executor, GlobalAggregateWithoutGroups) {
   Database db = MakeTestDb();
   std::vector<AggSpec> aggs;

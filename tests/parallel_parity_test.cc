@@ -87,15 +87,57 @@ class ParallelParityTest : public ::testing::Test {
   }
 
   static SampleRunOutput RunStage(const Plan& plan, int num_threads,
-                                  const SampleDb* samples = nullptr) {
+                                  const SampleDb* samples = nullptr,
+                                  int64_t max_batch_size = 1024) {
     SampleRunStage stage(db_, samples != nullptr ? samples : samples_,
                          AggregateEstimateMode::kOptimizer,
-                         ScanEstimateMode::kSampling, num_threads);
+                         ScanEstimateMode::kSampling, num_threads,
+                         /*task_runner=*/nullptr, max_batch_size);
     SampleRunInput in;
     in.plan = &plan;
     auto out = stage.Run(in);
     EXPECT_TRUE(out.ok()) << out.status().ToString();
     return std::move(out).value();
+  }
+
+  /// Hand-built plans whose cost concentrates in the operators that were
+  /// sequential until this PR: a big sort, a wide aggregation, a merge
+  /// join with equal-group cross products, and an ORDER BY + GROUP BY
+  /// stack over a merge join. (The planner never emits MergeJoin, so the
+  /// workload plans above cannot cover its emission path.)
+  static std::vector<Plan> MakeOperatorTailPlans() {
+    std::vector<Plan> plans;
+    const auto finalize = [&](std::unique_ptr<PlanNode> root) {
+      Plan plan(std::move(root));
+      ASSERT_TRUE(plan.Finalize(*db_).ok()) << plan.ToString();
+      plans.push_back(std::move(plan));
+    };
+    // Sort-heavy: full lineitem (~6k sample rows at ratio 1.0) ordered by
+    // (l_shipdate, l_orderkey).
+    finalize(MakeSort(MakeSeqScan("lineitem", nullptr), {10, 0}));
+    // Aggregate-heavy: one group per order (~1.5k groups) with the full
+    // set of aggregate kinds.
+    finalize(MakeAggregate(
+        MakeSeqScan("lineitem", nullptr), {0},
+        {{AggSpec::Kind::kCount, -1, "cnt"},
+         {AggSpec::Kind::kSum, 5, "sum_price"},
+         {AggSpec::Kind::kMin, 4, "min_qty"},
+         {AggSpec::Kind::kMax, 6, "max_disc"},
+         {AggSpec::Kind::kAvg, 7, "avg_tax"}}));
+    // Merge-join-heavy: orders x lineitem on orderkey (1-to-many equal
+    // groups), both sides sorted.
+    finalize(MakeMergeJoin(MakeSort(MakeSeqScan("orders", nullptr), {0}),
+                           MakeSort(MakeSeqScan("lineitem", nullptr), {0}),
+                           {{0, 0}}));
+    // The full tail stacked: ORDER BY revenue over GROUP BY customer over
+    // the merge join.
+    auto join =
+        MakeMergeJoin(MakeSort(MakeSeqScan("orders", nullptr), {0}),
+                      MakeSort(MakeSeqScan("lineitem", nullptr), {0}), {{0, 0}});
+    auto agg = MakeAggregate(std::move(join), {1},
+                             {{AggSpec::Kind::kSum, 12, "revenue"}});
+    finalize(MakeSort(std::move(agg), {1}));
+    return plans;
   }
 
   static Database* db_;
@@ -311,6 +353,88 @@ TEST_F(ParallelParityTest, SharedPoolMatchesEphemeralPools) {
     auto b = ephemeral.Run(in);
     ASSERT_TRUE(a.ok() && b.ok());
     EXPECT_EQ(SampleRunOutputBytes(a.value()), SampleRunOutputBytes(b.value()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The operator tail (PR 5): sort, aggregation and merge-join emission used
+// to be sequential; they now shard onto the same pool under the same
+// contract. Sort's comparison counter is defined by the fixed-shape
+// blocked merge tree and aggregation's output order by first appearance —
+// both functions of (input, max_batch_size) only, so the parity grid
+// sweeps batch sizes as well as thread counts.
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelParityTest, OperatorTailSampleRunsBitIdentical) {
+  const std::vector<Plan> plans = MakeOperatorTailPlans();
+  ASSERT_EQ(plans.size(), 4u);
+  for (size_t p = 0; p < plans.size(); ++p) {
+    for (int64_t batch : {int64_t{7}, int64_t{64}, int64_t{1024}}) {
+      const std::string baseline = SampleRunOutputBytes(
+          RunStage(plans[p], 1, /*samples=*/nullptr, batch));
+      for (int t : ParityThreadCounts()) {
+        EXPECT_EQ(SampleRunOutputBytes(
+                      RunStage(plans[p], t, /*samples=*/nullptr, batch)),
+                  baseline)
+            << "tail plan " << p << " batch " << batch << " threads " << t;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelParityTest, OperatorTailPredictionsExact) {
+  const std::vector<Plan> plans = MakeOperatorTailPlans();
+  for (size_t p = 0; p < plans.size(); ++p) {
+    for (int64_t batch : {int64_t{7}, int64_t{64}, int64_t{1024}}) {
+      PredictorOptions sequential;
+      sequential.max_batch_size = batch;
+      Predictor baseline(db_, samples_, *units_, sequential);
+      auto ref = baseline.Predict(plans[p]);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      for (int t : ParityThreadCounts()) {
+        PredictorOptions opts = sequential;
+        opts.num_threads = t;
+        Predictor parallel(db_, samples_, *units_, opts);
+        auto got = parallel.Predict(plans[p]);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(got->mean(), ref->mean())
+            << "tail plan " << p << " batch " << batch << " threads " << t;
+        EXPECT_EQ(got->breakdown.variance, ref->breakdown.variance);
+        EXPECT_EQ(got->breakdown.var_cost_units, ref->breakdown.var_cost_units);
+        EXPECT_EQ(got->breakdown.var_selectivity,
+                  ref->breakdown.var_selectivity);
+        EXPECT_EQ(got->breakdown.var_cov_bounds, ref->breakdown.var_cov_bounds);
+      }
+    }
+  }
+}
+
+// Maximum resolution for the tail operators: output rows (including
+// chunk-merged aggregate sums), provenance through sorts and merge joins,
+// retained blocks and every counter — equal at every (batch, threads)
+// point of the grid.
+TEST_F(ParallelParityTest, OperatorTailExecutorResultsBitIdentical) {
+  Executor executor(db_);
+  const std::vector<Plan> plans = MakeOperatorTailPlans();
+  for (size_t p = 0; p < plans.size(); ++p) {
+    for (int64_t batch : {int64_t{7}, int64_t{64}, int64_t{1024}}) {
+      ExecOptions sequential;
+      sequential.collect_provenance = true;
+      sequential.retain_intermediates = true;
+      sequential.max_batch_size = batch;
+      auto ref = executor.Execute(plans[p], sequential);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      for (int t : ParityThreadCounts()) {
+        ExecOptions parallel = sequential;
+        parallel.num_threads = t;
+        auto got = executor.Execute(plans[p], parallel);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ExpectExecResultsEqual(
+            got.value(), ref.value(),
+            "tail plan " + std::to_string(p) + " batch " +
+                std::to_string(batch) + " threads " + std::to_string(t));
+      }
+    }
   }
 }
 

@@ -43,9 +43,12 @@ int main() {
   // predictor.num_threads = 0 (hardware concurrency) a cold prediction
   // arriving at an idle service shards its sample run across the pool
   // instead of being bound to one core — bit-identical results, lower
-  // time-to-decision.
+  // time-to-decision. max_batch_size = 0 sizes morsels from each plan's
+  // sample cardinalities, so the small samples here run without chunk
+  // dispatch overhead.
   ServiceOptions service_options;
   service_options.predictor.num_threads = 0;
+  service_options.predictor.max_batch_size = 0;
   PredictionService service(&db, &samples, units, service_options);
   Executor executor(&db);
 

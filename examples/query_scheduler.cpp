@@ -60,9 +60,11 @@ int main() {
   // (predictor.num_threads = 0, i.e. hardware concurrency) lets a lone
   // cold prediction fan its sample run out across idle workers; under a
   // full queue the shards just run on the plan's own thread. Either way
-  // the predictions are bit-identical to a sequential run.
+  // the predictions are bit-identical to a sequential run, and
+  // max_batch_size = 0 auto-sizes morsels from the sample cardinalities.
   ServiceOptions service_options;
   service_options.predictor.num_threads = 0;
+  service_options.predictor.max_batch_size = 0;
   PredictionService service(&db, &samples, units, service_options);
   Executor executor(&db);
 

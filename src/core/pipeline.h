@@ -40,6 +40,11 @@ struct PredictorOptions {
   /// sort-leaf granularity — see ExecOptions::max_batch_size). Part of the
   /// determinism contract's *shape*: results are bit-identical across
   /// num_threads at any fixed batch size, and the parity tests sweep both.
+  /// <= 0 = auto: derived per plan from the bound sample-table
+  /// cardinalities (AutoSampleBatchSize), so tiny samples run as one
+  /// morsel per operator instead of paying full dispatch overhead. The
+  /// derivation depends only on sample cardinality — never thread count —
+  /// so auto mode keeps the bit-identical guarantee across num_threads.
   int64_t max_batch_size = 1024;
   FitOptions fit;
 };

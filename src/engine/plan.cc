@@ -142,6 +142,9 @@ Status FinalizeNode(PlanNode* node, const Database& db, int* next_id,
 
 Status Plan::Finalize(const Database& db) {
   if (root_ == nullptr) return Status::InvalidArgument("empty plan");
+  // The tree may have been edited since a previous finalization: any
+  // memoized identity describes the old structure.
+  std::atomic_store(&identity_, std::shared_ptr<const PlanIdentity>());
   int next_id = 0;
   int next_leaf = 0;
   UQP_RETURN_IF_ERROR(FinalizeNode(root_.get(), db, &next_id, &next_leaf));
@@ -181,7 +184,27 @@ Plan Plan::Clone() const {
   if (root_ != nullptr) copy.root_ = CloneNodeFinalized(*root_);
   copy.num_operators_ = num_operators_;
   copy.num_leaves_ = num_leaves_;
+  // The copy is structurally identical by construction: share the interned
+  // identity instead of re-serializing it on the clone's first request.
+  copy.identity_ = std::atomic_load(&identity_);
   return copy;
+}
+
+std::shared_ptr<const PlanIdentity> Plan::Identity() const {
+  auto memo = std::atomic_load_explicit(&identity_, std::memory_order_acquire);
+  if (memo != nullptr) return memo;
+  auto fresh = std::make_shared<const PlanIdentity>(
+      PlanIdentity{PlanFingerprint(*this), PlanStructuralKey(*this)});
+  // First publisher wins, so every holder shares one instance; a losing
+  // racer adopts the winner's copy (both computed the same bytes).
+  std::shared_ptr<const PlanIdentity> expected;
+  if (std::atomic_compare_exchange_strong_explicit(
+          &identity_, &expected,
+          std::shared_ptr<const PlanIdentity>(fresh),
+          std::memory_order_acq_rel, std::memory_order_acquire)) {
+    return fresh;
+  }
+  return expected;
 }
 
 std::vector<const PlanNode*> Plan::NodesPreorder() const {

@@ -79,6 +79,18 @@ struct PlanNode {
   bool is_unary() const { return right == nullptr; }
 };
 
+/// The interned identity of a plan: its 64-bit structural fingerprint and
+/// the canonical byte serialization of its structure (PlanStructuralKey —
+/// typically a few hundred bytes). Computed lazily once per Plan object
+/// and shared by reference from there on: the service layer's cache
+/// entries, in-flight records and async requests all alias one immutable
+/// instance instead of re-serializing the plan per request and storing a
+/// copy per table.
+struct PlanIdentity {
+  uint64_t fingerprint = 0;
+  std::string key;
+};
+
 /// A finalized physical plan: ids assigned, schemas derived, leaf order
 /// fixed. Leaf order is the in-order sequence of scan operators; the
 /// sampling layer uses leaf positions to bind (possibly distinct) sample
@@ -89,7 +101,9 @@ class Plan {
   explicit Plan(std::unique_ptr<PlanNode> root) : root_(std::move(root)) {}
 
   /// Assigns operator ids, derives output schemas and leaf spans.
-  /// Fails if referenced tables/columns don't exist.
+  /// Fails if referenced tables/columns don't exist. Drops any memoized
+  /// identity: the plan may have been structurally edited before the
+  /// (re-)finalization.
   Status Finalize(const Database& db);
 
   /// Deep copy that preserves the finalized state: operator ids, derived
@@ -116,10 +130,25 @@ class Plan {
   /// Pretty-printed tree for debugging / examples.
   std::string ToString() const;
 
+  /// The memoized structural identity (fingerprint + canonical key) of
+  /// this plan. Computed on first use — thread-safe: concurrent first
+  /// calls race benignly and every caller ends up sharing one immutable
+  /// instance — and aliased by every later call, so a recurring plan
+  /// object pays the O(plan) serialization exactly once no matter how
+  /// many requests it is submitted to. Clone() shares the memo (the copy
+  /// is structurally identical by construction). The plan must not be
+  /// structurally mutated after the first Identity() call without
+  /// re-running Finalize, which drops the memo.
+  std::shared_ptr<const PlanIdentity> Identity() const;
+
  private:
   std::unique_ptr<PlanNode> root_;
   int num_operators_ = 0;
   int num_leaves_ = 0;
+  /// Lazily published identity; accessed only through the std::atomic_*
+  /// shared_ptr free functions (plain moves are fine: a Plan is never
+  /// moved concurrently with Identity()).
+  mutable std::shared_ptr<const PlanIdentity> identity_;
 };
 
 /// Fluent helpers for building plan trees in workloads/tests.

@@ -20,6 +20,17 @@ constexpr int64_t kCountMorselRows = 8192;
 
 }  // namespace
 
+int64_t AutoSampleBatchSize(int64_t max_leaf_sample_rows) {
+  // Samples small enough to be one cache-friendly block run as a single
+  // morsel per operator: dispatch/merge overhead would dominate any
+  // sharding gain at this size.
+  if (max_leaf_sample_rows <= 4096) return std::max<int64_t>(1, max_leaf_sample_rows);
+  // Larger samples target ~64 morsels over the widest scan so a pool has
+  // work to steal, clamped to keep chunks in a vectorization-friendly
+  // range. Depends only on sample cardinality, never on thread count.
+  return std::clamp<int64_t>(max_leaf_sample_rows / 64, 1024, 16384);
+}
+
 StatusOr<PlanEstimates> SamplingEstimator::Estimate(const Plan& plan) const {
   if (plan.root() == nullptr || plan.root()->id != 0) {
     return Status::FailedPrecondition("plan must be finalized");
@@ -54,7 +65,15 @@ StatusOr<PlanEstimates> SamplingEstimator::Estimate(const Plan& plan) const {
   options.leaf_overrides = &overrides;
   options.num_threads = threads;
   options.task_runner = runner;
-  options.max_batch_size = max_batch_size_;
+  int64_t batch = max_batch_size_;
+  if (batch <= 0) {
+    int64_t max_rows = 0;
+    for (const Table* t : overrides) {
+      max_rows = std::max(max_rows, t->num_rows());
+    }
+    batch = AutoSampleBatchSize(max_rows);
+  }
+  options.max_batch_size = batch;
   Executor executor(db_);
   UQP_ASSIGN_OR_RETURN(ExecResult run, executor.Execute(plan, options));
 

@@ -92,6 +92,15 @@ enum class AggregateEstimateMode {
   kGee,
 };
 
+/// The auto-derived executor chunk size for a sample run whose largest
+/// bound sample table has `max_leaf_sample_rows` rows (the 0 = auto mode
+/// of max_batch_size). Deterministic in the sample cardinalities alone —
+/// never thread count — so it is part of the determinism contract's
+/// *shape*, like any explicitly chosen batch size: a tiny sample runs as
+/// one morsel per operator instead of paying full dispatch overhead, and
+/// a large one gets enough morsels (~64 per scan) to shard across a pool.
+int64_t AutoSampleBatchSize(int64_t max_leaf_sample_rows);
+
 /// Runs a finalized plan over the sample tables and produces the
 /// selectivity distributions (Algorithm 1 embedded in the bottom-up
 /// refinement of Algorithm 2).
@@ -142,7 +151,8 @@ class SamplingEstimator {
   /// ephemeral MorselPool covers one Estimate call.
   TaskRunner* task_runner_ = nullptr;
   /// Executor chunk granularity for the sample run (see
-  /// ExecOptions::max_batch_size).
+  /// ExecOptions::max_batch_size). <= 0 = auto: derived per plan from the
+  /// bound sample-table cardinalities via AutoSampleBatchSize.
   int64_t max_batch_size_ = 1024;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/expr.h"
+
 namespace uqp {
 
 namespace {
@@ -30,6 +32,12 @@ struct ParallelState {
   }
 };
 
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 PredictionService::PredictionService(const Database* db, const SampleDb* samples,
@@ -41,6 +49,40 @@ PredictionService::PredictionService(const Database* db, const SampleDb* samples
     const unsigned hw = std::thread::hardware_concurrency();
     n = static_cast<int>(std::min(4u, std::max(1u, hw)));
   }
+
+  int s = options_.cache_shards;
+  if (s <= 0) {
+    // One shard per hardware thread is enough to make same-shard mutex
+    // collisions rare under a uniform fingerprint mix; cap at 64 so a
+    // huge machine doesn't fragment a small cache_capacity into nothing.
+    const unsigned hw = std::thread::hardware_concurrency();
+    s = static_cast<int>(std::min(64u, std::max(1u, hw)));
+  }
+  const size_t shard_count = RoundUpPow2(static_cast<size_t>(s));
+  shard_storage_.reset(new Shard[shard_count]);
+  shards_ = ShardSpan{shard_storage_.get(), shard_count};
+  shard_mask_ = shard_count - 1;
+  shard_bits_ = 0;
+  while ((size_t{1} << shard_bits_) < shard_count) ++shard_bits_;
+  // Global capacity enforced per shard: each shard owns an equal share
+  // (rounded up, so capacity 1 still caches one entry per shard rather
+  // than zero). Transient overshoot of the global count under skew is the
+  // price of never taking a global lock to evict.
+  shard_capacity_ =
+      options_.cache_capacity == 0
+          ? 0
+          : (options_.cache_capacity + shard_count - 1) / shard_count;
+  // Published-slot array: direct-mapped by the fingerprint bits above the
+  // shard index, 2x the resident capacity so two live entries rarely fight
+  // over one slot (a displaced entry just costs its readers the locked
+  // path — never correctness).
+  const size_t slot_count = RoundUpPow2(
+      std::min<size_t>(4096, std::max<size_t>(16, 2 * shard_capacity_)));
+  slot_mask_ = slot_count - 1;
+  for (Shard& shard : shards_) shard.slots.resize(slot_count);
+  stripes_storage_.reset(new StatsStripe[shard_count]);
+  stripes_ = stripes_storage_.get();
+
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back(&PredictionService::WorkerLoop, this);
@@ -59,7 +101,8 @@ void PredictionService::Shutdown() {
   // Workers drain the queue before exiting, so every future handed out by
   // PredictAsync before the shutdown flag was set is satisfied. Requests
   // that lose the race (PredictAsync observing shutdown_ == true) are
-  // rejected with Status::Unavailable instead of being enqueued into a
+  // rejected with Status::Unavailable — or, with drain_on_shutdown, run
+  // inline on their calling thread — instead of being enqueued into a
   // pool nobody drains. The joined threads stay in workers_ — the vector
   // is never mutated after construction, so concurrent readers
   // (ParallelFor, num_workers) race with nothing.
@@ -114,13 +157,14 @@ void PredictionService::ParallelFor(size_t n,
   state->cv.wait(lock, [&] { return state->done.load() == n; });
 }
 
-uint64_t PredictionService::Fingerprint(const Plan& plan) const {
+uint64_t PredictionService::Fingerprint(const Plan& plan,
+                                        const PlanIdentity& identity) const {
   return options_.fingerprint_fn != nullptr ? options_.fingerprint_fn(plan)
-                                            : PlanFingerprint(plan);
+                                            : identity.fingerprint;
 }
 
 std::shared_ptr<const Plan> PredictionService::InternPlan(
-    const Plan& plan, const std::string& key) {
+    const Plan& plan, const std::string& key, uint64_t fingerprint) {
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     auto it = plan_registry_.find(key);
@@ -136,8 +180,7 @@ std::shared_ptr<const Plan> PredictionService::InternPlan(
   auto [it, inserted] = plan_registry_.try_emplace(key);
   if (inserted) {
     it->second.plan = std::move(clone);
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++stats_.plan_clones;
+    StripeFor(fingerprint).plan_clones.fetch_add(1, std::memory_order_relaxed);
   }
   // else: a concurrent submitter interned first — use its copy, drop ours.
   ++it->second.refs;
@@ -157,75 +200,149 @@ size_t PredictionService::plan_registry_size() const {
   return plan_registry_.size();
 }
 
-void PredictionService::RecordRequest(bool hit, bool inflight_join) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.predictions;
+void PredictionService::RecordRequest(uint64_t fingerprint, bool hit,
+                                      bool inflight_join, bool lock_free) {
+  StatsStripe& stripe = StripeFor(fingerprint);
+  // Exactly one of the two classification counters moves per request, and
+  // `predictions` is defined as their sum — the invariant cannot tear.
   if (hit) {
-    ++stats_.cache_hits;
-    if (inflight_join) ++stats_.inflight_joins;
+    stripe.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    if (inflight_join) {
+      stripe.inflight_joins.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (lock_free) {
+      stripe.lockfree_hits.fetch_add(1, std::memory_order_relaxed);
+    }
   } else {
-    ++stats_.cache_misses;
+    stripe.cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void PredictionService::CachePutLocked(uint64_t fingerprint,
-                                       const std::string& key,
-                                       Artifacts artifacts) {
-  auto it = cache_index_.find(fingerprint);
-  if (it != cache_index_.end()) {
-    if (it->second->key == key) {
+bool PredictionService::TryLockFreeHit(uint64_t fingerprint,
+                                       const PlanIdentity& identity,
+                                       Artifacts* out) {
+  if (!options_.lock_free_hits || options_.cache_capacity == 0) return false;
+  Shard& shard = ShardFor(fingerprint);
+  const EntryPtr entry = std::atomic_load_explicit(
+      &shard.slots[SlotIndex(fingerprint)], std::memory_order_acquire);
+  if (entry == nullptr || entry->fingerprint != fingerprint) return false;
+  // An entry inserted before the last InvalidateCache must not be served:
+  // validate its insert generation against the global counter, so a stale
+  // published slot fails here even before the flush sweep reaches it.
+  if (entry->generation != generation_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  // Confirm the canonical structure (64-bit collisions degrade to the
+  // locked path, which treats them as misses). The interned identity makes
+  // the common case a pointer compare.
+  if (entry->identity.get() != &identity && entry->identity->key != identity.key) {
+    return false;
+  }
+  entry->last_used.store(shard.ticket.fetch_add(1, std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  *out = entry->artifacts;
+  RecordRequest(fingerprint, /*hit=*/true, /*inflight_join=*/false,
+                /*lock_free=*/true);
+  return true;
+}
+
+void PredictionService::CachePutLocked(Shard& shard, uint64_t fingerprint,
+                                       const IdentityPtr& identity,
+                                       Artifacts artifacts,
+                                       uint64_t generation) {
+  const uint64_t tick = shard.ticket.fetch_add(1, std::memory_order_relaxed);
+  auto it = shard.entries.find(fingerprint);
+  if (it != shard.entries.end()) {
+    if (it->second->identity->key == identity->key) {
       // A concurrent miss on the same plan got here first; both artifacts
       // are identical (deterministic stages), keep the incumbent.
-      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->last_used.store(tick, std::memory_order_relaxed);
+      std::atomic_store_explicit(&shard.slots[SlotIndex(fingerprint)],
+                                 EntryPtr(it->second),
+                                 std::memory_order_release);
       return;
     }
     // Fingerprint collision with a structurally different plan: the slot
     // goes to the newcomer (the most recent user), like any LRU update.
-    lru_.erase(it->second);
-    cache_index_.erase(it);
+    shard.entries.erase(it);
   }
-  lru_.push_front(CacheEntry{fingerprint, key, std::move(artifacts)});
-  cache_index_[fingerprint] = lru_.begin();
-  while (lru_.size() > options_.cache_capacity) {
-    cache_index_.erase(lru_.back().fingerprint);
-    lru_.pop_back();
+  auto entry = std::make_shared<CacheEntry>();
+  entry->fingerprint = fingerprint;
+  entry->identity = identity;
+  entry->artifacts = std::move(artifacts);
+  entry->generation = generation;
+  entry->last_used.store(tick, std::memory_order_relaxed);
+  EntryPtr resident = std::move(entry);
+  shard.entries[fingerprint] = resident;
+  std::atomic_store_explicit(&shard.slots[SlotIndex(fingerprint)],
+                             EntryPtr(resident), std::memory_order_release);
+  // Approximate LRU: evict the smallest recency tick. The O(shard
+  // capacity) scan runs only on insert-past-capacity, under the shard
+  // lock only — eviction order is explicitly not part of the determinism
+  // contract.
+  while (shard_capacity_ > 0 && shard.entries.size() > shard_capacity_) {
+    auto victim = shard.entries.begin();
+    uint64_t oldest = victim->second->last_used.load(std::memory_order_relaxed);
+    for (auto cand = std::next(shard.entries.begin());
+         cand != shard.entries.end(); ++cand) {
+      const uint64_t t = cand->second->last_used.load(std::memory_order_relaxed);
+      if (t < oldest) {
+        oldest = t;
+        victim = cand;
+      }
+    }
+    // Unpublish the victim's slot iff it still points at the victim;
+    // concurrent lock-free readers that already loaded the pointer keep
+    // the entry alive through their shared_ptr.
+    auto& slot = shard.slots[SlotIndex(victim->second->fingerprint)];
+    if (std::atomic_load_explicit(&slot, std::memory_order_relaxed) ==
+        victim->second) {
+      std::atomic_store_explicit(&slot, EntryPtr(), std::memory_order_release);
+    }
+    shard.entries.erase(victim);
   }
 }
 
 void PredictionService::InvalidateCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  lru_.clear();
-  cache_index_.clear();
-  // Detach in-flight runs: their waiters still get a (pre-flush) result —
-  // parked continuations live on the Inflight object, not in this map, so
-  // the completing thread still drains them — but new requests must not
-  // join the detached run, and the generation bump below keeps its late
-  // CachePut out of the flushed cache.
-  inflight_.clear();
-  ++generation_;
+  // Bump the global generation FIRST: from this instant no lock-free hit
+  // validates against a pre-flush entry and no in-flight run re-inserts
+  // one, even in shards the sweep below hasn't reached yet.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    for (auto& slot : shard.slots) {
+      std::atomic_store_explicit(&slot, EntryPtr(), std::memory_order_release);
+    }
+    // Detach in-flight runs: their waiters still get a (pre-flush) result —
+    // parked continuations live on the Inflight object, not in this map, so
+    // the completing thread still drains them — but new requests must not
+    // join the detached run, and the generation bump above keeps its late
+    // CachePut out of the flushed cache.
+    shard.inflight.clear();
+  }
 }
 
 size_t PredictionService::cache_size() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  return lru_.size();
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 StatusOr<PredictionService::Artifacts> PredictionService::RunStages(
-    const Plan& plan) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.sample_runs;
-  }
+    const Plan& plan, uint64_t fingerprint) {
+  StatsStripe& stripe = StripeFor(fingerprint);
+  stripe.sample_runs.fetch_add(1, std::memory_order_relaxed);
   SampleRunInput run_in;
   run_in.plan = &plan;
   UQP_ASSIGN_OR_RETURN(SampleRunOutput run_out,
                        pipeline_.sample_run_stage().Run(run_in));
   Artifacts artifacts;
   artifacts.run = std::make_shared<const SampleRunOutput>(std::move(run_out));
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.fit_runs;
-  }
+  stripe.fit_runs.fetch_add(1, std::memory_order_relaxed);
   CostFitInput fit_in;
   fit_in.plan = &plan;
   fit_in.sample_run = artifacts.run.get();
@@ -243,7 +360,7 @@ void PredictionService::FulfillAsync(AsyncRequest& req,
   // interned (submit-time fast paths) hold no reference to release — and
   // must not decrement one taken by a different request for the same key.
   if (req.plan != nullptr) {
-    ReleasePlan(req.key);
+    ReleasePlan(req.identity->key);
     req.plan.reset();
   }
   if (artifacts.ok()) {
@@ -255,14 +372,18 @@ void PredictionService::FulfillAsync(AsyncRequest& req,
 
 void PredictionService::CompleteRun(const std::shared_ptr<Inflight>& owned,
                                     uint64_t fingerprint,
-                                    const std::string& key, uint64_t generation,
+                                    const IdentityPtr& identity,
+                                    uint64_t generation,
                                     const StatusOr<Artifacts>& result) {
   std::vector<std::shared_ptr<AsyncRequest>> waiters;
+  Shard& shard = ShardFor(fingerprint);
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    std::lock_guard<std::mutex> lock(shard.mu);
     if (owned != nullptr) {
-      auto it = inflight_.find(fingerprint);
-      if (it != inflight_.end() && it->second == owned) inflight_.erase(it);
+      auto it = shard.inflight.find(fingerprint);
+      if (it != shard.inflight.end() && it->second == owned) {
+        shard.inflight.erase(it);
+      }
       // Detach the continuation list under the same lock that guards
       // registration: once the entry is unreachable no new waiter can be
       // parked, so none is ever lost. (If InvalidateCache already detached
@@ -270,13 +391,14 @@ void PredictionService::CompleteRun(const std::shared_ptr<Inflight>& owned,
       waiters = std::move(owned->waiters);
     }
     if (options_.cache_capacity > 0 && result.ok()) {
-      if (generation_ == generation) {
-        CachePutLocked(fingerprint, key, result.value());
+      if (generation_.load(std::memory_order_acquire) == generation) {
+        CachePutLocked(shard, fingerprint, identity, result.value(),
+                       generation);
       } else {
         // InvalidateCache ran while this prediction was in flight: its
         // artifacts may predate the flush, drop the insert.
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
-        ++stats_.stale_drops;
+        StripeFor(fingerprint)
+            .stale_drops.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -289,38 +411,45 @@ void PredictionService::CompleteRun(const std::shared_ptr<Inflight>& owned,
 }
 
 PredictionService::Lookup PredictionService::LookupArtifacts(
-    uint64_t fingerprint, const std::string& key,
+    uint64_t fingerprint, const IdentityPtr& identity,
     const std::shared_ptr<AsyncRequest>& park, bool register_owned) {
   Lookup lk;
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  lk.generation = generation_;
+  Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  lk.generation = generation_.load(std::memory_order_acquire);
   if (options_.cache_capacity > 0) {
-    auto it = cache_index_.find(fingerprint);
+    auto it = shard.entries.find(fingerprint);
     // Confirm the canonical structure: a fingerprint collision must be
     // a miss, never another plan's artifacts.
-    if (it != cache_index_.end() && it->second->key == key) {
-      lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-      lk.artifacts = it->second->artifacts;
+    if (it != shard.entries.end() && it->second->identity->key == identity->key) {
+      const EntryPtr& entry = it->second;
+      entry->last_used.store(shard.ticket.fetch_add(1, std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+      // Republish: the entry may have been displaced from its slot by a
+      // slot-index neighbour; the most recent user wins it back.
+      std::atomic_store_explicit(&shard.slots[SlotIndex(fingerprint)],
+                                 EntryPtr(entry), std::memory_order_release);
+      lk.artifacts = entry->artifacts;
       lk.cached = true;
-      RecordRequest(/*hit=*/true);
+      RecordRequest(fingerprint, /*hit=*/true);
       return lk;
     }
   }
-  auto it = inflight_.find(fingerprint);
-  if (it != inflight_.end() && it->second->key == key) {
+  auto it = shard.inflight.find(fingerprint);
+  if (it != shard.inflight.end() && it->second->identity->key == identity->key) {
     if (park != nullptr) {
       // Continuation handoff: park {request, promise} on the in-flight
       // record — the winner finishes us with one cheap stage-3 run. No
       // thread ever blocks in future::get() on this path.
-      RecordRequest(/*hit=*/true, /*inflight_join=*/true);
+      RecordRequest(fingerprint, /*hit=*/true, /*inflight_join=*/true);
       it->second->waiters.push_back(park);
       lk.parked = true;
     } else {
       lk.join = it->second;
     }
-  } else if (it == inflight_.end() && register_owned) {
-    lk.owned = std::make_shared<Inflight>(key);
-    inflight_.emplace(fingerprint, lk.owned);
+  } else if (it == shard.inflight.end() && register_owned) {
+    lk.owned = std::make_shared<Inflight>(identity);
+    shard.inflight.emplace(fingerprint, lk.owned);
   }
   // else: the fingerprint is in flight for a structurally different plan
   // (hash collision) — run solo, without registering.
@@ -328,8 +457,11 @@ PredictionService::Lookup PredictionService::LookupArtifacts(
 }
 
 StatusOr<PredictionService::Artifacts> PredictionService::GetArtifacts(
-    const Plan& plan, uint64_t fingerprint, const std::string& key) {
-  Lookup lk = LookupArtifacts(fingerprint, key, /*park=*/nullptr,
+    const Plan& plan, uint64_t fingerprint, const IdentityPtr& identity) {
+  Artifacts fast;
+  if (TryLockFreeHit(fingerprint, *identity, &fast)) return fast;
+
+  Lookup lk = LookupArtifacts(fingerprint, identity, /*park=*/nullptr,
                               /*register_owned=*/true);
   if (lk.cached) return std::move(lk.artifacts);
 
@@ -338,23 +470,24 @@ StatusOr<PredictionService::Artifacts> PredictionService::GetArtifacts(
     // a value back to their caller, so waiting here is inherent — and it
     // blocks only the caller's own thread (Predict) or one batch shard.
     // Async requests never reach this: they park a continuation instead.
-    RecordRequest(/*hit=*/true, /*inflight_join=*/true);
+    RecordRequest(fingerprint, /*hit=*/true, /*inflight_join=*/true);
     return lk.join->future.get();
   }
 
   // This request runs the stages itself — the one classification point
   // for misses, so hits + misses == predictions at every instant.
-  RecordRequest(/*hit=*/false);
-  StatusOr<Artifacts> result = RunStages(plan);
+  RecordRequest(fingerprint, /*hit=*/false);
+  StatusOr<Artifacts> result = RunStages(plan, fingerprint);
   if (options_.post_stages_hook) options_.post_stages_hook();
-  CompleteRun(lk.owned, fingerprint, key, lk.generation, result);
+  CompleteRun(lk.owned, fingerprint, identity, lk.generation, result);
   return result;
 }
 
 StatusOr<Prediction> PredictionService::PredictImpl(const Plan& plan) {
-  UQP_ASSIGN_OR_RETURN(
-      Artifacts artifacts,
-      GetArtifacts(plan, Fingerprint(plan), PlanStructuralKey(plan)));
+  const IdentityPtr identity = plan.Identity();
+  const uint64_t fingerprint = Fingerprint(plan, *identity);
+  UQP_ASSIGN_OR_RETURN(Artifacts artifacts,
+                       GetArtifacts(plan, fingerprint, identity));
   return pipeline_.PredictFromArtifacts(std::move(artifacts.run),
                                         std::move(artifacts.fit));
 }
@@ -365,7 +498,15 @@ StatusOr<Prediction> PredictionService::Predict(const Plan& plan) {
 
 void PredictionService::RunAsyncRequest(
     const std::shared_ptr<AsyncRequest>& req) {
-  Lookup lk = LookupArtifacts(req->fingerprint, req->key, /*park=*/req,
+  // By the time a queued request reaches a worker the cache may have
+  // warmed up; the lock-free probe costs nothing if not.
+  Artifacts fast;
+  if (TryLockFreeHit(req->fingerprint, *req->identity, &fast)) {
+    FulfillAsync(*req, StatusOr<Artifacts>(std::move(fast)));
+    return;
+  }
+
+  Lookup lk = LookupArtifacts(req->fingerprint, req->identity, /*park=*/req,
                               /*register_owned=*/true);
   if (lk.parked) return;  // the winner will finish us; worker freed
   if (lk.cached) {
@@ -373,26 +514,34 @@ void PredictionService::RunAsyncRequest(
     return;
   }
 
-  RecordRequest(/*hit=*/false);
-  StatusOr<Artifacts> result = RunStages(*req->plan);
+  RecordRequest(req->fingerprint, /*hit=*/false);
+  StatusOr<Artifacts> result = RunStages(*req->plan, req->fingerprint);
   if (options_.post_stages_hook) options_.post_stages_hook();
-  CompleteRun(lk.owned, req->fingerprint, req->key, lk.generation, result);
+  CompleteRun(lk.owned, req->fingerprint, req->identity, lk.generation, result);
   FulfillAsync(*req, result);
 }
 
 std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
     const Plan& plan) {
   auto req = std::make_shared<AsyncRequest>();
-  req->fingerprint = Fingerprint(plan);
-  req->key = PlanStructuralKey(plan);
+  req->identity = plan.Identity();
+  req->fingerprint = Fingerprint(plan, *req->identity);
   std::future<StatusOr<Prediction>> future = req->promise.get_future();
 
   // Submit-time fast paths on the caller's thread, before paying for a
-  // registry clone or a pool round-trip: a cache hit is one cheap stage-3
-  // combination away, and a plan already being sampled can park a
-  // plan-free continuation (stage 3 needs only the artifacts). Neither
-  // touches the caller's plan after this call returns.
-  Lookup lk = LookupArtifacts(req->fingerprint, req->key, /*park=*/req,
+  // registry clone or a pool round-trip. A hot-cache hit resolves here
+  // through the lock-free probe — two atomic loads and a key confirm, no
+  // service mutex at all; a warm hit displaced from its published slot
+  // resolves through the shard (not global) lock; and a plan already
+  // being sampled parks a plan-free continuation (stage 3 needs only the
+  // artifacts). None of these touch the caller's plan after this call
+  // returns.
+  Artifacts fast;
+  if (TryLockFreeHit(req->fingerprint, *req->identity, &fast)) {
+    FulfillAsync(*req, StatusOr<Artifacts>(std::move(fast)));
+    return future;
+  }
+  Lookup lk = LookupArtifacts(req->fingerprint, req->identity, /*park=*/req,
                               /*register_owned=*/false);
   if (lk.parked) return future;
   if (lk.cached) {
@@ -403,7 +552,7 @@ std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
   // Cold miss: own the plan before returning. From here on the caller's
   // Plan is never touched again, so it may be destroyed as soon as this
   // call returns.
-  req->plan = InternPlan(plan, req->key);
+  req->plan = InternPlan(plan, req->identity->key, req->fingerprint);
 
   bool rejected = false;
   {
@@ -415,13 +564,22 @@ std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
     }
   }
   if (rejected) {
+    if (options_.drain_on_shutdown) {
+      // Graceful drain: run the prediction inline on the calling thread.
+      // Degraded latency, identical result — and still fully raced
+      // correctly: an inline latecomer that finds another request's run
+      // in flight parks on it (atomically with the lookup), and that
+      // winner drains it like any other continuation.
+      StripeFor(req->fingerprint)
+          .drained_inline.fetch_add(1, std::memory_order_relaxed);
+      RunAsyncRequest(req);
+      return future;
+    }
     // The pool is gone; enqueueing would leave the future unsatisfied
     // forever. Fail fast instead.
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.async_rejects;
-    }
-    ReleasePlan(req->key);
+    StripeFor(req->fingerprint)
+        .async_rejects.fetch_add(1, std::memory_order_relaxed);
+    ReleasePlan(req->identity->key);
     req->plan.reset();
     req->promise.set_value(
         Status::Unavailable("PredictionService is shut down"));
@@ -433,10 +591,7 @@ std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
 
 std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
     const Plan* const* plans, size_t count) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.batch_calls;
-  }
+  stripes_[0].batch_calls.fetch_add(1, std::memory_order_relaxed);
   std::vector<StatusOr<Prediction>> results;
   results.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -449,16 +604,16 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
   // collision guarantee inside a batch: colliding plans form separate
   // groups instead of silently sharing artifacts.
   std::vector<uint64_t> fingerprints(count);
-  std::vector<std::string> keys(count);
+  std::vector<IdentityPtr> identities(count);
   std::vector<size_t> group_ids(count);
   std::unordered_map<std::string, size_t> group_of;  // fp ‖ key -> group id
   std::vector<size_t> representative;                // group id -> plan index
   for (size_t i = 0; i < count; ++i) {
-    fingerprints[i] = Fingerprint(*plans[i]);
-    keys[i] = PlanStructuralKey(*plans[i]);
+    identities[i] = plans[i]->Identity();
+    fingerprints[i] = Fingerprint(*plans[i], *identities[i]);
     std::string group_key;
     AppendKeyU64(&group_key, fingerprints[i]);
-    group_key += keys[i];
+    group_key += identities[i]->key;
     const auto [it, inserted] =
         group_of.emplace(std::move(group_key), representative.size());
     group_ids[i] = it->second;
@@ -472,7 +627,7 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
   const std::function<void(size_t)> stages12 = [&](size_t g) {
     const size_t rep = representative[g];
     auto artifacts_or =
-        GetArtifacts(*plans[rep], fingerprints[rep], keys[rep]);
+        GetArtifacts(*plans[rep], fingerprints[rep], identities[rep]);
     if (artifacts_or.ok()) {
       artifacts[g] = std::move(artifacts_or).value();
     } else {
@@ -485,7 +640,7 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
   // group's shared artifacts without any stage-1/2 work: cache hits.
   const std::function<void(size_t)> stage3 = [&](size_t i) {
     const size_t g = group_ids[i];
-    if (representative[g] != i) RecordRequest(/*hit=*/true);
+    if (representative[g] != i) RecordRequest(fingerprints[i], /*hit=*/true);
     if (!group_status[g].ok()) {
       results[i] = group_status[g];
       return;
@@ -516,8 +671,29 @@ VarianceBreakdown PredictionService::Recompute(const Prediction& prediction,
 }
 
 ServiceStats PredictionService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  // Sum the per-shard stripes. Each stripe's relaxed counters are monotone
+  // and each request touched exactly one classification counter in exactly
+  // one stripe, so hits + misses is exact per stripe — and `predictions`
+  // is their sum BY DEFINITION, which is what makes the invariant hold at
+  // every observable instant instead of only at quiescence.
+  ServiceStats out;
+  const size_t n = shards_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const StatsStripe& s = stripes_[i];
+    out.batch_calls += s.batch_calls.load(std::memory_order_relaxed);
+    out.sample_runs += s.sample_runs.load(std::memory_order_relaxed);
+    out.fit_runs += s.fit_runs.load(std::memory_order_relaxed);
+    out.cache_hits += s.cache_hits.load(std::memory_order_relaxed);
+    out.cache_misses += s.cache_misses.load(std::memory_order_relaxed);
+    out.lockfree_hits += s.lockfree_hits.load(std::memory_order_relaxed);
+    out.inflight_joins += s.inflight_joins.load(std::memory_order_relaxed);
+    out.stale_drops += s.stale_drops.load(std::memory_order_relaxed);
+    out.plan_clones += s.plan_clones.load(std::memory_order_relaxed);
+    out.async_rejects += s.async_rejects.load(std::memory_order_relaxed);
+    out.drained_inline += s.drained_inline.load(std::memory_order_relaxed);
+  }
+  out.predictions = out.cache_hits + out.cache_misses;
+  return out;
 }
 
 }  // namespace uqp

@@ -7,7 +7,6 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,8 +37,28 @@ struct ServiceOptions {
   /// bit-identical either way.
   int num_workers = 0;
   /// Capacity of the sample-run cache (distinct plan fingerprints held);
-  /// 0 disables caching entirely.
+  /// 0 disables caching entirely. The capacity is enforced per shard
+  /// (ceil(capacity / shards) entries each), so a shard under churn
+  /// evicts locally instead of taking a global lock.
   size_t cache_capacity = 256;
+  /// Number of independent cache/in-flight shards (rounded up to a power
+  /// of two). 0 sizes to the hardware concurrency, clamped to [1, 64].
+  /// 1 degenerates to the historical single-mutex layout — the bench's
+  /// contention baseline.
+  int cache_shards = 0;
+  /// When true (default), cache entries are additionally published into a
+  /// per-shard slot array read with std::atomic_load(acquire): a hot-cache
+  /// hit costs two atomic loads, a key memcmp and a relaxed recency-tick
+  /// store — no shard mutex, no global mutex. When false, every hit goes
+  /// through the shard mutex (the pre-sharding behavior, kept as the
+  /// bench baseline and a differential-testing seam).
+  bool lock_free_hits = true;
+  /// When true, PredictAsync calls that arrive after Shutdown() run the
+  /// prediction inline on the calling thread (degraded latency, still
+  /// correct and bit-identical) instead of failing fast with
+  /// Status::Unavailable. Latecomers that find another request's run
+  /// still in flight park on it as usual and are drained by that winner.
+  bool drain_on_shutdown = false;
   /// Test seam: replaces PlanFingerprint as the cache/dedup hash when
   /// non-null. The structural-key confirmation still applies, so tests can
   /// force every plan onto one fingerprint to exercise collision handling.
@@ -53,9 +72,10 @@ struct ServiceOptions {
 };
 
 /// Monotonic counters exposed for tests and monitoring. Every prediction
-/// request is classified exactly once as a cache hit or miss at a single
-/// point, atomically with the `predictions` bump, so
-/// `cache_hits + cache_misses == predictions` holds at every instant — even
+/// request is classified exactly once as a cache hit or miss; the split is
+/// counted in per-shard stripes (no global stats lock on the hot path) and
+/// `predictions` is defined as `cache_hits + cache_misses`, so the
+/// invariant holds at every observable instant by construction — even
 /// sampled mid-batch from another thread. A request that runs stages 1-2
 /// itself (including with caching disabled) is a miss; a request served
 /// from the cache or from another request's in-flight execution is a hit.
@@ -66,12 +86,16 @@ struct ServiceStats {
   uint64_t fit_runs = 0;        ///< CostFitStage executions (stage 2)
   uint64_t cache_hits = 0;      ///< predictions that ran no stage-1/2 work
   uint64_t cache_misses = 0;    ///< predictions that ran stages themselves
+  uint64_t lockfree_hits = 0;   ///< hits served by the mutex-free published
+                                ///< slot path (subset of cache_hits)
   uint64_t inflight_joins = 0;  ///< hits served by an in-flight miss (parked
                                 ///< async continuations + blocking sync joins)
   uint64_t stale_drops = 0;     ///< cache inserts dropped by InvalidateCache generation
   uint64_t plan_clones = 0;     ///< deep copies made by the async plan registry
                                 ///< (interned duplicates don't re-clone)
   uint64_t async_rejects = 0;   ///< PredictAsync calls refused after Shutdown
+  uint64_t drained_inline = 0;  ///< post-Shutdown PredictAsync calls served
+                                ///< inline by drain_on_shutdown
 };
 
 /// Thread-safe, concurrent front end to the prediction pipeline — the
@@ -85,27 +109,33 @@ struct ServiceStats {
 ///     the moment the call returns.
 ///   - PredictBatch(plans): shards stage work across the worker pool.
 ///
-/// All paths cache per-plan stage artifacts in an LRU keyed by plan
-/// fingerprint: the SampleRunStage output (the expensive artifact — one
-/// execution of the plan over the sample tables) together with the
-/// CostFitStage output derived from it (both are deterministic functions
-/// of the plan). Each entry also stores the plan's canonical structural
-/// key, confirmed on every hit, so a 64-bit fingerprint collision degrades
-/// to a miss instead of serving another plan's artifacts.
+/// All paths cache per-plan stage artifacts keyed by plan fingerprint.
+/// The cache and the in-flight dedup table are sharded by fingerprint: N
+/// independent shards, each with its own mutex, entry map and recency
+/// ticks, so requests for different plans never serialize on a global
+/// lock. Within a shard, hot hits do not take the shard mutex either:
+/// resident entries are published as immutable shared_ptr bundles into a
+/// per-shard slot array read via std::atomic_load(acquire); recency is a
+/// relaxed per-entry tick (approximate LRU — eviction order is not part
+/// of the determinism contract). Each entry stores the plan's interned
+/// canonical structural key (PlanIdentity, serialized once per distinct
+/// plan object and shared by reference), confirmed on every hit, so a
+/// 64-bit fingerprint collision degrades to a miss instead of serving
+/// another plan's artifacts.
 ///
-/// Concurrent misses on the same fingerprint are deduplicated through an
-/// in-flight table: the first request runs stages 1-2. A concurrent async
-/// duplicate parks a continuation {owned plan, promise} on the winner's
-/// in-flight record and returns its worker to the pool; when the winner
-/// finishes, it drains the continuation list by running the cheap stage-3
-/// combination per waiter. (Synchronous duplicates — Predict/PredictBatch,
-/// which must return a value to their caller — still block their own
-/// calling thread on the winner's shared future.) So a same-fingerprint
-/// storm of async misses occupies exactly one worker, never the pool.
-/// Served predictions alias the immutable cached artifacts via shared_ptr
-/// (zero-copy), so a hot-cache prediction costs one variance combination.
-/// Every stage is deterministic: cached, batched, async and sequential
-/// predictions are bit-identical.
+/// Concurrent misses on the same fingerprint are deduplicated through the
+/// shard's in-flight table: the first request runs stages 1-2. A
+/// concurrent async duplicate parks a continuation {owned plan, promise}
+/// on the winner's in-flight record and returns its worker to the pool;
+/// when the winner finishes, it drains the continuation list by running
+/// the cheap stage-3 combination per waiter. (Synchronous duplicates —
+/// Predict/PredictBatch, which must return a value to their caller —
+/// still block their own calling thread on the winner's shared future.)
+/// So a same-fingerprint storm of async misses occupies exactly one
+/// worker, never the pool. Served predictions alias the immutable cached
+/// artifacts via shared_ptr (zero-copy), so a hot-cache prediction costs
+/// one variance combination. Every stage is deterministic: cached,
+/// batched, async and sequential predictions are bit-identical.
 class PredictionService {
  public:
   PredictionService(const Database* db, const SampleDb* samples,
@@ -118,6 +148,7 @@ class PredictionService {
   const PredictionPipeline& pipeline() const { return pipeline_; }
   const ServiceOptions& options() const { return options_; }
   int num_workers() const { return static_cast<int>(workers_.size()); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
   /// Full prediction of one plan, on the calling thread. Safe to call
   /// concurrently from any number of threads. The plan is only read for
@@ -137,13 +168,15 @@ class PredictionService {
   ///
   /// Fast paths on the submitting thread (no clone, no queue trip): a
   /// cache hit returns an already-ready future after one cheap stage-3
-  /// combination; a plan already being sampled parks a plan-free
-  /// continuation on the in-flight run. Only a genuine cold miss pays
-  /// the clone and the pool round-trip.
+  /// combination — on a hot cache without touching any service mutex —
+  /// and a plan already being sampled parks a plan-free continuation on
+  /// the in-flight run. Only a genuine cold miss pays the clone and the
+  /// pool round-trip.
   ///
   /// After Shutdown() the returned future is never left unsatisfied:
-  /// cache hits are still served inline, anything needing the pool is
-  /// immediately ready with Status::Unavailable.
+  /// cache hits are still served inline; anything needing the pool is
+  /// either immediately ready with Status::Unavailable (default) or, with
+  /// drain_on_shutdown, predicted inline on the calling thread.
   std::future<StatusOr<Prediction>> PredictAsync(const Plan& plan);
 
   /// Predicts every plan in the span, sharding across the worker pool
@@ -165,16 +198,19 @@ class PredictionService {
   /// Stops the worker pool: drains every task already enqueued (so every
   /// previously returned future is satisfied), joins the workers, and
   /// makes later PredictAsync calls fail fast with Status::Unavailable
-  /// instead of leaving their futures unsatisfied forever. Synchronous
+  /// (or, with drain_on_shutdown, run inline on the caller) instead of
+  /// leaving their futures unsatisfied forever. Synchronous
   /// Predict/PredictBatch keep working (inline on the calling thread).
   /// Idempotent; called by the destructor.
   void Shutdown();
 
-  /// Snapshot of the service counters (internally consistent: the hit/miss
-  /// split always sums to `predictions`).
+  /// Snapshot of the service counters, summed over the per-shard stripes.
+  /// Internally consistent: the hit/miss split always sums to
+  /// `predictions` (each stripe keeps its local split exact, and
+  /// `predictions` is their sum by definition).
   ServiceStats stats() const;
 
-  /// Number of distinct fingerprints currently cached.
+  /// Number of distinct fingerprints currently cached (summed over shards).
   size_t cache_size() const;
 
   /// Number of plans currently interned for outstanding async requests.
@@ -185,12 +221,16 @@ class PredictionService {
   /// Drops every cached sample run (e.g. after samples are rebuilt) and
   /// advances the cache generation: in-flight predictions that started
   /// before the flush still complete, but their artifacts are not
-  /// re-inserted into the cache.
+  /// re-inserted into the cache. One global (atomic) generation counter;
+  /// the flush itself sweeps shard by shard. Lock-free hits validate the
+  /// entry's insert generation against the global counter, so a hit that
+  /// begins after the bump never serves a pre-flush artifact.
   void InvalidateCache();
 
  private:
   /// The cached (shared, immutable) stage 1-2 artifacts of one plan.
   using Artifacts = StageArtifacts;
+  using IdentityPtr = std::shared_ptr<const PlanIdentity>;
 
   /// One PredictAsync invocation: the service-owned (registry-interned)
   /// plan, its identity, and the caller's promise. Also the continuation
@@ -200,7 +240,7 @@ class PredictionService {
   struct AsyncRequest {
     std::shared_ptr<const Plan> plan;  ///< owned by the registry, not the caller
     uint64_t fingerprint = 0;
-    std::string key;  ///< canonical structural key (registry + cache identity)
+    IdentityPtr identity;  ///< interned canonical structure (shared, not copied)
     std::promise<StatusOr<Prediction>> promise;
   };
 
@@ -209,28 +249,84 @@ class PredictionService {
   /// concurrent async requests park on `waiters` and are finished by the
   /// winner (continuation handoff) without pinning a worker.
   struct Inflight {
-    explicit Inflight(std::string key_in) : key(std::move(key_in)) {
+    explicit Inflight(IdentityPtr identity_in)
+        : identity(std::move(identity_in)) {
       future = promise.get_future().share();
     }
-    std::string key;  ///< structural key of the plan being computed
+    IdentityPtr identity;  ///< structure of the plan being computed
     std::promise<StatusOr<Artifacts>> promise;
     std::shared_future<StatusOr<Artifacts>> future;
-    /// Parked async losers, guarded by cache_mu_. Only mutated while this
-    /// entry is reachable from inflight_; the completing thread detaches
-    /// the list under the same lock, so no continuation is ever lost.
+    /// Parked async losers, guarded by the owning shard's mutex. Only
+    /// mutated while this entry is reachable from the shard's in-flight
+    /// map; the completing thread detaches the list under the same lock,
+    /// so no continuation is ever lost.
     std::vector<std::shared_ptr<AsyncRequest>> waiters;
   };
 
-  /// An interned plan: one deep copy shared by every outstanding async
-  /// request with the same structural key.
-  struct RegisteredPlan {
-    std::shared_ptr<const Plan> plan;
-    size_t refs = 0;
+  /// One resident cache entry. Immutable after construction except for
+  /// the recency tick, so concurrent lock-free readers may copy the
+  /// artifact bundle without synchronization beyond the acquire load that
+  /// reached the entry.
+  struct CacheEntry {
+    uint64_t fingerprint = 0;
+    IdentityPtr identity;  ///< interned key, confirmed on every hit
+    Artifacts artifacts;
+    uint64_t generation = 0;  ///< global generation at insert time
+    /// Last-use tick from the shard's ticket counter; relaxed stores from
+    /// hit paths, read under the shard mutex for (approximate-LRU)
+    /// eviction. Approximation is fine: eviction order is not part of the
+    /// determinism contract.
+    mutable std::atomic<uint64_t> last_used{0};
+  };
+  using EntryPtr = std::shared_ptr<const CacheEntry>;
+
+  /// Per-shard stats stripe: monotone relaxed atomics, padded to a cache
+  /// line so neighbouring stripes don't false-share. `predictions` is not
+  /// stored — it is hits + misses by definition, which is what makes the
+  /// snapshot invariant un-tearable.
+  struct alignas(64) StatsStripe {
+    std::atomic<uint64_t> batch_calls{0};
+    std::atomic<uint64_t> sample_runs{0};
+    std::atomic<uint64_t> fit_runs{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> lockfree_hits{0};
+    std::atomic<uint64_t> inflight_joins{0};
+    std::atomic<uint64_t> stale_drops{0};
+    std::atomic<uint64_t> plan_clones{0};
+    std::atomic<uint64_t> async_rejects{0};
+    std::atomic<uint64_t> drained_inline{0};
   };
 
-  uint64_t Fingerprint(const Plan& plan) const;
+  /// One cache + in-flight shard. `slots` is the lock-free publication
+  /// layer: a fixed direct-mapped array of shared_ptr slots accessed only
+  /// through std::atomic_load/atomic_store; `entries` (under `mu`) is the
+  /// authority for residency and capacity.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, EntryPtr> entries;
+    std::unordered_map<uint64_t, std::shared_ptr<Inflight>> inflight;
+    /// Published entries; size is a power of two fixed at construction.
+    /// Never resized, so concurrent element access is safe.
+    std::vector<EntryPtr> slots;
+    /// Monotone recency ticket; fetch_add(relaxed) per hit.
+    std::atomic<uint64_t> ticket{0};
+  };
 
-  /// Result of one locked pass over the cache and the in-flight table.
+  Shard& ShardFor(uint64_t fingerprint) const {
+    return shards_[static_cast<size_t>(fingerprint) & shard_mask_];
+  }
+  StatsStripe& StripeFor(uint64_t fingerprint) const {
+    return stripes_[static_cast<size_t>(fingerprint) & shard_mask_];
+  }
+  size_t SlotIndex(uint64_t fingerprint) const {
+    // The low bits picked the shard; the next bits pick the slot.
+    return static_cast<size_t>(fingerprint >> shard_bits_) & slot_mask_;
+  }
+
+  uint64_t Fingerprint(const Plan& plan, const PlanIdentity& identity) const;
+
+  /// Result of one pass over the shard's cache and in-flight table.
   struct Lookup {
     bool cached = false;  ///< `artifacts` valid; request recorded as a hit
     bool parked = false;  ///< continuation parked; request recorded as a join
@@ -240,17 +336,27 @@ class PredictionService {
     uint64_t generation = 0;
   };
 
-  /// The single shared lookup of every request path (sync, async worker,
-  /// async submit), so the collision, classification and generation rules
-  /// live in exactly one place: probes the cache (structural key
-  /// confirmed, LRU bumped, hit recorded under the lock), then the
-  /// in-flight table. A joinable run is parked on when `park` is non-null
-  /// (async — atomic with the lookup, so the winner cannot complete in
-  /// between and lose the continuation) or returned as `join` for
-  /// blocking (sync). On a full miss, registers this request as the new
-  /// in-flight owner when `register_owned` (worker/sync paths); the
-  /// submit-time fast path passes false and enqueues instead.
-  Lookup LookupArtifacts(uint64_t fingerprint, const std::string& key,
+  /// The mutex-free fast path: probes the shard's published slot array for
+  /// a current-generation entry with this fingerprint and a confirmed
+  /// structural key. On a hit, copies the artifact bundle, bumps the
+  /// entry's recency tick (relaxed) and records the hit in the shard's
+  /// stats stripe — no mutex anywhere. Returns false on any mismatch
+  /// (empty slot, displaced entry, stale generation, collision).
+  bool TryLockFreeHit(uint64_t fingerprint, const PlanIdentity& identity,
+                      Artifacts* out);
+
+  /// The single shared locked lookup of every request path (sync, async
+  /// worker, async submit), so the collision, classification and
+  /// generation rules live in exactly one place: probes the shard's cache
+  /// (structural key confirmed, recency bumped, slot republished, hit
+  /// recorded under the shard lock), then the shard's in-flight table. A
+  /// joinable run is parked on when `park` is non-null (async — atomic
+  /// with the lookup, so the winner cannot complete in between and lose
+  /// the continuation) or returned as `join` for blocking (sync). On a
+  /// full miss, registers this request as the new in-flight owner when
+  /// `register_owned` (worker/sync paths); the submit-time fast path
+  /// passes false and enqueues instead.
+  Lookup LookupArtifacts(uint64_t fingerprint, const IdentityPtr& identity,
                          const std::shared_ptr<AsyncRequest>& park,
                          bool register_owned);
 
@@ -258,7 +364,8 @@ class PredictionService {
   /// registry and takes a reference; every Intern must be paired with one
   /// ReleasePlan(key).
   std::shared_ptr<const Plan> InternPlan(const Plan& plan,
-                                         const std::string& key);
+                                         const std::string& key,
+                                         uint64_t fingerprint);
   void ReleasePlan(const std::string& key);
 
   /// Stages 1-2 through the cache and the in-flight table: returns the
@@ -267,7 +374,7 @@ class PredictionService {
   /// thread when joining another request's in-flight run (sync paths only
   /// — async requests go through RunAsyncRequest instead).
   StatusOr<Artifacts> GetArtifacts(const Plan& plan, uint64_t fingerprint,
-                                   const std::string& key);
+                                   const IdentityPtr& identity);
 
   /// Single-plan prediction through GetArtifacts (shared by the sync and
   /// batch-representative paths).
@@ -288,20 +395,24 @@ class PredictionService {
   /// in-flight promise for blocking sync joiners, and drains the parked
   /// async continuations. `owned` may be null (collision solo run).
   void CompleteRun(const std::shared_ptr<Inflight>& owned, uint64_t fingerprint,
-                   const std::string& key, uint64_t generation,
+                   const IdentityPtr& identity, uint64_t generation,
                    const StatusOr<Artifacts>& result);
 
   /// Runs stages 1-2 for the plan, outside any lock.
-  StatusOr<Artifacts> RunStages(const Plan& plan);
+  StatusOr<Artifacts> RunStages(const Plan& plan, uint64_t fingerprint);
 
-  /// The single classification point of a request: bumps `predictions` and
-  /// exactly one of `cache_hits`/`cache_misses` atomically.
-  void RecordRequest(bool hit, bool inflight_join = false);
+  /// The single classification point of a request: bumps exactly one of
+  /// the stripe's `cache_hits`/`cache_misses` (predictions is their sum).
+  void RecordRequest(uint64_t fingerprint, bool hit,
+                     bool inflight_join = false, bool lock_free = false);
 
-  /// Inserts into the LRU (cache_mu_ held). On a lost race the incumbent
-  /// wins; on a fingerprint collision the newcomer replaces it.
-  void CachePutLocked(uint64_t fingerprint, const std::string& key,
-                      Artifacts artifacts);
+  /// Inserts into the shard (shard mutex held) and publishes the slot. On
+  /// a lost race the incumbent wins; on a fingerprint collision the
+  /// newcomer replaces it. Evicts the least-recently-ticked entry when
+  /// the shard exceeds its capacity share.
+  void CachePutLocked(Shard& shard, uint64_t fingerprint,
+                      const IdentityPtr& identity, Artifacts artifacts,
+                      uint64_t generation);
 
   /// Runs `fn(i)` for i in [0, n) across the worker pool, the calling
   /// thread included; returns when all indexes are done.
@@ -329,20 +440,37 @@ class PredictionService {
   PredictionPipeline pipeline_;
   ServiceOptions options_;
 
-  // ----- stage-artifact LRU cache + in-flight dedup table -----
-  mutable std::mutex cache_mu_;
-  struct CacheEntry {
-    uint64_t fingerprint = 0;
-    std::string key;  ///< canonical structure, confirmed on every hit
-    Artifacts artifacts;
-  };
-  std::list<CacheEntry> lru_;  ///< front = most recently used
-  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_index_;
-  std::unordered_map<uint64_t, std::shared_ptr<Inflight>> inflight_;
-  uint64_t generation_ = 0;  ///< bumped by InvalidateCache
+  // ----- sharded stage-artifact cache + in-flight dedup tables -----
+  mutable std::unique_ptr<Shard[]> shard_storage_;
+  /// Span view of shard_storage_ (mutable access from const snapshots).
+  struct ShardSpan {
+    Shard* data = nullptr;
+    size_t count = 0;
+    Shard& operator[](size_t i) const { return data[i]; }
+    size_t size() const { return count; }
+    Shard* begin() const { return data; }
+    Shard* end() const { return data + count; }
+  } shards_;
+  size_t shard_mask_ = 0;   ///< shards - 1 (shard count is a power of two)
+  unsigned shard_bits_ = 0; ///< log2(shard count)
+  size_t slot_mask_ = 0;    ///< per-shard published slots - 1 (power of two)
+  size_t shard_capacity_ = 0;  ///< resident entries allowed per shard
+  /// Global cache generation, bumped by InvalidateCache before the
+  /// per-shard sweep. Lock-free hits and publish paths validate against
+  /// it, so the counter — not any one shard's state — is the authority.
+  std::atomic<uint64_t> generation_{0};
+
+  // ----- striped counters (one stripe per shard + classification rules
+  // that make hits + misses == predictions hold by construction) -----
+  mutable std::unique_ptr<StatsStripe[]> stripes_storage_;
+  StatsStripe* stripes_ = nullptr;
 
   // ----- plan registry (owned clones for outstanding async requests) -----
   mutable std::mutex registry_mu_;
+  struct RegisteredPlan {
+    std::shared_ptr<const Plan> plan;
+    size_t refs = 0;
+  };
   std::unordered_map<std::string, RegisteredPlan> plan_registry_;
 
   // ----- worker pool -----
@@ -354,11 +482,6 @@ class PredictionService {
   /// sustained load).
   std::deque<std::function<void()>> pool_queue_;
   bool shutdown_ = false;
-
-  // ----- counters (one mutex so the hit/miss split is always consistent
-  // with `predictions`, even when stats() samples mid-batch) -----
-  mutable std::mutex stats_mu_;
-  ServiceStats stats_;
 };
 
 }  // namespace uqp

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -354,6 +356,69 @@ TEST_F(ParallelParityTest, SharedPoolMatchesEphemeralPools) {
     ASSERT_TRUE(a.ok() && b.ok());
     EXPECT_EQ(SampleRunOutputBytes(a.value()), SampleRunOutputBytes(b.value()));
   }
+}
+
+// The 0 = auto morsel derivation: its output depends only on the bound
+// sample cardinalities, so an auto run must equal an explicit run at the
+// derived size — and stay bit-identical across thread counts, i.e. auto
+// mode joins the determinism contract rather than weakening it.
+TEST_F(ParallelParityTest, AutoBatchSizeMatchesDerivedExplicitSize) {
+  for (const auto& wp : *workloads_) {
+    const Plan& plan = wp.plans[0];
+    // Re-derive the expected size exactly as the estimator binds samples:
+    // one copy per occurrence, max rows across the bound tables.
+    int64_t max_rows = 0;
+    std::unordered_map<std::string, int> occurrence;
+    for (const PlanNode* leaf : plan.Leaves()) {
+      const int occ = occurrence[leaf->table_name]++;
+      max_rows = std::max(max_rows,
+                          samples_->Get(leaf->table_name, occ).num_rows());
+    }
+    const int64_t derived = AutoSampleBatchSize(max_rows);
+    const std::string explicit_bytes = SampleRunOutputBytes(
+        RunStage(plan, 1, /*samples=*/nullptr, derived));
+    EXPECT_EQ(SampleRunOutputBytes(RunStage(plan, 1, /*samples=*/nullptr,
+                                            /*max_batch_size=*/0)),
+              explicit_bytes)
+        << wp.kind;
+    for (int t : ParityThreadCounts()) {
+      EXPECT_EQ(SampleRunOutputBytes(RunStage(plan, t, /*samples=*/nullptr,
+                                              /*max_batch_size=*/0)),
+                explicit_bytes)
+          << wp.kind << " auto batch at num_threads=" << t;
+    }
+  }
+}
+
+// End to end through PredictorOptions: 0 = auto produces a valid, exact
+// prediction equal to the derived explicit size at any thread count.
+TEST_F(ParallelParityTest, AutoBatchSizePredictionsExact) {
+  const Plan& plan = (*workloads_)[0].plans[0];
+  PredictorOptions auto_opts;
+  auto_opts.max_batch_size = 0;
+  Predictor auto_seq(db_, samples_, *units_, auto_opts);
+  auto ref = auto_seq.Predict(plan);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  for (int t : ParityThreadCounts()) {
+    PredictorOptions opts = auto_opts;
+    opts.num_threads = t;
+    Predictor parallel(db_, samples_, *units_, opts);
+    auto got = parallel.Predict(plan);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->mean(), ref->mean()) << "auto batch at num_threads=" << t;
+    EXPECT_EQ(got->breakdown.variance, ref->breakdown.variance);
+  }
+}
+
+// The derivation itself: one morsel for single-block samples, ~64 morsels
+// clamped to a vectorization-friendly range beyond that.
+TEST(AutoSampleBatchSizeTest, DerivationShape) {
+  EXPECT_EQ(AutoSampleBatchSize(0), 1);
+  EXPECT_EQ(AutoSampleBatchSize(512), 512);
+  EXPECT_EQ(AutoSampleBatchSize(4096), 4096);
+  EXPECT_EQ(AutoSampleBatchSize(8192), 1024);    // 8192/64 clamped up
+  EXPECT_EQ(AutoSampleBatchSize(65536), 1024);   // exactly 64 morsels
+  EXPECT_EQ(AutoSampleBatchSize(int64_t{1} << 20), 16384);  // clamped down
 }
 
 // ---------------------------------------------------------------------------

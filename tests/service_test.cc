@@ -923,5 +923,258 @@ TEST_F(ServiceTest, BatchShardJoiningInflightRunBlocksUntilWinnerFinishes) {
   EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.predictions);
 }
 
+// ---------------------------------------------------------------------------
+// Sharded lock-free read path (PR 6): hot hits bypass every service mutex
+// via the published-slot probe, shard counts are configurable, and the
+// striped stats keep the hits+misses==predictions invariant un-tearable.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, LockFreeHitsServeHotCache) {
+  ServiceOptions options;  // lock_free_hits defaults to true
+  options.num_workers = 1;
+  PredictionService service(db_, samples_, *units_, options);
+  const Plan& plan = (*plans_)[0];
+
+  auto first = service.Predict(plan);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = service.Predict(plan);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // The repeat was served by the mutex-free published-slot probe and
+  // aliases the cached artifacts (zero-copy).
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.lockfree_hits, 1u);
+  EXPECT_EQ(first->sample_run.get(), second->sample_run.get());
+  EXPECT_EQ(second->mean(), first->mean());
+  EXPECT_EQ(second->breakdown.variance, first->breakdown.variance);
+
+  // PredictAsync resolves a hot hit inline on the submitting thread —
+  // already ready, through the same lock-free probe.
+  auto async_hit = service.PredictAsync(plan);
+  ASSERT_EQ(async_hit.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  ASSERT_TRUE(async_hit.get().ok());
+  stats = service.stats();
+  EXPECT_EQ(stats.lockfree_hits, 2u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.predictions);
+}
+
+TEST_F(ServiceTest, SingleMutexModeDisablesLockFreeProbe) {
+  // The bench baseline configuration: one shard, no published-slot reads.
+  // Hits still work — through the shard mutex — and classify identically.
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_shards = 1;
+  options.lock_free_hits = false;
+  PredictionService service(db_, samples_, *units_, options);
+  EXPECT_EQ(service.num_shards(), 1);
+  const Plan& plan = (*plans_)[0];
+  ASSERT_TRUE(service.Predict(plan).ok());
+  ASSERT_TRUE(service.Predict(plan).ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.lockfree_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST_F(ServiceTest, ShardCountRoundsUpToPowerOfTwo) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_shards = 5;
+  PredictionService service(db_, samples_, *units_, options);
+  EXPECT_EQ(service.num_shards(), 8);
+  // Behavior is shard-count independent: every plan predicts correctly
+  // and classification stays exact.
+  for (const Plan& plan : *plans_) ASSERT_TRUE(service.Predict(plan).ok());
+  for (const Plan& plan : *plans_) ASSERT_TRUE(service.Predict(plan).ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_misses, plans_->size());
+  EXPECT_EQ(stats.cache_hits, plans_->size());
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.predictions);
+}
+
+TEST_F(ServiceTest, DrainOnShutdownServesLatecomersInline) {
+  Predictor reference(db_, samples_, *units_);
+  auto ref = reference.Predict((*plans_)[1]);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.drain_on_shutdown = true;
+  PredictionService service(db_, samples_, *units_, options);
+  ASSERT_TRUE(service.PredictAsync((*plans_)[0]).get().ok());
+  service.Shutdown();
+
+  // A cold latecomer is predicted inline on this thread: already ready,
+  // correct and bit-identical — never Unavailable.
+  auto after = service.PredictAsync((*plans_)[1]);
+  ASSERT_EQ(after.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  auto result = after.get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->mean(), ref->mean());
+  EXPECT_EQ(result->breakdown.variance, ref->breakdown.variance);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.drained_inline, 1u);
+  EXPECT_EQ(stats.async_rejects, 0u);
+  EXPECT_EQ(service.plan_registry_size(), 0u);
+
+  // Its artifacts were cached by the inline run, so the repeat is a plain
+  // hot hit — served inline but NOT counted as drained.
+  auto hot = service.PredictAsync((*plans_)[1]);
+  ASSERT_EQ(hot.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  ASSERT_TRUE(hot.get().ok());
+  EXPECT_EQ(service.stats().drained_inline, 1u);
+}
+
+TEST_F(ServiceTest, DrainOnShutdownRacesInflightWinner) {
+  // The drain/winner race: Shutdown() is initiated while a winner is
+  // mid-stages. Latecomers for the winner's plan park on its in-flight
+  // run (and are drained by the winner); cold latecomers that observe the
+  // shutdown flag run inline. No future is ever lost or Unavailable.
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.drain_on_shutdown = true;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool winner_gated = false;
+  bool release = false;
+  std::atomic<int> hook_calls{0};
+  options.post_stages_hook = [&] {
+    // Gate only the first run (the async winner); inline drained runs on
+    // the main thread must pass through unhindered.
+    if (hook_calls.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      winner_gated = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  PredictionService service(db_, samples_, *units_, options);
+
+  auto winner = service.PredictAsync((*plans_)[0]);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return winner_gated; });
+  }
+
+  // Shutdown sets the reject/drain flag immediately, then blocks joining
+  // the worker that is parked in the gate above.
+  std::thread closer([&] { service.Shutdown(); });
+
+  // Submit cold-plan latecomers until one observes the flag and drains
+  // inline. (A submission racing ahead of the flag is enqueued behind the
+  // gated winner and completes after release — also fine.)
+  std::vector<std::future<StatusOr<Prediction>>> latecomers;
+  while (service.stats().drained_inline == 0) {
+    latecomers.push_back(service.PredictAsync((*plans_)[1]));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // A latecomer for the WINNER'S plan parks on the still-gated in-flight
+  // run at submit time; the winner drains it on release.
+  auto parked = service.PredictAsync((*plans_)[0]);
+  EXPECT_EQ(parked.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "latecomer should be parked on the gated winner, not resolved";
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  closer.join();
+
+  auto winner_result = winner.get();
+  ASSERT_TRUE(winner_result.ok()) << winner_result.status().ToString();
+  auto parked_result = parked.get();
+  ASSERT_TRUE(parked_result.ok()) << parked_result.status().ToString();
+  EXPECT_EQ(parked_result->mean(), winner_result->mean());
+  EXPECT_EQ(parked_result->sample_run.get(), winner_result->sample_run.get());
+  for (auto& f : latecomers) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.drained_inline, 1u);
+  EXPECT_EQ(stats.async_rejects, 0u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.predictions);
+  EXPECT_EQ(service.plan_registry_size(), 0u);
+}
+
+TEST_F(ServiceTest, StripedStatsInvariantNeverTearsUnderMixedStorm) {
+  // A poller thread hammers stats() while a mixed hot/cold async storm —
+  // with concurrent InvalidateCache flushes forcing re-misses — runs
+  // against a deliberately tiny cache. The striped counters must never
+  // expose a snapshot where hits + misses != predictions, and predictions
+  // must be monotone across polls.
+  Predictor reference(db_, samples_, *units_);
+  std::vector<Prediction> expected;
+  for (const Plan& plan : *plans_) {
+    auto ref = reference.Predict(plan);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    expected.push_back(std::move(ref).value());
+  }
+
+  ServiceOptions options;
+  options.num_workers = 3;
+  options.cache_capacity = 2;  // smaller than the plan pool: sustained churn
+  PredictionService service(db_, samples_, *units_, options);
+  // Warm a hot pair so the storm mixes lock-free hits with cold misses.
+  ASSERT_TRUE(service.Predict((*plans_)[0]).ok());
+  ASSERT_TRUE(service.Predict((*plans_)[1]).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::atomic<uint64_t> polls{0};
+  std::thread poller([&] {
+    uint64_t last = 0;
+    while (!stop.load()) {
+      const ServiceStats s = service.stats();
+      if (s.cache_hits + s.cache_misses != s.predictions) torn.store(true);
+      if (s.predictions < last) torn.store(true);
+      last = s.predictions;
+      polls.fetch_add(1);
+    }
+  });
+
+  const int kThreads = 3;
+  const int kRounds = 24;
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::pair<size_t, std::future<StatusOr<Prediction>>>>>
+      futures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const size_t idx = static_cast<size_t>(t + r) % plans_->size();
+        futures[t].emplace_back(idx, service.PredictAsync((*plans_)[idx]));
+        if (r % 8 == 7) service.InvalidateCache();
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  // Resolve under the poller's nose, then stop it.
+  for (auto& per_thread : futures) {
+    for (auto& [idx, f] : per_thread) {
+      auto got = f.get();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->mean(), expected[idx].mean());
+      EXPECT_EQ(got->breakdown.variance, expected[idx].breakdown.variance);
+    }
+  }
+  stop.store(true);
+  poller.join();
+
+  EXPECT_FALSE(torn.load())
+      << "a stats() snapshot tore the hits+misses==predictions invariant";
+  EXPECT_GT(polls.load(), 0u);
+  const ServiceStats stats = service.stats();
+  // Every request classified exactly once: the storm plus the two warmers.
+  EXPECT_EQ(stats.predictions,
+            static_cast<uint64_t>(kThreads) * kRounds + 2);
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_misses, 0u);
+}
+
 }  // namespace
 }  // namespace uqp

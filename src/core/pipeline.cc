@@ -98,7 +98,7 @@ StatusOr<CostFitOutput> CostFitStage::Run(const CostFitInput& input) const {
 VarianceCombineOutput VarianceCombineStage::Run(
     const VarianceCombineInput& input) const {
   const VarianceEngine engine(&input.sample_run->estimates,
-                              &input.cost_fit->cost_functions, &units_,
+                              &input.cost_fit->cost_functions, input.units,
                               input.variant, input.bound);
   VarianceCombineOutput out;
   out.breakdown = engine.Compute();
@@ -126,17 +126,25 @@ StatusOr<Prediction> PredictionPipeline::PredictFromSampleRun(
 
 Prediction PredictionPipeline::PredictFromArtifacts(SampleRunPtr sample_run,
                                                     CostFitPtr cost_fit) const {
+  // Resolve the current calibration snapshot exactly once: the whole
+  // combination — and the epoch the prediction records — comes from this
+  // one immutable object, so a concurrent SetCalibration can never mix
+  // units from two epochs into one prediction.
+  const CalibrationPtr snapshot = calibration();
   VarianceCombineInput var_in;
   var_in.sample_run = sample_run.get();
   var_in.cost_fit = cost_fit.get();
+  var_in.units = &snapshot->units;
   var_in.variant = options_.variant;
   var_in.bound = options_.bound;
   const VarianceCombineOutput combined = variance_combine_.Run(var_in);
+  combine_count_.fetch_add(1, std::memory_order_relaxed);
 
   Prediction out;
   out.breakdown = combined.breakdown;
   out.sample_run = std::move(sample_run);
   out.cost_fit = std::move(cost_fit);
+  out.calibration = snapshot;
   return out;
 }
 
@@ -145,12 +153,37 @@ Prediction PredictionPipeline::PredictFromArtifacts(
   return PredictFromArtifacts(artifacts.run, artifacts.fit);
 }
 
+Prediction PredictionPipeline::PredictFromArtifacts(
+    const StageArtifacts& artifacts, const CalibrationPtr& snapshot) const {
+  VarianceCombineInput var_in;
+  var_in.sample_run = artifacts.run.get();
+  var_in.cost_fit = artifacts.fit.get();
+  var_in.units = &snapshot->units;
+  var_in.variant = options_.variant;
+  var_in.bound = options_.bound;
+  const VarianceCombineOutput combined = variance_combine_.Run(var_in);
+  combine_count_.fetch_add(1, std::memory_order_relaxed);
+
+  Prediction out;
+  out.breakdown = combined.breakdown;
+  out.sample_run = artifacts.run;
+  out.cost_fit = artifacts.fit;
+  out.calibration = snapshot;
+  return out;
+}
+
 VarianceBreakdown PredictionPipeline::Recompute(const Prediction& prediction,
                                                 PredictorVariant variant,
                                                 CovarianceBoundKind bound) const {
+  // Recompute under the snapshot the prediction was made with: the
+  // ablation/variant re-derivation of an existing prediction must not
+  // silently change epoch because someone published in between.
+  const CalibrationPtr snapshot =
+      prediction.calibration != nullptr ? prediction.calibration
+                                        : calibration();
   const VarianceEngine engine(&prediction.estimates(),
-                              &prediction.cost_functions(), &units_, variant,
-                              bound);
+                              &prediction.cost_functions(), &snapshot->units,
+                              variant, bound);
   return engine.Compute();
 }
 

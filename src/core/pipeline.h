@@ -1,12 +1,16 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "core/variance.h"
+#include "cost/snapshot.h"
 #include "cost/units.h"
 #include "costfunc/fitter.h"
 #include "engine/plan.h"
@@ -92,6 +96,15 @@ struct Prediction {
   SampleRunPtr sample_run;
   CostFitPtr cost_fit;
 
+  /// The calibration snapshot this prediction combined under — resolved
+  /// exactly once at stage-3 time, so the breakdown can never mix cost
+  /// units from two epochs even while a new snapshot is being published
+  /// concurrently. Non-null for every pipeline-produced prediction.
+  CalibrationPtr calibration;
+  uint64_t calibration_epoch() const {
+    return calibration != nullptr ? calibration->epoch : 0;
+  }
+
   const PlanEstimates& estimates() const;
   const std::vector<OperatorCostFunctions>& cost_functions() const;
 };
@@ -170,12 +183,15 @@ class CostFitStage {
   CostFunctionFitter fitter_;
 };
 
-/// Input to stage 3: stages 1-2 outputs plus the variant/bound knobs. The
-/// knobs live in the input (not the stage) so ablations can re-run this
-/// stage alone under different settings against cached artifacts.
+/// Input to stage 3: stages 1-2 outputs, the calibrated cost units, and
+/// the variant/bound knobs. The knobs AND the units live in the input (not
+/// the stage) so ablations can re-run this stage alone under different
+/// settings against cached artifacts — and so a running service can swap
+/// calibration epochs without rebuilding any stage.
 struct VarianceCombineInput {
   const SampleRunOutput* sample_run = nullptr;
   const CostFitOutput* cost_fit = nullptr;
+  const CostUnits* units = nullptr;
   PredictorVariant variant = PredictorVariant::kAll;
   CovarianceBoundKind bound = CovarianceBoundKind::kBest;
 };
@@ -187,16 +203,13 @@ struct VarianceCombineOutput {
 
 /// Stage 3: combine the fitted cost functions, selectivity distributions
 /// and calibrated cost-unit distributions into N(E[t_q], Var[t_q])
-/// (paper §5, Algorithm 3). Infallible and cheap. Owns its copy of the
-/// calibrated units, so stages and pipelines stay freely copyable.
+/// (paper §5, Algorithm 3). Infallible and cheap. Stateless: the units
+/// arrive in the input (resolved from the owner's current
+/// CalibrationSnapshot), so the stage stays freely copyable while
+/// calibration became swappable at runtime.
 class VarianceCombineStage {
  public:
-  explicit VarianceCombineStage(CostUnits units) : units_(units) {}
-
   VarianceCombineOutput Run(const VarianceCombineInput& input) const;
-
- private:
-  CostUnits units_;
 };
 
 /// The composed three-stage pipeline. `Predictor` is a thin facade over
@@ -206,24 +219,59 @@ class PredictionPipeline {
  public:
   /// `task_runner` (optional) backs stage 1's intra-query fan-out when
   /// options.num_threads != 1 — the service layer passes its worker pool
-  /// so plan-level and intra-plan tasks share one set of threads.
+  /// so plan-level and intra-plan tasks share one set of threads. The
+  /// construction-time units become calibration epoch 1 ("offline").
   PredictionPipeline(const Database* db, const SampleDb* samples,
                      CostUnits units, PredictorOptions options,
                      TaskRunner* task_runner = nullptr)
-      : units_(units),
+      : PredictionPipeline(db, samples,
+                           MakeCalibrationSnapshot(units, 1, "offline"),
+                           options, task_runner) {}
+
+  PredictionPipeline(const Database* db, const SampleDb* samples,
+                     CalibrationPtr calibration, PredictorOptions options,
+                     TaskRunner* task_runner = nullptr)
+      : calibration_(std::move(calibration)),
         options_(options),
         sample_run_(db, samples, options.aggregate_mode, options.scan_mode,
                     options.num_threads, task_runner, options.max_batch_size),
-        cost_fit_(db, options.fit),
-        variance_combine_(units) {}
+        cost_fit_(db, options.fit) {}
 
-  const CostUnits& units() const { return units_; }
+  /// The current calibration snapshot (atomic load; safe to call while a
+  /// concurrent SetCalibration publishes a new epoch). Every prediction
+  /// resolves this exactly once, at stage-3 time.
+  CalibrationPtr calibration() const {
+    return std::atomic_load_explicit(&calibration_,
+                                     std::memory_order_acquire);
+  }
+  /// Copy of the current snapshot's units (the snapshot may be swapped at
+  /// any time, so no reference is handed out).
+  CostUnits units() const { return calibration()->units; }
+
+  /// Publishes a new calibration snapshot (atomic pointer swap).
+  /// In-flight predictions that already resolved the old snapshot finish
+  /// under it — bit-identical to a pre-swap prediction — and later ones
+  /// see the new epoch. Stage 1-2 artifacts are unit-independent, so
+  /// nothing else invalidates. Epoch monotonicity is the caller's
+  /// contract (PredictionService::PublishCalibration serializes it).
+  void SetCalibration(CalibrationPtr snapshot) {
+    std::atomic_store_explicit(&calibration_, std::move(snapshot),
+                               std::memory_order_release);
+  }
+
   const PredictorOptions& options() const { return options_; }
 
   const SampleRunStage& sample_run_stage() const { return sample_run_; }
   const CostFitStage& cost_fit_stage() const { return cost_fit_; }
   const VarianceCombineStage& variance_combine_stage() const {
     return variance_combine_;
+  }
+
+  /// The number of times the stage-3 combination ran (any overload).
+  /// Monotone, relaxed; a test/bench seam for asserting that memoized
+  /// epoch-stamped combines actually skip the combination work.
+  uint64_t combine_count() const {
+    return combine_count_.load(std::memory_order_relaxed);
   }
 
   /// All three stages in sequence.
@@ -239,23 +287,36 @@ class PredictionPipeline {
   /// Stage 3 only, from pre-computed stage 1-2 outputs (the fully cached
   /// path: a recurring plan re-runs just the variance combination). The
   /// prediction aliases both artifacts — zero-copy, O(variance breakdown).
+  /// Resolves the current calibration snapshot once.
   Prediction PredictFromArtifacts(SampleRunPtr sample_run,
                                   CostFitPtr cost_fit) const;
   /// Bundle overload: the form the service's cache, in-flight dedup and
   /// continuation handoff trade in.
   Prediction PredictFromArtifacts(const StageArtifacts& artifacts) const;
+  /// Pinned-snapshot overload: combines under exactly `snapshot` instead
+  /// of re-resolving the current one — the service's epoch-memoization
+  /// path uses it so the epoch it stamps is the epoch it combined under,
+  /// even while a publish races.
+  Prediction PredictFromArtifacts(const StageArtifacts& artifacts,
+                                  const CalibrationPtr& snapshot) const;
 
   /// Stage 3 only, under a different variant/bound (ablation reuse).
+  /// Combines under the prediction's own calibration snapshot (falling
+  /// back to the current one for foreign predictions), so recomputation
+  /// is referentially transparent across concurrent epoch swaps.
   VarianceBreakdown Recompute(const Prediction& prediction,
                               PredictorVariant variant,
                               CovarianceBoundKind bound) const;
 
  private:
-  CostUnits units_;
+  /// Atomically swappable current snapshot; access only through
+  /// std::atomic_load/store (calibration()/SetCalibration).
+  CalibrationPtr calibration_;
   PredictorOptions options_;
   SampleRunStage sample_run_;
   CostFitStage cost_fit_;
   VarianceCombineStage variance_combine_;
+  mutable std::atomic<uint64_t> combine_count_{0};
 };
 
 }  // namespace uqp

@@ -24,7 +24,10 @@ class Predictor {
             PredictorOptions options = PredictorOptions())
       : pipeline_(db, samples, units, options) {}
 
-  const CostUnits& units() const { return pipeline_.units(); }
+  /// Copy of the current calibration snapshot's units (the snapshot is a
+  /// swappable runtime artifact now, so no long-lived reference exists).
+  CostUnits units() const { return pipeline_.units(); }
+  CalibrationPtr calibration() const { return pipeline_.calibration(); }
   const PredictorOptions& options() const { return pipeline_.options(); }
   const PredictionPipeline& pipeline() const { return pipeline_; }
 

@@ -37,6 +37,17 @@ MachineProfile MachineProfile::PC2() {
   return p;
 }
 
+MachineProfile MachineProfile::WithUnitMeansScaled(double factor) const {
+  UQP_CHECK(factor > 0.0);
+  MachineProfile p = *this;
+  p.cs.mean *= factor;
+  p.cr.mean *= factor;
+  p.ct.mean *= factor;
+  p.ci.mean *= factor;
+  p.co.mean *= factor;
+  return p;
+}
+
 const CostUnitTruth& MachineProfile::unit(int idx) const {
   switch (idx) {
     case 0:

@@ -67,6 +67,13 @@ struct MachineProfile {
   /// 8-core 2.40 GHz, 16 GB RAM, faster disk (paper PC2).
   static MachineProfile PC2();
 
+  /// Copy of this profile with every cost-unit mean scaled by `factor`
+  /// (CVs and structured effects unchanged) — hardware drift as "the same
+  /// machine, uniformly slower/faster" (throttling, contention, a disk
+  /// replacement). The drift-aware recalibration tests and the
+  /// drift_storm bench inject mid-run drift with this.
+  MachineProfile WithUnitMeansScaled(double factor) const;
+
   const CostUnitTruth& unit(int idx) const;  ///< 0..4 = cs,cr,ct,ci,co
 };
 
@@ -81,6 +88,14 @@ class SimulatedMachine {
   /// Overrides the buffer hit rate (the harness lowers it when the
   /// database outgrows the machine's memory).
   void set_buffer_hit_rate(double rate) { profile_.buffer_hit_rate = rate; }
+
+  /// Injects hardware drift in place: every latent cost-unit mean scales
+  /// by `factor` from now on (see MachineProfile::WithUnitMeansScaled).
+  /// Executions already returned are unaffected; the RNG stream is not
+  /// perturbed, so a fixed execution schedule stays reproducible.
+  void ApplyDrift(double factor) {
+    profile_ = profile_.WithUnitMeansScaled(factor);
+  }
 
   /// One execution of a query given its per-operator resource counters.
   /// Cost units are drawn once per run (system state) with small

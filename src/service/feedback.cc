@@ -1,0 +1,167 @@
+#include "service/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace uqp {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FeedbackRegistry::FeedbackRegistry(FeedbackOptions options, size_t shard_count)
+    : options_(std::move(options)) {
+  shard_count_ = RoundUpPow2(std::max<size_t>(1, shard_count));
+  mask_ = shard_count_ - 1;
+  shards_.reset(new Shard[shard_count_]);
+}
+
+void FeedbackRegistry::Push(Family* family, double error) const {
+  if (family->window.size() != options_.window_size) {
+    family->window.assign(options_.window_size, 0.0);
+    family->next = 0;
+    family->filled = 0;
+  }
+  family->window[family->next] = error;
+  family->next = (family->next + 1) % options_.window_size;
+  family->filled = std::min(family->filled + 1, options_.window_size);
+  ++family->window_updates;
+}
+
+double FeedbackRegistry::WindowMeanAbs(const Family& family) const {
+  if (family.filled == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < family.filled; ++i) {
+    sum += std::abs(family.window[i]);
+  }
+  return sum / static_cast<double>(family.filled);
+}
+
+FeedbackRegistry::Action FeedbackRegistry::Observe(
+    uint64_t fingerprint, const std::function<bool(double*)>& error_fn) {
+  if (!enabled()) return Action::kDisabled;
+  total_reports_.fetch_add(1, std::memory_order_relaxed);
+
+  Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Family& family = shard.families[fingerprint];
+  ++family.reports;
+
+  if (family.converged) {
+    // Converged families skip the combine and the window update entirely;
+    // only every probe_interval-th report pays for one error computation.
+    if (options_.probe_interval == 0 ||
+        family.reports % options_.probe_interval != 0) {
+      return Action::kSkippedConverged;
+    }
+    double error = 0.0;
+    if (!error_fn(&error)) return Action::kDropped;
+    if (std::abs(error) < options_.drift_threshold) return Action::kProbed;
+    // The probe blew past the drift threshold: the world moved while we
+    // weren't watching. Resume tracking with a fresh window.
+    family.converged = false;
+    family.window.clear();
+    Push(&family, error);
+    return Action::kResumed;
+  }
+
+  double error = 0.0;
+  if (!error_fn(&error)) return Action::kDropped;
+  Push(&family, error);
+  if (family.filled < options_.window_size) return Action::kTracked;
+
+  const double mean_abs = WindowMeanAbs(family);
+  if (mean_abs <= options_.converge_threshold) {
+    family.converged = true;
+    return Action::kConverged;
+  }
+  if (mean_abs >= options_.drift_threshold) return Action::kDrift;
+  return Action::kTracked;
+}
+
+bool FeedbackRegistry::ClaimDrift() {
+  std::lock_guard<std::mutex> lock(drift_mu_);
+  const uint64_t total = total_reports_.load(std::memory_order_relaxed);
+  if (any_claim_ &&
+      total - reports_at_last_claim_ < options_.cooldown_reports) {
+    return false;
+  }
+  any_claim_ = true;
+  reports_at_last_claim_ = total;
+  return true;
+}
+
+void FeedbackRegistry::OnPublish() {
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& kv : shard.families) {
+      Family& family = kv.second;
+      if (family.converged) continue;
+      // Tracked windows mixed old-epoch errors; restart them against the
+      // new snapshot's predictions.
+      family.window.clear();
+      family.next = 0;
+      family.filled = 0;
+    }
+  }
+}
+
+size_t FeedbackRegistry::family_count() const {
+  size_t count = 0;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    count += shards_[s].families.size();
+  }
+  return count;
+}
+
+size_t FeedbackRegistry::converged_count() const {
+  size_t count = 0;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const auto& kv : shards_[s].families) {
+      if (kv.second.converged) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<FamilyFeedback> FeedbackRegistry::Snapshot() const {
+  std::vector<FamilyFeedback> out;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const auto& kv : shards_[s].families) {
+      const Family& family = kv.second;
+      FamilyFeedback ff;
+      ff.fingerprint = kv.first;
+      ff.reports = family.reports;
+      ff.window_updates = family.window_updates;
+      ff.converged = family.converged;
+      ff.window.reserve(family.filled);
+      // Unroll the ring oldest-first.
+      const size_t start =
+          family.filled < options_.window_size ? 0 : family.next;
+      for (size_t i = 0; i < family.filled; ++i) {
+        ff.window.push_back(
+            family.window[(start + i) % options_.window_size]);
+      }
+      ff.windowed_mean_abs_error = WindowMeanAbs(family);
+      out.push_back(std::move(ff));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FamilyFeedback& a, const FamilyFeedback& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  return out;
+}
+
+}  // namespace uqp

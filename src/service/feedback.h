@@ -1,0 +1,155 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/units.h"
+
+namespace uqp {
+
+/// Configuration of the online feedback loop (AQO-style
+/// learn-until-converged: maintain per-plan-family relative-error windows,
+/// stop tracking families whose predictions converged, recalibrate the
+/// cost units when a family's windowed error diverges).
+struct FeedbackOptions {
+  /// Master switch. When false, ReportObserved is a no-op and the service
+  /// keeps zero per-family state.
+  bool enabled = false;
+  /// Relative-error window per plan family (ring buffer). The convergence
+  /// and drift tests both require a full window, so decisions are made on
+  /// `window_size` observations, never one noisy report.
+  size_t window_size = 8;
+  /// A full window whose mean |relative error| is <= this converges the
+  /// family: it stops paying the tracking overhead (no predicted-mean
+  /// combination, no window update) except for the periodic probe below.
+  double converge_threshold = 0.15;
+  /// A full window whose mean |relative error| is >= this declares drift:
+  /// the service re-derives the cost units (FeedbackOptions::recalibrate)
+  /// and publishes a new calibration snapshot. Must exceed
+  /// converge_threshold.
+  double drift_threshold = 0.5;
+  /// A converged family re-checks one observation every Nth report (0 =
+  /// never). A probe whose |relative error| exceeds drift_threshold
+  /// un-converges the family: the window restarts and the family is
+  /// tracked again — this is how a converged family still notices a
+  /// hardware change without paying per-report overhead.
+  uint64_t probe_interval = 16;
+  /// Minimum feedback reports between two drift-triggered
+  /// recalibrations (counted across all families), so one machine-wide
+  /// drift produces one recalibration, not one per drifting family.
+  uint64_t cooldown_reports = 16;
+  /// Re-derives the cost units when drift is detected — typically wired
+  /// to Calibrator::Calibrate against the deployment's harness/machine.
+  /// Null = detect-only (drift never publishes).
+  std::function<CostUnits()> recalibrate;
+};
+
+/// Introspection snapshot of one plan family's feedback state (tests, the
+/// drift_storm bench, monitoring).
+struct FamilyFeedback {
+  uint64_t fingerprint = 0;
+  uint64_t reports = 0;         ///< observations reported for this family
+  uint64_t window_updates = 0;  ///< times the error window actually changed
+  bool converged = false;
+  /// Window contents, oldest first (shorter than window_size while
+  /// filling; frozen while converged).
+  std::vector<double> window;
+  /// Mean |relative error| over the current window (0 when empty).
+  double windowed_mean_abs_error = 0.0;
+};
+
+/// Sharded, thread-safe per-plan-family error tracking with deterministic
+/// convergence/drift decisions. Pure bookkeeping: the registry never
+/// computes predictions or publishes snapshots itself — the service wires
+/// those through Observe's lazy error callback and the Action it returns.
+///
+/// Determinism contract: for a fixed sequence of (fingerprint, error)
+/// observations, the full state trajectory — window contents, convergence
+/// flips, drift decisions — is bit-identical regardless of how many
+/// threads the *predictions* used (extended parallel_parity_test).
+class FeedbackRegistry {
+ public:
+  enum class Action {
+    kDisabled,         ///< feedback off; nothing recorded
+    kDropped,          ///< error not computable (plan not cached); no update
+    kTracked,          ///< error recorded, no decision yet
+    kConverged,        ///< this report completed a converging window
+    kSkippedConverged, ///< family converged: no combine, no window update
+    kProbed,           ///< converged-family probe passed; still converged
+    kResumed,          ///< probe failed: family un-converged, tracking again
+    kDrift,            ///< windowed error diverged; caller should recalibrate
+  };
+
+  FeedbackRegistry(FeedbackOptions options, size_t shard_count);
+
+  /// Records one observation for the family. `error_fn` computes the
+  /// signed relative error lazily — it is invoked only when the family is
+  /// actually tracked (or probed), which is exactly the overhead a
+  /// converged family stops paying. Returns what happened.
+  Action Observe(uint64_t fingerprint,
+                 const std::function<bool(double*)>& error_fn);
+
+  /// Serializes drift handling: returns true for exactly one caller per
+  /// cooldown window (checked against total reports). The winner should
+  /// recalibrate and publish; losers skip.
+  bool ClaimDrift();
+
+  /// Called after a calibration snapshot is published: tracked families'
+  /// windows reset (their errors were measured against the old epoch's
+  /// predictions), converged families stay converged — their predictions
+  /// follow the new units automatically through lazy re-combination.
+  void OnPublish();
+
+  const FeedbackOptions& options() const { return options_; }
+  bool enabled() const {
+    return options_.enabled && options_.window_size > 0;
+  }
+
+  uint64_t total_reports() const {
+    return total_reports_.load(std::memory_order_relaxed);
+  }
+  size_t family_count() const;
+  size_t converged_count() const;
+
+  /// Full per-family state, sorted by fingerprint (deterministic order).
+  std::vector<FamilyFeedback> Snapshot() const;
+
+ private:
+  struct Family {
+    std::vector<double> window;  ///< ring buffer of signed relative errors
+    size_t next = 0;
+    size_t filled = 0;
+    uint64_t reports = 0;
+    uint64_t window_updates = 0;
+    bool converged = false;
+  };
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Family> families;
+  };
+
+  Shard& ShardFor(uint64_t fingerprint) const {
+    return shards_[static_cast<size_t>(fingerprint) & mask_];
+  }
+  void Push(Family* family, double error) const;
+  double WindowMeanAbs(const Family& family) const;
+
+  FeedbackOptions options_;
+  std::unique_ptr<Shard[]> shards_;
+  size_t shard_count_ = 0;
+  size_t mask_ = 0;
+
+  std::atomic<uint64_t> total_reports_{0};
+  /// Guards the drift cooldown bookkeeping (claims + publish watermark).
+  mutable std::mutex drift_mu_;
+  bool any_claim_ = false;
+  uint64_t reports_at_last_claim_ = 0;
+};
+
+}  // namespace uqp

@@ -1,6 +1,7 @@
 #include "service/prediction_service.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "engine/expr.h"
@@ -74,14 +75,19 @@ PredictionService::PredictionService(const Database* db, const SampleDb* samples
           : (options_.cache_capacity + shard_count - 1) / shard_count;
   // Published-slot array: direct-mapped by the fingerprint bits above the
   // shard index, 2x the resident capacity so two live entries rarely fight
-  // over one slot (a displaced entry just costs its readers the locked
-  // path — never correctness).
+  // over one slot group (a displaced entry just costs its readers the
+  // locked path — never correctness), and kSlotWays ways per index so the
+  // entries that DO share a group coexist instead of thrashing.
   const size_t slot_count = RoundUpPow2(
       std::min<size_t>(4096, std::max<size_t>(16, 2 * shard_capacity_)));
   slot_mask_ = slot_count - 1;
-  for (Shard& shard : shards_) shard.slots.resize(slot_count);
+  for (Shard& shard : shards_) shard.slots.resize(slot_count * kSlotWays);
   stripes_storage_.reset(new StatsStripe[shard_count]);
   stripes_ = stripes_storage_.get();
+
+  if (options_.feedback.enabled && options_.feedback.window_size > 0) {
+    feedback_.reset(new FeedbackRegistry(options_.feedback, shard_count));
+  }
 
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -220,30 +226,88 @@ void PredictionService::RecordRequest(uint64_t fingerprint, bool hit,
 
 bool PredictionService::TryLockFreeHit(uint64_t fingerprint,
                                        const PlanIdentity& identity,
-                                       Artifacts* out) {
+                                       EntryPtr* out) {
   if (!options_.lock_free_hits || options_.cache_capacity == 0) return false;
   Shard& shard = ShardFor(fingerprint);
-  const EntryPtr entry = std::atomic_load_explicit(
-      &shard.slots[SlotIndex(fingerprint)], std::memory_order_acquire);
-  if (entry == nullptr || entry->fingerprint != fingerprint) return false;
-  // An entry inserted before the last InvalidateCache must not be served:
-  // validate its insert generation against the global counter, so a stale
-  // published slot fails here even before the flush sweep reaches it.
-  if (entry->generation != generation_.load(std::memory_order_acquire)) {
-    return false;
+  const size_t base = SlotBase(fingerprint);
+  for (size_t way = 0; way < kSlotWays; ++way) {
+    EntryPtr entry = std::atomic_load_explicit(&shard.slots[base + way],
+                                               std::memory_order_acquire);
+    if (entry == nullptr || entry->fingerprint != fingerprint) continue;
+    // An entry inserted before the last InvalidateCache must not be
+    // served: validate its insert generation against the global counter,
+    // so a stale published slot fails here even before the flush sweep
+    // reaches it.
+    if (entry->generation != generation_.load(std::memory_order_acquire)) {
+      continue;
+    }
+    // Confirm the canonical structure (64-bit collisions degrade to the
+    // locked path, which treats them as misses). The interned identity
+    // makes the common case a pointer compare.
+    if (entry->identity.get() != &identity &&
+        entry->identity->key != identity.key) {
+      continue;
+    }
+    entry->last_used.store(
+        shard.ticket.fetch_add(1, std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    *out = std::move(entry);
+    RecordRequest(fingerprint, /*hit=*/true, /*inflight_join=*/false,
+                  /*lock_free=*/true);
+    return true;
   }
-  // Confirm the canonical structure (64-bit collisions degrade to the
-  // locked path, which treats them as misses). The interned identity makes
-  // the common case a pointer compare.
-  if (entry->identity.get() != &identity && entry->identity->key != identity.key) {
-    return false;
+  return false;
+}
+
+void PredictionService::PublishSlotLocked(Shard& shard, const EntryPtr& entry) {
+  const size_t base = SlotBase(entry->fingerprint);
+  // Way choice: reuse the way already holding this fingerprint, else an
+  // empty way, else displace the colder (older recency tick) way. Two hot
+  // plans sharing one slot index thus each keep a way and both stay on
+  // the lock-free path — a single-way design would let them displace each
+  // other on every publish.
+  size_t victim = base;
+  uint64_t oldest = std::numeric_limits<uint64_t>::max();
+  bool chosen = false;
+  bool victim_empty = false;
+  for (size_t way = 0; way < kSlotWays; ++way) {
+    const EntryPtr cur = std::atomic_load_explicit(&shard.slots[base + way],
+                                                   std::memory_order_relaxed);
+    if (cur != nullptr && cur->fingerprint == entry->fingerprint) {
+      victim = base + way;
+      break;
+    }
+    if (cur == nullptr) {
+      if (!victim_empty) {  // an empty way beats any occupied one
+        victim = base + way;
+        victim_empty = true;
+        chosen = true;
+      }
+      continue;
+    }
+    const uint64_t tick = cur->last_used.load(std::memory_order_relaxed);
+    if (!chosen || (!victim_empty && tick < oldest)) {
+      victim = base + way;
+      oldest = tick;
+      chosen = true;
+    }
   }
-  entry->last_used.store(shard.ticket.fetch_add(1, std::memory_order_relaxed),
-                         std::memory_order_relaxed);
-  *out = entry->artifacts;
-  RecordRequest(fingerprint, /*hit=*/true, /*inflight_join=*/false,
-                /*lock_free=*/true);
-  return true;
+  std::atomic_store_explicit(&shard.slots[victim], EntryPtr(entry),
+                             std::memory_order_release);
+}
+
+void PredictionService::UnpublishSlotLocked(Shard& shard,
+                                            const EntryPtr& entry) {
+  const size_t base = SlotBase(entry->fingerprint);
+  for (size_t way = 0; way < kSlotWays; ++way) {
+    auto& slot = shard.slots[base + way];
+    // Clear only the way still pointing at this entry; concurrent
+    // lock-free readers that already loaded the pointer keep the entry
+    // alive through their shared_ptr.
+    if (std::atomic_load_explicit(&slot, std::memory_order_relaxed) == entry) {
+      std::atomic_store_explicit(&slot, EntryPtr(), std::memory_order_release);
+    }
+  }
 }
 
 void PredictionService::CachePutLocked(Shard& shard, uint64_t fingerprint,
@@ -257,13 +321,12 @@ void PredictionService::CachePutLocked(Shard& shard, uint64_t fingerprint,
       // A concurrent miss on the same plan got here first; both artifacts
       // are identical (deterministic stages), keep the incumbent.
       it->second->last_used.store(tick, std::memory_order_relaxed);
-      std::atomic_store_explicit(&shard.slots[SlotIndex(fingerprint)],
-                                 EntryPtr(it->second),
-                                 std::memory_order_release);
+      PublishSlotLocked(shard, it->second);
       return;
     }
-    // Fingerprint collision with a structurally different plan: the slot
+    // Fingerprint collision with a structurally different plan: the entry
     // goes to the newcomer (the most recent user), like any LRU update.
+    UnpublishSlotLocked(shard, it->second);
     shard.entries.erase(it);
   }
   auto entry = std::make_shared<CacheEntry>();
@@ -274,8 +337,7 @@ void PredictionService::CachePutLocked(Shard& shard, uint64_t fingerprint,
   entry->last_used.store(tick, std::memory_order_relaxed);
   EntryPtr resident = std::move(entry);
   shard.entries[fingerprint] = resident;
-  std::atomic_store_explicit(&shard.slots[SlotIndex(fingerprint)],
-                             EntryPtr(resident), std::memory_order_release);
+  PublishSlotLocked(shard, resident);
   // Approximate LRU: evict the smallest recency tick. The O(shard
   // capacity) scan runs only on insert-past-capacity, under the shard
   // lock only — eviction order is explicitly not part of the determinism
@@ -291,14 +353,7 @@ void PredictionService::CachePutLocked(Shard& shard, uint64_t fingerprint,
         victim = cand;
       }
     }
-    // Unpublish the victim's slot iff it still points at the victim;
-    // concurrent lock-free readers that already loaded the pointer keep
-    // the entry alive through their shared_ptr.
-    auto& slot = shard.slots[SlotIndex(victim->second->fingerprint)];
-    if (std::atomic_load_explicit(&slot, std::memory_order_relaxed) ==
-        victim->second) {
-      std::atomic_store_explicit(&slot, EntryPtr(), std::memory_order_release);
-    }
+    UnpublishSlotLocked(shard, victim->second);
     shard.entries.erase(victim);
   }
 }
@@ -352,13 +407,62 @@ StatusOr<PredictionService::Artifacts> PredictionService::RunStages(
   return artifacts;
 }
 
+Prediction PredictionService::CombineCached(const EntryPtr& entry) {
+  const CalibrationPtr snapshot = pipeline_.calibration();
+  MemoPtr memo =
+      std::atomic_load_explicit(&entry->combined, std::memory_order_acquire);
+  if (memo != nullptr && memo->epoch == snapshot->epoch) {
+    // Epochs are unique (PublishCalibration serializes them), so an epoch
+    // match proves this breakdown was combined under exactly `snapshot` —
+    // serve it with zero combination work.
+    Prediction out;
+    out.breakdown = memo->breakdown;
+    out.sample_run = entry->artifacts.run;
+    out.cost_fit = entry->artifacts.fit;
+    out.calibration = snapshot;
+    return out;
+  }
+  Prediction out = pipeline_.PredictFromArtifacts(entry->artifacts, snapshot);
+  if (memo != nullptr) {
+    // A stale memo means a calibration swap landed since this entry last
+    // served: this lazy per-entry re-combination is the entire
+    // invalidation cost of a swap — the stage-1/2 artifacts above were
+    // reused untouched.
+    StripeFor(entry->fingerprint)
+        .recombines.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto fresh = std::make_shared<CombineMemo>();
+  fresh->epoch = snapshot->epoch;
+  fresh->breakdown = out.breakdown;
+  // Benign race: a concurrent combiner under a newer epoch may be
+  // overwritten by this older store; the next hit just re-combines. The
+  // memo is a cache of deterministic work — staleness costs time, never
+  // correctness (served predictions always use their own `snapshot`).
+  std::atomic_store_explicit(&entry->combined, MemoPtr(std::move(fresh)),
+                             std::memory_order_release);
+  return out;
+}
+
+PredictionService::EntryPtr PredictionService::FindEntry(
+    uint64_t fingerprint) const {
+  if (options_.cache_capacity == 0) return nullptr;
+  Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(fingerprint);
+  if (it == shard.entries.end()) return nullptr;
+  if (it->second->generation != generation_.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  return it->second;
+}
+
 void PredictionService::FulfillAsync(AsyncRequest& req,
                                      const StatusOr<Artifacts>& artifacts) {
   // Release the registry reference (and this request's hold on the clone)
   // before the promise fires: a caller that saw the future complete also
-  // sees the registry drained of this request. Requests that never
-  // interned (submit-time fast paths) hold no reference to release — and
-  // must not decrement one taken by a different request for the same key.
+  // sees the registry drained. Requests that never interned (submit-time
+  // fast paths) hold no reference to release — and must not decrement one
+  // taken by a different request for the same key.
   if (req.plan != nullptr) {
     ReleasePlan(req.identity->key);
     req.plan.reset();
@@ -368,6 +472,15 @@ void PredictionService::FulfillAsync(AsyncRequest& req,
   } else {
     req.promise.set_value(artifacts.status());
   }
+}
+
+void PredictionService::FulfillAsyncFromEntry(AsyncRequest& req,
+                                              const EntryPtr& entry) {
+  if (req.plan != nullptr) {
+    ReleasePlan(req.identity->key);
+    req.plan.reset();
+  }
+  req.promise.set_value(CombineCached(entry));
 }
 
 void PredictionService::CompleteRun(const std::shared_ptr<Inflight>& owned,
@@ -425,12 +538,10 @@ PredictionService::Lookup PredictionService::LookupArtifacts(
       const EntryPtr& entry = it->second;
       entry->last_used.store(shard.ticket.fetch_add(1, std::memory_order_relaxed),
                              std::memory_order_relaxed);
-      // Republish: the entry may have been displaced from its slot by a
-      // slot-index neighbour; the most recent user wins it back.
-      std::atomic_store_explicit(&shard.slots[SlotIndex(fingerprint)],
-                                 EntryPtr(entry), std::memory_order_release);
-      lk.artifacts = entry->artifacts;
-      lk.cached = true;
+      // Republish: the entry may have been displaced from its slot ways by
+      // slot-index neighbours; the most recent user wins a way back.
+      PublishSlotLocked(shard, entry);
+      lk.entry = entry;
       RecordRequest(fingerprint, /*hit=*/true);
       return lk;
     }
@@ -456,22 +567,28 @@ PredictionService::Lookup PredictionService::LookupArtifacts(
   return lk;
 }
 
-StatusOr<PredictionService::Artifacts> PredictionService::GetArtifacts(
-    const Plan& plan, uint64_t fingerprint, const IdentityPtr& identity) {
-  Artifacts fast;
-  if (TryLockFreeHit(fingerprint, *identity, &fast)) return fast;
+StatusOr<Prediction> PredictionService::PredictImpl(const Plan& plan) {
+  const IdentityPtr identity = plan.Identity();
+  const uint64_t fingerprint = Fingerprint(plan, *identity);
+
+  EntryPtr hit;
+  if (TryLockFreeHit(fingerprint, *identity, &hit)) {
+    return CombineCached(hit);
+  }
 
   Lookup lk = LookupArtifacts(fingerprint, identity, /*park=*/nullptr,
                               /*register_owned=*/true);
-  if (lk.cached) return std::move(lk.artifacts);
+  if (lk.entry != nullptr) return CombineCached(lk.entry);
 
   if (lk.join != nullptr) {
     // Another request is already sampling this plan. Sync paths must hand
     // a value back to their caller, so waiting here is inherent — and it
-    // blocks only the caller's own thread (Predict) or one batch shard.
-    // Async requests never reach this: they park a continuation instead.
+    // blocks only the caller's own thread. (Batch shards park the future
+    // instead; async requests park a continuation.)
     RecordRequest(fingerprint, /*hit=*/true, /*inflight_join=*/true);
-    return lk.join->future.get();
+    StatusOr<Artifacts> joined = lk.join->future.get();
+    if (!joined.ok()) return joined.status();
+    return pipeline_.PredictFromArtifacts(joined.value());
   }
 
   // This request runs the stages itself — the one classification point
@@ -480,37 +597,68 @@ StatusOr<PredictionService::Artifacts> PredictionService::GetArtifacts(
   StatusOr<Artifacts> result = RunStages(plan, fingerprint);
   if (options_.post_stages_hook) options_.post_stages_hook();
   CompleteRun(lk.owned, fingerprint, identity, lk.generation, result);
-  return result;
-}
-
-StatusOr<Prediction> PredictionService::PredictImpl(const Plan& plan) {
-  const IdentityPtr identity = plan.Identity();
-  const uint64_t fingerprint = Fingerprint(plan, *identity);
-  UQP_ASSIGN_OR_RETURN(Artifacts artifacts,
-                       GetArtifacts(plan, fingerprint, identity));
-  return pipeline_.PredictFromArtifacts(std::move(artifacts.run),
-                                        std::move(artifacts.fit));
+  if (!result.ok()) return result.status();
+  return pipeline_.PredictFromArtifacts(result.value());
 }
 
 StatusOr<Prediction> PredictionService::Predict(const Plan& plan) {
   return PredictImpl(plan);
 }
 
+PredictionService::GroupFetch PredictionService::FetchForBatch(
+    const Plan& plan, uint64_t fingerprint, const IdentityPtr& identity) {
+  GroupFetch out;
+  EntryPtr hit;
+  if (TryLockFreeHit(fingerprint, *identity, &hit)) {
+    out.entry = std::move(hit);
+    return out;
+  }
+
+  Lookup lk = LookupArtifacts(fingerprint, identity, /*park=*/nullptr,
+                              /*register_owned=*/true);
+  if (lk.entry != nullptr) {
+    out.entry = lk.entry;
+    return out;
+  }
+
+  if (lk.join != nullptr) {
+    // Another request's run is in flight. Don't block this pool worker in
+    // future::get(): hand the shared future back as a continuation — the
+    // batch's calling thread resolves it after the fan-out, so the worker
+    // moves on to the next group immediately.
+    RecordRequest(fingerprint, /*hit=*/true, /*inflight_join=*/true);
+    out.pending = lk.join->future;
+    return out;
+  }
+
+  RecordRequest(fingerprint, /*hit=*/false);
+  StatusOr<Artifacts> result = RunStages(plan, fingerprint);
+  if (options_.post_stages_hook) options_.post_stages_hook();
+  CompleteRun(lk.owned, fingerprint, identity, lk.generation, result);
+  if (result.ok()) {
+    out.artifacts = std::move(result).value();
+  } else {
+    out.failed = true;
+    out.status = result.status();
+  }
+  return out;
+}
+
 void PredictionService::RunAsyncRequest(
     const std::shared_ptr<AsyncRequest>& req) {
   // By the time a queued request reaches a worker the cache may have
   // warmed up; the lock-free probe costs nothing if not.
-  Artifacts fast;
-  if (TryLockFreeHit(req->fingerprint, *req->identity, &fast)) {
-    FulfillAsync(*req, StatusOr<Artifacts>(std::move(fast)));
+  EntryPtr hit;
+  if (TryLockFreeHit(req->fingerprint, *req->identity, &hit)) {
+    FulfillAsyncFromEntry(*req, hit);
     return;
   }
 
   Lookup lk = LookupArtifacts(req->fingerprint, req->identity, /*park=*/req,
                               /*register_owned=*/true);
   if (lk.parked) return;  // the winner will finish us; worker freed
-  if (lk.cached) {
-    FulfillAsync(*req, StatusOr<Artifacts>(std::move(lk.artifacts)));
+  if (lk.entry != nullptr) {
+    FulfillAsyncFromEntry(*req, lk.entry);
     return;
   }
 
@@ -530,22 +678,22 @@ std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
 
   // Submit-time fast paths on the caller's thread, before paying for a
   // registry clone or a pool round-trip. A hot-cache hit resolves here
-  // through the lock-free probe — two atomic loads and a key confirm, no
-  // service mutex at all; a warm hit displaced from its published slot
-  // resolves through the shard (not global) lock; and a plan already
+  // through the lock-free probe — a few atomic loads and a key confirm,
+  // no service mutex at all; a warm hit displaced from its published
+  // slot resolves through the shard (not global) lock; and a plan already
   // being sampled parks a plan-free continuation (stage 3 needs only the
   // artifacts). None of these touch the caller's plan after this call
   // returns.
-  Artifacts fast;
-  if (TryLockFreeHit(req->fingerprint, *req->identity, &fast)) {
-    FulfillAsync(*req, StatusOr<Artifacts>(std::move(fast)));
+  EntryPtr hit;
+  if (TryLockFreeHit(req->fingerprint, *req->identity, &hit)) {
+    FulfillAsyncFromEntry(*req, hit);
     return future;
   }
   Lookup lk = LookupArtifacts(req->fingerprint, req->identity, /*park=*/req,
                               /*register_owned=*/false);
   if (lk.parked) return future;
-  if (lk.cached) {
-    FulfillAsync(*req, StatusOr<Artifacts>(std::move(lk.artifacts)));
+  if (lk.entry != nullptr) {
+    FulfillAsyncFromEntry(*req, lk.entry);
     return future;
   }
 
@@ -621,31 +769,50 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
   }
 
   // Stages 1-2 (through the cache) once per distinct plan, sharded. The
-  // representative is classified (hit/miss) inside GetArtifacts.
-  std::vector<Artifacts> artifacts(representative.size());
-  std::vector<Status> group_status(representative.size());
+  // representative is classified (hit/miss) inside FetchForBatch. Shards
+  // that find another request's run in flight park its shared future
+  // instead of blocking the worker.
+  std::vector<GroupFetch> fetched(representative.size());
   const std::function<void(size_t)> stages12 = [&](size_t g) {
     const size_t rep = representative[g];
-    auto artifacts_or =
-        GetArtifacts(*plans[rep], fingerprints[rep], identities[rep]);
-    if (artifacts_or.ok()) {
-      artifacts[g] = std::move(artifacts_or).value();
-    } else {
-      group_status[g] = artifacts_or.status();
-    }
+    fetched[g] = FetchForBatch(*plans[rep], fingerprints[rep], identities[rep]);
   };
   ParallelFor(representative.size(), stages12);
 
+  // Resolve parked in-flight joins on the CALLING thread: the batch must
+  // still block until each winner finishes (its results are part of this
+  // batch's return value), but no pool worker spends that wait in
+  // future::get() — they went back to real work the moment they parked.
+  for (GroupFetch& f : fetched) {
+    if (!f.pending.valid()) continue;
+    StatusOr<Artifacts> joined = f.pending.get();
+    if (joined.ok()) {
+      f.artifacts = std::move(joined).value();
+    } else {
+      f.failed = true;
+      f.status = joined.status();
+    }
+    f.pending = std::shared_future<StatusOr<Artifacts>>();
+  }
+
   // Stage 3 per plan, sharded. In-batch duplicates are served from their
   // group's shared artifacts without any stage-1/2 work: cache hits.
+  // Groups served from a resident entry go through the epoch memo
+  // (CombineCached), so a hot batch under an unchanged epoch runs zero
+  // combination work.
   const std::function<void(size_t)> stage3 = [&](size_t i) {
     const size_t g = group_ids[i];
     if (representative[g] != i) RecordRequest(fingerprints[i], /*hit=*/true);
-    if (!group_status[g].ok()) {
-      results[i] = group_status[g];
+    GroupFetch& f = fetched[g];
+    if (f.failed) {
+      results[i] = f.status;
       return;
     }
-    results[i] = pipeline_.PredictFromArtifacts(artifacts[g]);
+    if (f.entry != nullptr) {
+      results[i] = CombineCached(f.entry);
+      return;
+    }
+    results[i] = pipeline_.PredictFromArtifacts(f.artifacts);
   };
   ParallelFor(count, stage3);
   return results;
@@ -670,6 +837,77 @@ VarianceBreakdown PredictionService::Recompute(const Prediction& prediction,
   return pipeline_.Recompute(prediction, variant, bound);
 }
 
+uint64_t PredictionService::PublishCalibration(CostUnits units,
+                                               std::string source) {
+  std::lock_guard<std::mutex> lock(calibration_mu_);
+  const uint64_t epoch = pipeline_.calibration()->epoch + 1;
+  const uint64_t reports =
+      feedback_ != nullptr ? feedback_->total_reports() : 0;
+  pipeline_.SetCalibration(MakeCalibrationSnapshot(std::move(units), epoch,
+                                                   std::move(source), reports));
+  // Deliberately NOT InvalidateCache: stage-1/2 artifacts are
+  // unit-independent, so every cached entry survives the swap and only
+  // its stage-3 memo went stale — the next hit re-combines lazily
+  // (stats().recombines) instead of re-running the expensive stages.
+  if (feedback_ != nullptr) feedback_->OnPublish();
+  return epoch;
+}
+
+void PredictionService::ReportObserved(const Plan& plan, double observed_ms) {
+  const IdentityPtr identity = plan.Identity();
+  ReportObserved(Fingerprint(plan, *identity), observed_ms);
+}
+
+void PredictionService::ReportObserved(uint64_t fingerprint,
+                                       double observed_ms) {
+  if (feedback_ == nullptr) return;
+  StatsStripe& stripe = StripeFor(fingerprint);
+  stripe.feedback_reports.fetch_add(1, std::memory_order_relaxed);
+  if (!(observed_ms > 0.0)) {
+    stripe.feedback_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // The error is computed lazily — converged families skip it entirely —
+  // against the family's cached prediction under the CURRENT snapshot
+  // (through the epoch memo, so a hot family pays zero combination work).
+  const auto error_fn = [this, fingerprint, observed_ms](double* out) {
+    const EntryPtr entry = FindEntry(fingerprint);
+    if (entry == nullptr) return false;  // not cached: nothing to compare to
+    const Prediction prediction = CombineCached(entry);
+    *out = (observed_ms - prediction.mean()) / observed_ms;
+    return true;
+  };
+  const FeedbackRegistry::Action action =
+      feedback_->Observe(fingerprint, error_fn);
+  switch (action) {
+    case FeedbackRegistry::Action::kDropped:
+      stripe.feedback_dropped.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FeedbackRegistry::Action::kDrift:
+      HandleDrift(fingerprint);
+      break;
+    default:
+      break;
+  }
+}
+
+void PredictionService::HandleDrift(uint64_t fingerprint) {
+  if (!options_.feedback.recalibrate) return;  // detect-only mode
+  // At most one recalibration per cooldown window across all families:
+  // one machine-wide drift makes many families scream at once.
+  if (!feedback_->ClaimDrift()) return;
+  // Re-derive the units outside every service lock — calibration runs
+  // real (harness) queries and must not stall the prediction hot path.
+  CostUnits units = options_.feedback.recalibrate();
+  PublishCalibration(std::move(units), "drift");
+  StripeFor(fingerprint).recalibrations.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<FamilyFeedback> PredictionService::FeedbackSnapshot() const {
+  if (feedback_ == nullptr) return {};
+  return feedback_->Snapshot();
+}
+
 ServiceStats PredictionService::stats() const {
   // Sum the per-shard stripes. Each stripe's relaxed counters are monotone
   // and each request touched exactly one classification counter in exactly
@@ -691,8 +929,16 @@ ServiceStats PredictionService::stats() const {
     out.plan_clones += s.plan_clones.load(std::memory_order_relaxed);
     out.async_rejects += s.async_rejects.load(std::memory_order_relaxed);
     out.drained_inline += s.drained_inline.load(std::memory_order_relaxed);
+    out.recombines += s.recombines.load(std::memory_order_relaxed);
+    out.recalibrations += s.recalibrations.load(std::memory_order_relaxed);
+    out.feedback_reports += s.feedback_reports.load(std::memory_order_relaxed);
+    out.feedback_dropped += s.feedback_dropped.load(std::memory_order_relaxed);
   }
   out.predictions = out.cache_hits + out.cache_misses;
+  if (feedback_ != nullptr) {
+    out.converged_families = feedback_->converged_count();
+    out.feedback_families = feedback_->family_count();
+  }
   return out;
 }
 

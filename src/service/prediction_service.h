@@ -16,7 +16,9 @@
 
 #include "common/status.h"
 #include "core/pipeline.h"
+#include "cost/snapshot.h"
 #include "engine/plan.h"
+#include "service/feedback.h"
 
 namespace uqp {
 
@@ -47,9 +49,12 @@ struct ServiceOptions {
   /// contention baseline.
   int cache_shards = 0;
   /// When true (default), cache entries are additionally published into a
-  /// per-shard slot array read with std::atomic_load(acquire): a hot-cache
-  /// hit costs two atomic loads, a key memcmp and a relaxed recency-tick
-  /// store — no shard mutex, no global mutex. When false, every hit goes
+  /// per-shard, 2-way tagged slot array read with
+  /// std::atomic_load(acquire): a hot-cache hit costs a couple of atomic
+  /// loads, a key memcmp and a relaxed recency-tick store — no shard
+  /// mutex, no global mutex. Two hot plans whose fingerprints collide on
+  /// one slot index each keep a way, so both stay lock-free instead of
+  /// perpetually displacing each other. When false, every hit goes
   /// through the shard mutex (the pre-sharding behavior, kept as the
   /// bench baseline and a differential-testing seam).
   bool lock_free_hits = true;
@@ -68,6 +73,10 @@ struct ServiceOptions {
   /// InvalidateCache deterministically with an in-flight prediction, and
   /// gate an in-flight winner while async losers park continuations.
   std::function<void()> post_stages_hook;
+  /// Online feedback loop (ReportObserved): per-plan-family error
+  /// tracking, convergence detection, and drift-triggered recalibration.
+  /// Disabled by default — the service then keeps zero feedback state.
+  FeedbackOptions feedback;
   PredictorOptions predictor;
 };
 
@@ -96,6 +105,17 @@ struct ServiceStats {
   uint64_t async_rejects = 0;   ///< PredictAsync calls refused after Shutdown
   uint64_t drained_inline = 0;  ///< post-Shutdown PredictAsync calls served
                                 ///< inline by drain_on_shutdown
+  // --- calibration-epoch lifecycle + feedback loop ---
+  uint64_t recombines = 0;        ///< cached entries lazily re-combined after a
+                                  ///< calibration swap invalidated their
+                                  ///< stage-3 memo (stage-1/2 untouched)
+  uint64_t recalibrations = 0;    ///< drift-triggered snapshot publishes
+  uint64_t feedback_reports = 0;  ///< ReportObserved calls accepted
+  uint64_t feedback_dropped = 0;  ///< reports with no usable error (plan not
+                                  ///< cached, non-positive observation)
+  uint64_t converged_families = 0;  ///< gauge: plan families currently
+                                    ///< converged (no longer tracked)
+  uint64_t feedback_families = 0;   ///< gauge: plan families ever reported
 };
 
 /// Thread-safe, concurrent front end to the prediction pipeline — the
@@ -115,27 +135,43 @@ struct ServiceStats {
 /// ticks, so requests for different plans never serialize on a global
 /// lock. Within a shard, hot hits do not take the shard mutex either:
 /// resident entries are published as immutable shared_ptr bundles into a
-/// per-shard slot array read via std::atomic_load(acquire); recency is a
-/// relaxed per-entry tick (approximate LRU — eviction order is not part
-/// of the determinism contract). Each entry stores the plan's interned
-/// canonical structural key (PlanIdentity, serialized once per distinct
-/// plan object and shared by reference), confirmed on every hit, so a
-/// 64-bit fingerprint collision degrades to a miss instead of serving
-/// another plan's artifacts.
+/// per-shard, 2-way tagged slot array read via std::atomic_load(acquire);
+/// recency is a relaxed per-entry tick (approximate LRU — eviction order
+/// is not part of the determinism contract). Each entry stores the plan's
+/// interned canonical structural key (PlanIdentity, serialized once per
+/// distinct plan object and shared by reference), confirmed on every hit,
+/// so a 64-bit fingerprint collision degrades to a miss instead of
+/// serving another plan's artifacts.
+///
+/// Calibration is a versioned runtime artifact, not construction-time
+/// state: the service owns an epoch-stamped, atomically swappable
+/// CalibrationSnapshot (the construction units become epoch 1).
+/// PublishCalibration installs a new epoch WITHOUT touching the cache —
+/// stage-1/2 artifacts are unit-independent, so a swap invalidates only
+/// each entry's memoized stage-3 combination: entries re-combine lazily
+/// against the new epoch on their next hit (counted in
+/// stats().recombines) instead of paying a full InvalidateCache.
+/// ReportObserved feeds actual runtimes back in; per-plan-family error
+/// windows converge (and stop paying tracking overhead) or drift (and
+/// trigger a recalibration through FeedbackOptions::recalibrate).
 ///
 /// Concurrent misses on the same fingerprint are deduplicated through the
 /// shard's in-flight table: the first request runs stages 1-2. A
 /// concurrent async duplicate parks a continuation {owned plan, promise}
 /// on the winner's in-flight record and returns its worker to the pool;
 /// when the winner finishes, it drains the continuation list by running
-/// the cheap stage-3 combination per waiter. (Synchronous duplicates —
-/// Predict/PredictBatch, which must return a value to their caller —
-/// still block their own calling thread on the winner's shared future.)
-/// So a same-fingerprint storm of async misses occupies exactly one
+/// the cheap stage-3 combination per waiter. Synchronous Predict calls
+/// block their own calling thread on the winner's shared future; a
+/// PredictBatch shard that finds another request's run in flight parks
+/// the shared future and moves on — the batch's calling thread resolves
+/// all parked futures after the fan-out, so no pool worker ever blocks in
+/// future::get(). So a same-fingerprint storm occupies exactly one
 /// worker, never the pool. Served predictions alias the immutable cached
 /// artifacts via shared_ptr (zero-copy), so a hot-cache prediction costs
-/// one variance combination. Every stage is deterministic: cached,
-/// batched, async and sequential predictions are bit-identical.
+/// at most one variance combination — and exactly zero when the entry's
+/// memoized combination matches the current calibration epoch. Every
+/// stage is deterministic: cached, batched, async and sequential
+/// predictions are bit-identical.
 class PredictionService {
  public:
   PredictionService(const Database* db, const SampleDb* samples,
@@ -167,11 +203,11 @@ class PredictionService {
   /// single registry clone.
   ///
   /// Fast paths on the submitting thread (no clone, no queue trip): a
-  /// cache hit returns an already-ready future after one cheap stage-3
-  /// combination — on a hot cache without touching any service mutex —
-  /// and a plan already being sampled parks a plan-free continuation on
-  /// the in-flight run. Only a genuine cold miss pays the clone and the
-  /// pool round-trip.
+  /// cache hit returns an already-ready future after at most one cheap
+  /// stage-3 combination — on a hot cache without touching any service
+  /// mutex — and a plan already being sampled parks a plan-free
+  /// continuation on the in-flight run. Only a genuine cold miss pays the
+  /// clone and the pool round-trip.
   ///
   /// After Shutdown() the returned future is never left unsatisfied:
   /// cache hits are still served inline; anything needing the pool is
@@ -190,10 +226,50 @@ class PredictionService {
 
   /// Re-derives the distribution of an existing prediction under a
   /// different variant/bound without re-running any stage (the ablation /
-  /// variant re-derivation path).
+  /// variant re-derivation path). Combines under the prediction's own
+  /// calibration snapshot, so the result is stable across epoch swaps.
   VarianceBreakdown Recompute(const Prediction& prediction,
                               PredictorVariant variant,
                               CovarianceBoundKind bound) const;
+
+  // ----- calibration-epoch lifecycle -----
+
+  /// The current calibration snapshot (atomic load; never null). Every
+  /// prediction records the snapshot it combined under in
+  /// Prediction::calibration.
+  CalibrationPtr calibration() const { return pipeline_.calibration(); }
+  uint64_t calibration_epoch() const { return calibration()->epoch; }
+
+  /// Atomically installs new cost units as the next calibration epoch and
+  /// returns that epoch. Deliberately does NOT flush the artifact cache:
+  /// stage-1/2 artifacts are unit-independent, so each cached entry only
+  /// re-runs its (cheap) stage-3 combination lazily, on its next hit —
+  /// see stats().recombines. In-flight predictions that already resolved
+  /// the old snapshot finish under it, bit-identical to a pre-swap
+  /// prediction. Tracked (non-converged) feedback windows reset: their
+  /// errors were measured against the old epoch's predictions.
+  uint64_t PublishCalibration(CostUnits units, std::string source = "manual");
+
+  // ----- online feedback loop -----
+
+  /// Reports the observed runtime of one executed plan, closing the loop
+  /// between prediction and execution. Maintains a windowed relative-error
+  /// series per plan family (keyed by fingerprint): a family whose window
+  /// converges stops paying tracking overhead (no error computation, no
+  /// window update — only a periodic probe); a family whose window drifts
+  /// past FeedbackOptions::drift_threshold triggers one recalibration
+  /// (FeedbackOptions::recalibrate → PublishCalibration) per cooldown.
+  /// The error is computed against the family's cached prediction under
+  /// the CURRENT epoch; reports for plans not in the cache are dropped
+  /// (counted in stats().feedback_dropped). No-op unless
+  /// ServiceOptions::feedback.enabled.
+  void ReportObserved(const Plan& plan, double observed_ms);
+  void ReportObserved(uint64_t fingerprint, double observed_ms);
+
+  /// Per-family feedback state (tests, benches, monitoring): window
+  /// contents, update counters, convergence flags. Sorted by fingerprint.
+  /// Empty when feedback is disabled.
+  std::vector<FamilyFeedback> FeedbackSnapshot() const;
 
   /// Stops the worker pool: drains every task already enqueued (so every
   /// previously returned future is satisfied), joins the workers, and
@@ -225,12 +301,21 @@ class PredictionService {
   /// the flush itself sweeps shard by shard. Lock-free hits validate the
   /// entry's insert generation against the global counter, so a hit that
   /// begins after the bump never serves a pre-flush artifact.
+  ///
+  /// This is the heavyweight invalidation — for a calibration change use
+  /// PublishCalibration, which keeps every stage-1/2 artifact and costs
+  /// one lazy stage-3 re-combination per cached entry instead.
   void InvalidateCache();
 
  private:
   /// The cached (shared, immutable) stage 1-2 artifacts of one plan.
   using Artifacts = StageArtifacts;
   using IdentityPtr = std::shared_ptr<const PlanIdentity>;
+
+  /// Ways per published-slot index. Two, so a pair of hot plans whose
+  /// fingerprints map to the same slot index coexist on the lock-free
+  /// path instead of evicting each other on every publish.
+  static constexpr size_t kSlotWays = 2;
 
   /// One PredictAsync invocation: the service-owned (registry-interned)
   /// plan, its identity, and the caller's promise. Also the continuation
@@ -263,10 +348,21 @@ class PredictionService {
     std::vector<std::shared_ptr<AsyncRequest>> waiters;
   };
 
+  /// Memoized stage-3 combination of one cache entry, stamped with the
+  /// calibration epoch it was combined under. Epochs are unique
+  /// (PublishCalibration serializes them), so an epoch match proves the
+  /// breakdown is valid under the current units — serving it runs zero
+  /// combination work. Immutable once published.
+  struct CombineMemo {
+    uint64_t epoch = 0;
+    VarianceBreakdown breakdown;
+  };
+  using MemoPtr = std::shared_ptr<const CombineMemo>;
+
   /// One resident cache entry. Immutable after construction except for
-  /// the recency tick, so concurrent lock-free readers may copy the
-  /// artifact bundle without synchronization beyond the acquire load that
-  /// reached the entry.
+  /// the recency tick and the stage-3 memo, so concurrent lock-free
+  /// readers may copy the artifact bundle without synchronization beyond
+  /// the acquire load that reached the entry.
   struct CacheEntry {
     uint64_t fingerprint = 0;
     IdentityPtr identity;  ///< interned key, confirmed on every hit
@@ -277,6 +373,11 @@ class PredictionService {
     /// eviction. Approximation is fine: eviction order is not part of the
     /// determinism contract.
     mutable std::atomic<uint64_t> last_used{0};
+    /// Epoch-stamped stage-3 memo; accessed only via std::atomic_load /
+    /// atomic_store free functions (see CombineCached). A calibration
+    /// swap makes it stale — never wrong — and the next hit lazily
+    /// re-combines.
+    mutable MemoPtr combined;
   };
   using EntryPtr = std::shared_ptr<const CacheEntry>;
 
@@ -296,18 +397,22 @@ class PredictionService {
     std::atomic<uint64_t> plan_clones{0};
     std::atomic<uint64_t> async_rejects{0};
     std::atomic<uint64_t> drained_inline{0};
+    std::atomic<uint64_t> recombines{0};
+    std::atomic<uint64_t> recalibrations{0};
+    std::atomic<uint64_t> feedback_reports{0};
+    std::atomic<uint64_t> feedback_dropped{0};
   };
 
   /// One cache + in-flight shard. `slots` is the lock-free publication
-  /// layer: a fixed direct-mapped array of shared_ptr slots accessed only
-  /// through std::atomic_load/atomic_store; `entries` (under `mu`) is the
-  /// authority for residency and capacity.
+  /// layer: a fixed direct-mapped array of kSlotWays-way shared_ptr slot
+  /// groups accessed only through std::atomic_load/atomic_store;
+  /// `entries` (under `mu`) is the authority for residency and capacity.
   struct alignas(64) Shard {
     mutable std::mutex mu;
     std::unordered_map<uint64_t, EntryPtr> entries;
     std::unordered_map<uint64_t, std::shared_ptr<Inflight>> inflight;
-    /// Published entries; size is a power of two fixed at construction.
-    /// Never resized, so concurrent element access is safe.
+    /// Published entries; size is (power of two) * kSlotWays, fixed at
+    /// construction. Never resized, so concurrent element access is safe.
     std::vector<EntryPtr> slots;
     /// Monotone recency ticket; fetch_add(relaxed) per hit.
     std::atomic<uint64_t> ticket{0};
@@ -319,46 +424,81 @@ class PredictionService {
   StatsStripe& StripeFor(uint64_t fingerprint) const {
     return stripes_[static_cast<size_t>(fingerprint) & shard_mask_];
   }
-  size_t SlotIndex(uint64_t fingerprint) const {
-    // The low bits picked the shard; the next bits pick the slot.
-    return static_cast<size_t>(fingerprint >> shard_bits_) & slot_mask_;
+  size_t SlotBase(uint64_t fingerprint) const {
+    // The low bits picked the shard; the next bits pick the slot index;
+    // each index owns kSlotWays consecutive ways.
+    return (static_cast<size_t>(fingerprint >> shard_bits_) & slot_mask_) *
+           kSlotWays;
   }
 
   uint64_t Fingerprint(const Plan& plan, const PlanIdentity& identity) const;
 
   /// Result of one pass over the shard's cache and in-flight table.
   struct Lookup {
-    bool cached = false;  ///< `artifacts` valid; request recorded as a hit
+    EntryPtr entry;       ///< cache hit (request recorded as a hit)
     bool parked = false;  ///< continuation parked; request recorded as a join
-    Artifacts artifacts;
-    std::shared_ptr<Inflight> join;   ///< in-flight run to block on (sync)
+    std::shared_ptr<Inflight> join;   ///< in-flight run to wait on
     std::shared_ptr<Inflight> owned;  ///< in-flight entry this request owns
     uint64_t generation = 0;
   };
 
-  /// The mutex-free fast path: probes the shard's published slot array for
+  /// One non-blocking artifact fetch for a PredictBatch group: exactly one
+  /// of {entry, pending, artifacts-or-status} is the outcome. `pending`
+  /// (an in-flight join) is resolved later by the batch's CALLING thread,
+  /// so no pool worker blocks in future::get().
+  struct GroupFetch {
+    EntryPtr entry;  ///< cache hit: stage 3 serves through the epoch memo
+    std::shared_future<StatusOr<Artifacts>> pending;  ///< joined in-flight run
+    Artifacts artifacts;  ///< ran stages itself (or resolved from pending)
+    Status status;        ///< stage failure (from self-run or pending)
+    bool failed = false;
+  };
+
+  /// The mutex-free fast path: probes the shard's published slot ways for
   /// a current-generation entry with this fingerprint and a confirmed
-  /// structural key. On a hit, copies the artifact bundle, bumps the
-  /// entry's recency tick (relaxed) and records the hit in the shard's
+  /// structural key. On a hit, returns the entry (artifacts + epoch memo),
+  /// bumps its recency tick (relaxed) and records the hit in the shard's
   /// stats stripe — no mutex anywhere. Returns false on any mismatch
-  /// (empty slot, displaced entry, stale generation, collision).
+  /// (empty ways, displaced entry, stale generation, collision).
   bool TryLockFreeHit(uint64_t fingerprint, const PlanIdentity& identity,
-                      Artifacts* out);
+                      EntryPtr* out);
 
   /// The single shared locked lookup of every request path (sync, async
-  /// worker, async submit), so the collision, classification and
-  /// generation rules live in exactly one place: probes the shard's cache
-  /// (structural key confirmed, recency bumped, slot republished, hit
-  /// recorded under the shard lock), then the shard's in-flight table. A
-  /// joinable run is parked on when `park` is non-null (async — atomic
-  /// with the lookup, so the winner cannot complete in between and lose
-  /// the continuation) or returned as `join` for blocking (sync). On a
-  /// full miss, registers this request as the new in-flight owner when
-  /// `register_owned` (worker/sync paths); the submit-time fast path
-  /// passes false and enqueues instead.
+  /// worker, async submit, batch shard), so the collision, classification
+  /// and generation rules live in exactly one place: probes the shard's
+  /// cache (structural key confirmed, recency bumped, slot republished,
+  /// hit recorded under the shard lock), then the shard's in-flight
+  /// table. A joinable run is parked on when `park` is non-null (async —
+  /// atomic with the lookup, so the winner cannot complete in between and
+  /// lose the continuation) or returned as `join` for the caller to wait
+  /// on (sync blocks; batch parks the future). On a full miss, registers
+  /// this request as the new in-flight owner when `register_owned`
+  /// (worker/sync/batch paths); the submit-time fast path passes false
+  /// and enqueues instead.
   Lookup LookupArtifacts(uint64_t fingerprint, const IdentityPtr& identity,
                          const std::shared_ptr<AsyncRequest>& park,
                          bool register_owned);
+
+  /// Serves a prediction from a resident entry through its epoch memo:
+  /// if the memoized stage-3 result matches the current calibration
+  /// epoch, zero combination work runs; otherwise the entry re-combines
+  /// under the current snapshot and republishes the memo (counted in
+  /// stats().recombines when a stale memo existed — i.e. on the first hit
+  /// after a calibration swap). Does NOT classify the request — callers
+  /// already did.
+  Prediction CombineCached(const EntryPtr& entry);
+
+  /// Locked cache probe by fingerprint only (no identity confirmation) —
+  /// the feedback path's "what do we currently predict for this family"
+  /// lookup. Returns null when absent or stale.
+  EntryPtr FindEntry(uint64_t fingerprint) const;
+
+  /// Publishes `entry` into its slot group (shard mutex held): reuses the
+  /// way already holding this fingerprint, else an empty way, else
+  /// displaces the way with the older recency tick.
+  void PublishSlotLocked(Shard& shard, const EntryPtr& entry);
+  /// Clears any way still pointing at `entry` (shard mutex held).
+  void UnpublishSlotLocked(Shard& shard, const EntryPtr& entry);
 
   /// Deep-copies (or reuses the already-interned copy of) `plan` into the
   /// registry and takes a reference; every Intern must be paired with one
@@ -368,17 +508,16 @@ class PredictionService {
                                          uint64_t fingerprint);
   void ReleasePlan(const std::string& key);
 
-  /// Stages 1-2 through the cache and the in-flight table: returns the
-  /// shared artifacts for the plan, running the missing stages on a miss.
-  /// Classifies the request (hit/miss) exactly once. Blocks the calling
-  /// thread when joining another request's in-flight run (sync paths only
-  /// — async requests go through RunAsyncRequest instead).
-  StatusOr<Artifacts> GetArtifacts(const Plan& plan, uint64_t fingerprint,
-                                   const IdentityPtr& identity);
-
-  /// Single-plan prediction through GetArtifacts (shared by the sync and
-  /// batch-representative paths).
+  /// Single-plan prediction on the calling thread: lock-free hit → memoed
+  /// combine; locked hit → memoed combine; in-flight duplicate → block on
+  /// the winner's future (sync callers must return a value); miss → run
+  /// the stages. Classifies the request (hit/miss) exactly once.
   StatusOr<Prediction> PredictImpl(const Plan& plan);
+
+  /// Non-blocking stage-1/2 fetch for one batch group (see GroupFetch).
+  /// Classifies the group's representative exactly once.
+  GroupFetch FetchForBatch(const Plan& plan, uint64_t fingerprint,
+                           const IdentityPtr& identity);
 
   /// Body of one pool-executed PredictAsync: cache hit → finish inline;
   /// in-flight duplicate → park the continuation and return the worker;
@@ -389,6 +528,8 @@ class PredictionService {
   /// its registry reference before the promise fires so a caller that saw
   /// the future complete also sees the registry drained.
   void FulfillAsync(AsyncRequest& req, const StatusOr<Artifacts>& artifacts);
+  /// Same, but served from a resident entry (goes through the epoch memo).
+  void FulfillAsyncFromEntry(AsyncRequest& req, const EntryPtr& entry);
 
   /// Publishes a finished stage-1/2 run: removes the in-flight entry,
   /// inserts into the cache (unless the generation moved), completes the
@@ -413,6 +554,11 @@ class PredictionService {
   void CachePutLocked(Shard& shard, uint64_t fingerprint,
                       const IdentityPtr& identity, Artifacts artifacts,
                       uint64_t generation);
+
+  /// Drift handler: at most one caller per cooldown re-derives the cost
+  /// units (FeedbackOptions::recalibrate, run outside every lock) and
+  /// publishes them as the next epoch. No-op in detect-only mode.
+  void HandleDrift(uint64_t fingerprint);
 
   /// Runs `fn(i)` for i in [0, n) across the worker pool, the calling
   /// thread included; returns when all indexes are done.
@@ -453,12 +599,21 @@ class PredictionService {
   } shards_;
   size_t shard_mask_ = 0;   ///< shards - 1 (shard count is a power of two)
   unsigned shard_bits_ = 0; ///< log2(shard count)
-  size_t slot_mask_ = 0;    ///< per-shard published slots - 1 (power of two)
+  size_t slot_mask_ = 0;    ///< per-shard published slot indexes - 1
   size_t shard_capacity_ = 0;  ///< resident entries allowed per shard
   /// Global cache generation, bumped by InvalidateCache before the
   /// per-shard sweep. Lock-free hits and publish paths validate against
   /// it, so the counter — not any one shard's state — is the authority.
   std::atomic<uint64_t> generation_{0};
+
+  // ----- versioned calibration + feedback loop -----
+  /// Serializes epoch assignment (PublishCalibration): the snapshot
+  /// pointer itself is lock-free (atomic shared_ptr in the pipeline), the
+  /// mutex only guarantees epochs are unique and monotone.
+  std::mutex calibration_mu_;
+  /// Per-plan-family windowed error tracking; null when feedback is
+  /// disabled (zero overhead).
+  std::unique_ptr<FeedbackRegistry> feedback_;
 
   // ----- striped counters (one stripe per shard + classification rules
   // that make hits + misses == predictions hold by construction) -----

@@ -411,5 +411,140 @@ TEST_F(IntraPlanRaceTest, LockFreeHitsRaceInvalidateCacheAcrossShards) {
   EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.predictions);
 }
 
+// Calibration-epoch swaps under fire (run under TSan in CI): one thread
+// publishes new snapshots as fast as it can — both directly and through
+// ReportObserved-triggered drift recalibration — while reader threads
+// hammer lock-free hot hits and an async storm keeps cold runs in flight.
+// Correctness contract: every served prediction is internally consistent
+// (recomputing stage 3 under the prediction's OWN pinned snapshot must
+// reproduce the served breakdown bit-for-bit — a combination that mixed
+// units from two epochs cannot survive this check), no prediction is ever
+// served without a calibration stamp, and the expensive stage-1/2
+// artifacts survive every swap: stage 1 runs exactly once per distinct
+// plan and the served sample-run pointer never changes.
+TEST_F(IntraPlanRaceTest, EpochSwapsRaceLockFreeHitsAndColdRuns) {
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.predictor.num_threads = 2;
+  options.feedback.enabled = true;
+  options.feedback.window_size = 4;
+  options.feedback.converge_threshold = 0.02;
+  options.feedback.drift_threshold = 0.25;
+  options.feedback.cooldown_reports = 8;
+  options.feedback.probe_interval = 4;
+  CostUnits* base_units = units_;
+  std::atomic<int> recal_calls{0};
+  options.feedback.recalibrate = [base_units, &recal_calls]() {
+    const int n = recal_calls.fetch_add(1);
+    CostUnits scaled = *base_units;
+    const double factor = 1.0 + 0.25 * static_cast<double>(n % 4);
+    for (int u = 0; u < kNumCostUnits; ++u) scaled.units[u].mean *= factor;
+    return scaled;
+  };
+  PredictionService service(db_, samples_, *units_, options);
+  const PredictorVariant variant = options.predictor.variant;
+  const CovarianceBoundKind bound = options.predictor.bound;
+
+  // Phase 1: a cold async storm races the publisher — in-flight stage-1/2
+  // runs must resolve against whatever snapshot is current when their
+  // stage 3 happens, never a mix.
+  std::atomic<bool> stop_publisher{false};
+  std::thread publisher([&] {
+    uint64_t flips = 0;
+    while (!stop_publisher.load()) {
+      CostUnits scaled = *base_units;
+      const double factor = (flips++ % 2 == 0) ? 1.5 : 0.75;
+      for (int u = 0; u < kNumCostUnits; ++u) scaled.units[u].mean *= factor;
+      service.PublishCalibration(std::move(scaled), "race");
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<bool> bad{false};
+  auto check_consistent = [&](const StatusOr<Prediction>& got) {
+    if (!got.ok() || got->calibration == nullptr || got->sample_run == nullptr) {
+      bad.store(true);
+      return;
+    }
+    const VarianceBreakdown re = service.Recompute(*got, variant, bound);
+    if (re.mean != got->breakdown.mean ||
+        re.variance != got->breakdown.variance) {
+      bad.store(true);  // epoch-mixed combination detected
+    }
+  };
+
+  {
+    std::vector<std::future<StatusOr<Prediction>>> futures;
+    for (int rep = 0; rep < 3; ++rep) {
+      for (const Plan& plan : *plans_) {
+        futures.push_back(service.PredictAsync(plan));
+      }
+    }
+    for (auto& f : futures) check_consistent(f.get());
+  }
+
+  // Pin the first-seen stage-1 artifact per plan: epoch swaps must never
+  // evict or re-run them.
+  std::vector<const SampleRunOutput*> first_seen(plans_->size(), nullptr);
+  for (size_t i = 0; i < plans_->size(); ++i) {
+    auto got = service.Predict((*plans_)[i]);
+    ASSERT_TRUE(got.ok());
+    first_seen[i] = got->sample_run.get();
+  }
+
+  // Phase 2: lock-free hitters + a feedback reporter whose drifting
+  // observations trigger recalibration publishes, all concurrent.
+  const int kReaders = 4;
+  const int kRounds = 60;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&, i] {
+      const size_t idx = static_cast<size_t>(i) % plans_->size();
+      for (int r = 0; r < kRounds; ++r) {
+        auto got = service.Predict((*plans_)[idx]);
+        check_consistent(got);
+        if (got.ok() && got->sample_run.get() != first_seen[idx]) {
+          bad.store(true);  // a swap cost us a stage-1 artifact
+        }
+      }
+    });
+  }
+  std::thread reporter([&] {
+    for (int r = 0; r < 80; ++r) {
+      // Alternate accurate and badly-drifted observations so windows both
+      // fill and trip the drift detector while hits stream.
+      const double scale = (r % 2 == 0) ? 1.0 : 3.0;
+      auto got = service.Predict((*plans_)[0]);
+      if (got.ok()) service.ReportObserved((*plans_)[0], got->mean() * scale);
+    }
+  });
+  for (auto& t : readers) t.join();
+  reporter.join();
+  stop_publisher.store(true);
+  publisher.join();
+
+  EXPECT_FALSE(bad.load())
+      << "a prediction mixed units from two epochs, lost its calibration "
+         "stamp, or lost a stage-1 artifact across a swap";
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sample_runs, plans_->size())
+      << "epoch swaps must not re-run stage 1";
+  EXPECT_EQ(stats.fit_runs, plans_->size())
+      << "epoch swaps must not re-run stage 2";
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.predictions);
+  EXPECT_EQ(service.plan_registry_size(), 0u);
+  // Final sweep: artifacts are still the originals, served under the
+  // final epoch.
+  const uint64_t final_epoch = service.calibration_epoch();
+  EXPECT_GT(final_epoch, 1u);
+  for (size_t i = 0; i < plans_->size(); ++i) {
+    auto got = service.Predict((*plans_)[i]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->sample_run.get(), first_seen[i]) << "plan " << i;
+    EXPECT_EQ(got->calibration_epoch(), final_epoch) << "plan " << i;
+  }
+}
+
 }  // namespace
 }  // namespace uqp

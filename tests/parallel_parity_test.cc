@@ -18,12 +18,14 @@
 #include "core/pipeline.h"
 #include "core/predictor.h"
 #include "cost/calibration.h"
+#include "cost/snapshot.h"
 #include "datagen/tpch.h"
 #include "engine/executor.h"
 #include "engine/plan.h"
 #include "engine/planner.h"
 #include "hw/machine.h"
 #include "sampling/sample_db.h"
+#include "service/prediction_service.h"
 #include "workload/common.h"
 
 namespace uqp {
@@ -498,6 +500,121 @@ TEST_F(ParallelParityTest, OperatorTailExecutorResultsBitIdentical) {
             got.value(), ref.value(),
             "tail plan " + std::to_string(p) + " batch " +
                 std::to_string(batch) + " threads " + std::to_string(t));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The feedback loop (PR 7) joins the determinism contract: replaying a
+// fixed observed-runtime trace must produce bit-identical error windows,
+// convergence decisions, recalibration counts and recalibrated snapshots
+// at every thread count — online learning must not erode reproducibility.
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelParityTest, FeedbackTrajectoryBitIdenticalAcrossThreadCounts) {
+  const std::vector<Plan>& plans = (*workloads_)[1].plans;  // seljoin
+  ASSERT_GE(plans.size(), 2u);
+
+  // Synthesize the trace from the sequential reference predictions: four
+  // accurate rounds (families converge), then six rounds at 2.2x (the
+  // machine drifted; the detector must fire exactly once).
+  Predictor reference(db_, samples_, *units_);
+  std::vector<double> base_means;
+  for (const Plan& plan : plans) {
+    auto ref = reference.Predict(plan);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    base_means.push_back(ref->mean());
+  }
+  std::vector<std::pair<size_t, double>> trace;
+  for (int round = 0; round < 4; ++round) {
+    for (size_t i = 0; i < plans.size(); ++i) {
+      trace.emplace_back(i, base_means[i]);
+    }
+  }
+  for (int round = 0; round < 6; ++round) {
+    for (size_t i = 0; i < plans.size(); ++i) {
+      trace.emplace_back(i, base_means[i] * 2.2);
+    }
+  }
+
+  struct Trajectory {
+    std::vector<FamilyFeedback> families;
+    ServiceStats stats;
+    std::string snapshot_bytes;
+    uint64_t epoch = 0;
+  };
+  const auto replay = [&](int num_threads) {
+    ServiceOptions options;
+    options.num_workers = std::max(1, num_threads);
+    options.predictor.num_threads = num_threads;
+    options.feedback.enabled = true;
+    options.feedback.window_size = 4;
+    options.feedback.converge_threshold = 0.01;
+    options.feedback.drift_threshold = 0.30;
+    options.feedback.cooldown_reports = 16;
+    options.feedback.probe_interval = 3;
+    // Deterministic re-derivation: a fresh fixed-seed machine matching the
+    // drifted truth, run through the standard calibrator. The seed depends
+    // only on the call index, so the Nth recalibration of every replay
+    // produces the same fit.
+    int recal_calls = 0;
+    options.feedback.recalibrate = [&recal_calls]() {
+      SimulatedMachine machine(
+          MachineProfile::PC1().WithUnitMeansScaled(2.2),
+          static_cast<uint64_t>(1000 + recal_calls));
+      ++recal_calls;
+      Calibrator calibrator(&machine);
+      return calibrator.Calibrate();
+    };
+    PredictionService service(db_, samples_, *units_, options);
+    const auto batch = service.PredictBatch(plans);
+    for (const auto& r : batch) EXPECT_TRUE(r.ok());
+    for (const auto& step : trace) {
+      service.ReportObserved(plans[step.first], step.second);
+    }
+    Trajectory out;
+    out.families = service.FeedbackSnapshot();
+    out.stats = service.stats();
+    out.snapshot_bytes = CalibrationSnapshotBytes(*service.calibration());
+    out.epoch = service.calibration()->epoch;
+    return out;
+  };
+
+  const Trajectory ref_run = replay(1);
+  // The trace is built to actually exercise the loop: families converge in
+  // the accurate phase, the drift phase triggers exactly one recalibration
+  // (cooldown suppresses the rest of the round), and the post-publish
+  // reports re-combine under the new epoch.
+  EXPECT_EQ(ref_run.stats.recalibrations, 1u);
+  EXPECT_EQ(ref_run.epoch, 2u);
+  EXPECT_GT(ref_run.stats.recombines, 0u);
+  EXPECT_EQ(ref_run.stats.feedback_reports, trace.size());
+  ASSERT_EQ(ref_run.families.size(), plans.size());
+
+  for (int t : ParityThreadCounts()) {
+    const Trajectory run = replay(t);
+    EXPECT_EQ(run.epoch, ref_run.epoch) << "num_threads=" << t;
+    EXPECT_EQ(run.snapshot_bytes, ref_run.snapshot_bytes)
+        << "recalibrated snapshot differs at num_threads=" << t;
+    EXPECT_EQ(run.stats.recalibrations, ref_run.stats.recalibrations);
+    EXPECT_EQ(run.stats.feedback_reports, ref_run.stats.feedback_reports);
+    EXPECT_EQ(run.stats.feedback_dropped, ref_run.stats.feedback_dropped);
+    EXPECT_EQ(run.stats.converged_families, ref_run.stats.converged_families);
+    EXPECT_EQ(run.stats.feedback_families, ref_run.stats.feedback_families);
+    ASSERT_EQ(run.families.size(), ref_run.families.size());
+    for (size_t i = 0; i < ref_run.families.size(); ++i) {
+      const FamilyFeedback& a = ref_run.families[i];
+      const FamilyFeedback& b = run.families[i];
+      EXPECT_EQ(b.fingerprint, a.fingerprint) << "family " << i;
+      EXPECT_EQ(b.reports, a.reports) << "family " << i;
+      EXPECT_EQ(b.window_updates, a.window_updates) << "family " << i;
+      EXPECT_EQ(b.converged, a.converged) << "family " << i;
+      ASSERT_EQ(b.window.size(), a.window.size()) << "family " << i;
+      for (size_t w = 0; w < a.window.size(); ++w) {
+        EXPECT_EQ(b.window[w], a.window[w])
+            << "family " << i << " window slot " << w
+            << " at num_threads=" << t;
       }
     }
   }

@@ -1176,5 +1176,217 @@ TEST_F(ServiceTest, StripedStatsInvariantNeverTearsUnderMixedStorm) {
   EXPECT_GT(stats.cache_misses, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Versioned calibration epochs + online feedback loop (PR 7): calibration
+// swaps keep every stage-1/2 artifact and re-combine lazily; 2-way slot
+// groups keep colliding hot plans lock-free; converged feedback families
+// stop paying tracking overhead; drift triggers recalibration.
+// ---------------------------------------------------------------------------
+
+CostUnits ScaleUnitMeans(const CostUnits& units, double factor) {
+  CostUnits scaled = units;
+  for (int u = 0; u < kNumCostUnits; ++u) scaled.units[u].mean *= factor;
+  return scaled;
+}
+
+TEST_F(ServiceTest, CalibrationSwapRecombinesLazilyWithoutTouchingStage12) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  PredictionService service(db_, samples_, *units_, options);
+  const Plan& plan = (*plans_)[0];
+  EXPECT_EQ(service.calibration_epoch(), 1u);
+  EXPECT_EQ(service.calibration()->source, "offline");
+
+  auto cold = service.Predict(plan);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  auto warm = service.Predict(plan);  // publishes the epoch memo
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->calibration_epoch(), 1u);
+  const uint64_t combines_warm = service.pipeline().combine_count();
+  auto memoed = service.Predict(plan);
+  ASSERT_TRUE(memoed.ok());
+  EXPECT_EQ(service.pipeline().combine_count(), combines_warm)
+      << "an epoch-matched memo must serve with zero combination work";
+  EXPECT_EQ(memoed->mean(), warm->mean());
+
+  // Swap calibration (2x unit means). The cache must survive untouched:
+  // only each entry's stage-3 memo goes stale.
+  const uint64_t epoch =
+      service.PublishCalibration(ScaleUnitMeans(*units_, 2.0), "test");
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_EQ(service.calibration_epoch(), 2u);
+  EXPECT_EQ(service.calibration()->source, "test");
+  EXPECT_EQ(service.cache_size(), 1u)
+      << "a calibration swap must not flush the cache";
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.recombines, 0u);
+
+  auto post = service.Predict(plan);
+  ASSERT_TRUE(post.ok());
+  stats = service.stats();
+  EXPECT_EQ(stats.sample_runs, 1u) << "stage 1 must survive the swap";
+  EXPECT_EQ(stats.fit_runs, 1u) << "stage 2 must survive the swap";
+  EXPECT_EQ(stats.recombines, 1u)
+      << "the stale memo re-combines exactly once";
+  EXPECT_EQ(post->calibration_epoch(), 2u);
+  // The epoch-aware invalidation contract, in pointers: the expensive
+  // artifacts served after the swap ARE the pre-swap objects.
+  EXPECT_EQ(post->sample_run.get(), cold->sample_run.get());
+  EXPECT_EQ(post->cost_fit.get(), cold->cost_fit.get());
+  EXPECT_GT(post->mean(), warm->mean())
+      << "doubled unit means must raise the predicted mean";
+
+  // The re-combined breakdown is memoized under the new epoch.
+  const uint64_t combines_post = service.pipeline().combine_count();
+  auto post2 = service.Predict(plan);
+  ASSERT_TRUE(post2.ok());
+  EXPECT_EQ(service.pipeline().combine_count(), combines_post);
+  EXPECT_EQ(service.stats().recombines, 1u);
+  EXPECT_EQ(post2->mean(), post->mean());
+  EXPECT_EQ(post2->breakdown.variance, post->breakdown.variance);
+
+  // Pre-swap predictions recompute under their own pinned snapshot:
+  // referentially transparent across the swap.
+  const VarianceBreakdown re = service.Recompute(
+      *warm, service.options().predictor.variant,
+      service.options().predictor.bound);
+  EXPECT_EQ(re.mean, warm->breakdown.mean);
+  EXPECT_EQ(re.variance, warm->breakdown.variance);
+}
+
+uint64_t SameSlotFingerprint(const Plan& plan) {
+  // Distinct per plan structure, but identical low bits: with one shard
+  // every plan maps to slot index 0 — the worst-case slot collision.
+  return plan.Identity()->fingerprint << 18;
+}
+
+TEST_F(ServiceTest, TwoWaySlotsKeepCollidingHotPlansLockFree) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_shards = 1;
+  options.fingerprint_fn = SameSlotFingerprint;
+  PredictionService service(db_, samples_, *units_, options);
+  const Plan& a = (*plans_)[0];
+  const Plan& b = (*plans_)[1];
+  ASSERT_TRUE(service.Predict(a).ok());
+  ASSERT_TRUE(service.Predict(b).ok());
+  ASSERT_EQ(service.stats().cache_misses, 2u);
+
+  const uint64_t kRounds = 8;
+  for (uint64_t r = 0; r < kRounds; ++r) {
+    ASSERT_TRUE(service.Predict(a).ok());
+    ASSERT_TRUE(service.Predict(b).ok());
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 2 * kRounds);
+  // With a single way the two plans would displace each other from the
+  // slot on every publish and alternate through the locked path; the
+  // tagged 2-way group keeps BOTH on the lock-free path.
+  EXPECT_EQ(stats.lockfree_hits, 2 * kRounds)
+      << "two hot plans sharing a slot group must both stay lock-free";
+  EXPECT_EQ(stats.sample_runs, 2u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.predictions);
+}
+
+TEST_F(ServiceTest, ConvergedFamilyStopsPayingTrackingOverhead) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.feedback.enabled = true;
+  options.feedback.window_size = 4;
+  options.feedback.converge_threshold = 0.10;
+  options.feedback.drift_threshold = 0.60;
+  options.feedback.probe_interval = 0;  // never probe: isolate the freeze
+  PredictionService service(db_, samples_, *units_, options);
+  const Plan& plan = (*plans_)[0];
+  auto pred = service.Predict(plan);
+  ASSERT_TRUE(pred.ok());
+  const double observed = pred->mean();  // perfect predictions: error 0
+
+  for (int i = 0; i < 4; ++i) service.ReportObserved(plan, observed);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.feedback_reports, 4u);
+  EXPECT_EQ(stats.converged_families, 1u);
+  auto families = service.FeedbackSnapshot();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_TRUE(families[0].converged);
+  EXPECT_EQ(families[0].window_updates, 4u);
+  EXPECT_EQ(families[0].reports, 4u);
+
+  // Converged: further reports stop updating the window — and stop
+  // computing the error at all (the AQO-style overhead cut). Even wildly
+  // wrong observations change nothing without a probe.
+  const uint64_t combines = service.pipeline().combine_count();
+  for (int i = 0; i < 6; ++i) service.ReportObserved(plan, observed * 100.0);
+  families = service.FeedbackSnapshot();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_TRUE(families[0].converged);
+  EXPECT_EQ(families[0].window_updates, 4u) << "converged windows must freeze";
+  EXPECT_EQ(families[0].reports, 10u);
+  EXPECT_EQ(service.pipeline().combine_count(), combines)
+      << "converged families must not even compute the error";
+  EXPECT_EQ(service.stats().recalibrations, 0u);
+  EXPECT_EQ(service.calibration_epoch(), 1u);
+
+  // Reports for a plan that was never predicted have no cached prediction
+  // to compare against: dropped, never fabricated.
+  service.ReportObserved((*plans_)[2], 5.0);
+  stats = service.stats();
+  EXPECT_EQ(stats.feedback_dropped, 1u);
+  EXPECT_EQ(stats.feedback_families, 2u);
+  EXPECT_EQ(stats.converged_families, 1u);
+}
+
+TEST_F(ServiceTest, DriftTriggersRecalibrationAndErrorRecovery) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.feedback.enabled = true;
+  options.feedback.window_size = 3;
+  options.feedback.converge_threshold = 0.05;
+  options.feedback.drift_threshold = 0.40;
+  options.feedback.cooldown_reports = 0;
+  const CostUnits drifted_truth = ScaleUnitMeans(*units_, 2.0);
+  int recal_calls = 0;
+  options.feedback.recalibrate = [&recal_calls, &drifted_truth]() {
+    ++recal_calls;
+    return drifted_truth;
+  };
+  PredictionService service(db_, samples_, *units_, options);
+  const Plan& plan = (*plans_)[0];
+  auto before = service.Predict(plan);
+  ASSERT_TRUE(before.ok());
+
+  // The machine drifted 2x: observations land at twice the prediction
+  // (relative error 0.5 >= drift_threshold once the window fills).
+  const double observed = before->mean() * 2.0;
+  for (int i = 0; i < 3; ++i) service.ReportObserved(plan, observed);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(recal_calls, 1);
+  EXPECT_EQ(stats.recalibrations, 1u);
+  EXPECT_EQ(service.calibration_epoch(), 2u);
+  EXPECT_EQ(service.calibration()->source, "drift");
+  EXPECT_EQ(stats.sample_runs, 1u)
+      << "recalibration must not flush stage-1 artifacts";
+
+  auto after = service.Predict(plan);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->calibration_epoch(), 2u);
+  EXPECT_EQ(after->sample_run.get(), before->sample_run.get());
+  EXPECT_EQ(service.stats().recombines, 1u);
+  // Recalibrated predictions match the drifted world: the windowed error
+  // collapses from 0.5 to ~0.
+  const double err_before = std::abs(observed - before->mean()) / observed;
+  const double err_after = std::abs(observed - after->mean()) / observed;
+  EXPECT_LT(err_after * 2.0, err_before);
+
+  // The drifting family's window was reset on publish: its errors were
+  // measured against the old epoch's predictions.
+  auto families = service.FeedbackSnapshot();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_TRUE(families[0].window.empty());
+  EXPECT_FALSE(families[0].converged);
+  EXPECT_EQ(families[0].reports, 3u);
+}
+
 }  // namespace
 }  // namespace uqp

@@ -1,0 +1,77 @@
+#pragma once
+
+// Portable Clang thread-safety-analysis annotations.
+//
+// These macros attach the capability-based locking contracts of
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html to types, fields
+// and functions, so the lock discipline of every concurrent structure in
+// the tree (service cache shards, in-flight dedup tables, plan registry,
+// feedback registry, worker pools) is *proved at compile time* by
+// `clang++ -Wthread-safety` (CI's thread-safety job builds the whole tree
+// with -Werror=thread-safety) instead of being rediscovered at runtime by
+// a TSan test that happens to hit the race. Under any other compiler they
+// expand to nothing, so the annotated tree still builds everywhere.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no annotations, which
+// would make the analysis blind to every acquisition — use the annotated
+// wrappers in common/mutex.h (uqp::Mutex / MutexLock / CondVar) for any
+// mutex that guards annotated state.
+
+#if defined(__clang__)
+#define UQP_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define UQP_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a capability (lockable). Example:
+///   class UQP_CAPABILITY("mutex") Mutex { ... };
+#define UQP_CAPABILITY(x) UQP_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type whose lifetime holds a capability (lock guards).
+#define UQP_SCOPED_CAPABILITY UQP_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field annotation: reads and writes require holding the given capability.
+#define UQP_GUARDED_BY(x) UQP_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer-field annotation: the *pointed-to* data is guarded.
+#define UQP_PT_GUARDED_BY(x) UQP_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function annotation: the caller must hold the capability on entry (and
+/// still holds it on exit). Capability expressions may name parameters and
+/// their members, e.g. UQP_REQUIRES(shard.mu).
+#define UQP_REQUIRES(...) \
+  UQP_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the capability (deadlock
+/// guard for functions that acquire it themselves).
+#define UQP_EXCLUDES(...) \
+  UQP_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: acquires the capability (held on return).
+#define UQP_ACQUIRE(...) \
+  UQP_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the capability (no longer held on return).
+#define UQP_RELEASE(...) \
+  UQP_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability iff the return value equals
+/// the given boolean constant.
+#define UQP_TRY_ACQUIRE(...) \
+  UQP_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: asserts (at runtime, to the analysis) that the
+/// capability is held without acquiring it.
+#define UQP_ASSERT_CAPABILITY(x) \
+  UQP_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function annotation: the returned reference is guarded by the capability.
+#define UQP_RETURN_CAPABILITY(x) \
+  UQP_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Keep out of
+/// src/service and src/core (the tree carries zero waivers there — see
+/// README "Static analysis & sanitizers"); every use elsewhere must carry
+/// an inline comment explaining why the contract cannot be expressed.
+#define UQP_NO_THREAD_SAFETY_ANALYSIS \
+  UQP_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

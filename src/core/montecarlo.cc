@@ -80,6 +80,9 @@ MonteCarloResult SimulatePrediction(
     result.samples.push_back(t);
     stats.Add(t);
   }
+  // Canonicalizes the sample vector: doubles sort by value and equal keys
+  // are bitwise-identical, so any permutation sorts to the same bytes.
+  // det-lint: sorted-output
   std::sort(result.samples.begin(), result.samples.end());
   result.mean = stats.mean();
   result.variance = stats.variance();

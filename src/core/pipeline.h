@@ -310,7 +310,12 @@ class PredictionPipeline {
 
  private:
   /// Atomically swappable current snapshot; access only through
-  /// std::atomic_load/store (calibration()/SetCalibration).
+  /// std::atomic_load/store (calibration()/SetCalibration). Deliberately
+  /// outside the mutex capability model (no GUARDED_BY): the swap IS the
+  /// synchronization — readers resolve one coherent snapshot via the
+  /// acquire load and never see a half-published epoch. Thread-safety
+  /// analysis cannot model atomic shared_ptr protocols; TSan covers this
+  /// path instead.
   CalibrationPtr calibration_;
   PredictorOptions options_;
   SampleRunStage sample_run_;

@@ -25,8 +25,12 @@ struct MorselPool::Batch {
   std::atomic<int64_t> done{0};
   int64_t total = 0;
   const std::function<void(int64_t)>* fn = nullptr;
-  std::mutex mu;
-  std::condition_variable cv;
+  /// Guards nothing directly (`next`/`done` are atomics) — it exists so
+  /// the completion notify and the caller's wait agree on one lock and a
+  /// wakeup can never be lost between the final done increment and the
+  /// caller parking on the condition variable.
+  Mutex mu;
+  CondVar cv;
 
   void Pull() {
     for (;;) {
@@ -34,8 +38,8 @@ struct MorselPool::Batch {
       if (i >= total) return;
       (*fn)(i);
       if (done.fetch_add(1) + 1 == total) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_all();
+        MutexLock lock(&mu);
+        cv.NotifyAll();
       }
     }
   }
@@ -53,10 +57,10 @@ MorselPool::MorselPool(int num_threads) {
 
 MorselPool::~MorselPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -64,18 +68,18 @@ void MorselPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      // Prune batches every thread has already claimed out: they only sit
-      // in the list to attract helpers.
-      while (!active_.empty() && active_.front()->exhausted()) {
-        active_.pop_front();
-      }
-      cv_.wait(lock, [&] {
+      MutexLock lock(&mu_);
+      // Explicit predicate loop (not the wait-with-lambda overload): the
+      // thread-safety analysis checks guarded accesses here, in the
+      // function that provably holds mu_. Prune batches every thread has
+      // already claimed out: they only sit in the list to attract helpers.
+      for (;;) {
         while (!active_.empty() && active_.front()->exhausted()) {
           active_.pop_front();
         }
-        return stop_ || !active_.empty();
-      });
+        if (stop_ || !active_.empty()) break;
+        cv_.Wait(mu_);
+      }
       if (active_.empty()) return;  // stop_ set and nothing left to help
       batch = active_.front();
     }
@@ -93,13 +97,13 @@ void MorselPool::RunTasks(int64_t n, const std::function<void(int64_t)>& fn) {
   batch->total = n;
   batch->fn = &fn;  // outlives the call: we wait for completion below
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!stop_) active_.push_back(batch);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   batch->Pull();  // the calling thread shards too (incl. nested calls)
-  std::unique_lock<std::mutex> lock(batch->mu);
-  batch->cv.wait(lock, [&] { return batch->done.load() == batch->total; });
+  MutexLock lock(&batch->mu);
+  while (batch->done.load() != batch->total) batch->cv.Wait(batch->mu);
 }
 
 namespace {
@@ -154,12 +158,12 @@ struct GroupAccumulator {
 /// order equals the sequential scan's regardless of thread count.
 struct GroupTable {
   std::vector<GroupAccumulator> groups;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> index;  ///< hash -> idx
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;  ///< hash -> idx
 
   GroupAccumulator* FindByRow(uint64_t h, RowRef row,
                               const std::vector<int>& group_cols) {
-    auto it = index.find(h);
-    if (it == index.end()) return nullptr;
+    auto it = buckets.find(h);
+    if (it == buckets.end()) return nullptr;
     for (uint32_t idx : it->second) {
       GroupAccumulator& cand = groups[idx];
       bool same = true;
@@ -175,8 +179,8 @@ struct GroupTable {
   }
 
   GroupAccumulator* FindByAcc(const GroupAccumulator& key) {
-    auto it = index.find(key.hash);
-    if (it == index.end()) return nullptr;
+    auto it = buckets.find(key.hash);
+    if (it == buckets.end()) return nullptr;
     for (uint32_t idx : it->second) {
       GroupAccumulator& cand = groups[idx];
       bool same = true;
@@ -192,7 +196,7 @@ struct GroupTable {
   }
 
   GroupAccumulator* Append(GroupAccumulator&& acc) {
-    index[acc.hash].push_back(static_cast<uint32_t>(groups.size()));
+    buckets[acc.hash].push_back(static_cast<uint32_t>(groups.size()));
     groups.push_back(std::move(acc));
     return &groups.back();
   }
@@ -650,6 +654,10 @@ class NodeRunner {
                            /*base=*/0, rids.data());
           });
       for (const auto& pages : chunk_pages) {
+        // Set union: the resulting set (and the page-count counter derived
+        // from its size) is the same whatever order the per-chunk sets
+        // merge in.
+        // det-lint: order-independent
         pages_touched.insert(pages.begin(), pages.end());
       }
     } else {
@@ -983,6 +991,10 @@ class NodeRunner {
         const int64_t lo = l * block;
         const int64_t hi = std::min(n, lo + block);
         int64_t* comps = &leaf_comps[static_cast<size_t>(l)];
+        // Leaf blocks are carved by max_batch_size only (never thread
+        // count), each is sorted with a total order (row_less tie-breaks
+        // on rid), and the counter sums per-leaf slots in leaf order.
+        // det-lint: fixed-shape
         std::sort(order.begin() + lo, order.begin() + hi,
                   [&](uint32_t a, uint32_t b) {
                     ++*comps;
@@ -1139,7 +1151,7 @@ class NodeRunner {
         }
       }
       local.groups.clear();
-      local.index.clear();
+      local.buckets.clear();
     }
 
     RowBlock out;

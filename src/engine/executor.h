@@ -1,16 +1,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/cost_model.h"
 #include "engine/plan.h"
 #include "storage/database.h"
@@ -54,11 +54,15 @@ class MorselPool : public TaskRunner {
   struct Batch;
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
+  /// Helper threads; written only by the constructor and joined by the
+  /// destructor, so concurrent readers (num_threads) race with nothing.
   std::vector<std::thread> threads_;
-  std::deque<std::shared_ptr<Batch>> active_;
-  bool stop_ = false;
+  /// Batches still attracting helpers. Workers prune exhausted fronts
+  /// under the lock; RunTasks appends under the lock.
+  std::deque<std::shared_ptr<Batch>> active_ UQP_GUARDED_BY(mu_);
+  bool stop_ UQP_GUARDED_BY(mu_) = false;
 };
 
 /// Resolves a num_threads knob: <= 0 means "use the hardware concurrency",

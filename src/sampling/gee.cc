@@ -15,6 +15,10 @@ double GeeDistinctCounter::GeeFormula(
     double full_rows) {
   if (counts.empty() || n <= 0.0) return 0.0;
   double f1 = 0.0, rest = 0.0;
+  // Counts each entry into f1 or rest by adding exactly 1.0; integer-valued
+  // sums commute exactly in double, so iteration order cannot change the
+  // result.
+  // det-lint: order-independent
   for (const auto& [key, count] : counts) {
     (void)key;
     if (count == 1) {
@@ -36,6 +40,10 @@ GeeResult GeeDistinctCounter::Estimate(double full_rows) const {
   // compare their GEE estimates.
   std::unordered_map<uint64_t, int64_t> half[2];
   double half_rows[2] = {0.0, 0.0};
+  // Each key lands in a side determined by its own hash bit, the per-side
+  // maps are consumed only through GeeFormula's order-independent counting,
+  // and half_rows sums integer counts (exact in double at any order).
+  // det-lint: order-independent
   for (const auto& [key, count] : counts_) {
     const int side = static_cast<int>((key >> 17) & 1u);
     half[side][key] += count;

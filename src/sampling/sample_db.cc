@@ -24,6 +24,9 @@ SampleDb SampleDb::Build(const Database& db, const SampleOptions& options,
   // database's enumeration order — so the samples are identical at any
   // thread count.
   std::vector<std::string> names = db.TableNames();
+  // Canonicalizes the relation order (distinct names, total order) that
+  // the substream indexing above depends on.
+  // det-lint: sorted-output
   std::sort(names.begin(), names.end());
   const int copies = options.copies_per_relation;
 
@@ -109,6 +112,8 @@ int64_t SampleDb::BaseRows(const std::string& relation) const {
 
 int64_t SampleDb::TotalSamplePages() const {
   int64_t pages = 0;
+  // Integer sum over the entries; addition order cannot change it.
+  // det-lint: order-independent
   for (const auto& [_, entry] : entries_) {
     if (!entry.copies.empty()) pages += entry.copies[0]->num_pages();
   }

@@ -44,13 +44,13 @@ double FeedbackRegistry::WindowMeanAbs(const Family& family) const {
   return sum / static_cast<double>(family.filled);
 }
 
-FeedbackRegistry::Action FeedbackRegistry::Observe(
-    uint64_t fingerprint, const std::function<bool(double*)>& error_fn) {
+FeedbackRegistry::Action FeedbackRegistry::Observe(uint64_t fingerprint,
+                                                   const ErrorFn& error_fn) {
   if (!enabled()) return Action::kDisabled;
   total_reports_.fetch_add(1, std::memory_order_relaxed);
 
   Shard& shard = ShardFor(fingerprint);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   Family& family = shard.families[fingerprint];
   ++family.reports;
 
@@ -62,7 +62,7 @@ FeedbackRegistry::Action FeedbackRegistry::Observe(
       return Action::kSkippedConverged;
     }
     double error = 0.0;
-    if (!error_fn(&error)) return Action::kDropped;
+    if (!error_fn(&family.stash, &error)) return Action::kDropped;
     if (std::abs(error) < options_.drift_threshold) return Action::kProbed;
     // The probe blew past the drift threshold: the world moved while we
     // weren't watching. Resume tracking with a fresh window.
@@ -73,7 +73,7 @@ FeedbackRegistry::Action FeedbackRegistry::Observe(
   }
 
   double error = 0.0;
-  if (!error_fn(&error)) return Action::kDropped;
+  if (!error_fn(&family.stash, &error)) return Action::kDropped;
   Push(&family, error);
   if (family.filled < options_.window_size) return Action::kTracked;
 
@@ -87,7 +87,7 @@ FeedbackRegistry::Action FeedbackRegistry::Observe(
 }
 
 bool FeedbackRegistry::ClaimDrift() {
-  std::lock_guard<std::mutex> lock(drift_mu_);
+  MutexLock lock(&drift_mu_);
   const uint64_t total = total_reports_.load(std::memory_order_relaxed);
   if (any_claim_ &&
       total - reports_at_last_claim_ < options_.cooldown_reports) {
@@ -101,7 +101,7 @@ bool FeedbackRegistry::ClaimDrift() {
 void FeedbackRegistry::OnPublish() {
   for (size_t s = 0; s < shard_count_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (auto& kv : shard.families) {
       Family& family = kv.second;
       if (family.converged) continue;
@@ -117,8 +117,9 @@ void FeedbackRegistry::OnPublish() {
 size_t FeedbackRegistry::family_count() const {
   size_t count = 0;
   for (size_t s = 0; s < shard_count_; ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mu);
-    count += shards_[s].families.size();
+    const Shard& shard = shards_[s];
+    MutexLock lock(&shard.mu);
+    count += shard.families.size();
   }
   return count;
 }
@@ -126,8 +127,9 @@ size_t FeedbackRegistry::family_count() const {
 size_t FeedbackRegistry::converged_count() const {
   size_t count = 0;
   for (size_t s = 0; s < shard_count_; ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mu);
-    for (const auto& kv : shards_[s].families) {
+    const Shard& shard = shards_[s];
+    MutexLock lock(&shard.mu);
+    for (const auto& kv : shard.families) {
       if (kv.second.converged) ++count;
     }
   }
@@ -137,8 +139,9 @@ size_t FeedbackRegistry::converged_count() const {
 std::vector<FamilyFeedback> FeedbackRegistry::Snapshot() const {
   std::vector<FamilyFeedback> out;
   for (size_t s = 0; s < shard_count_; ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mu);
-    for (const auto& kv : shards_[s].families) {
+    const Shard& shard = shards_[s];
+    MutexLock lock(&shard.mu);
+    for (const auto& kv : shard.families) {
       const Family& family = kv.second;
       FamilyFeedback ff;
       ff.fingerprint = kv.first;
@@ -154,6 +157,7 @@ std::vector<FamilyFeedback> FeedbackRegistry::Snapshot() const {
             family.window[(start + i) % options_.window_size]);
       }
       ff.windowed_mean_abs_error = WindowMeanAbs(family);
+      ff.stash = family.stash;
       out.push_back(std::move(ff));
     }
   }

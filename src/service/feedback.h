@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "cost/units.h"
 
 namespace uqp {
@@ -50,6 +51,17 @@ struct FeedbackOptions {
   std::function<CostUnits()> recalibrate;
 };
 
+/// The family's last successfully computed prediction, kept so a report
+/// arriving after the plan was evicted from the artifact cache (or flushed
+/// by InvalidateCache) still yields an error instead of being dropped.
+/// Written by the service's error callback on every cache-backed error
+/// computation; read as the fallback when the cache lookup misses.
+struct PredictionStash {
+  double mean_ms = 0.0;  ///< predicted mean of the family's last prediction
+  uint64_t epoch = 0;    ///< calibration epoch that prediction combined under
+  bool valid = false;
+};
+
 /// Introspection snapshot of one plan family's feedback state (tests, the
 /// drift_storm bench, monitoring).
 struct FamilyFeedback {
@@ -62,6 +74,8 @@ struct FamilyFeedback {
   std::vector<double> window;
   /// Mean |relative error| over the current window (0 when empty).
   double windowed_mean_abs_error = 0.0;
+  /// Last-prediction stash (see PredictionStash).
+  PredictionStash stash;
 };
 
 /// Sharded, thread-safe per-plan-family error tracking with deterministic
@@ -77,7 +91,8 @@ class FeedbackRegistry {
  public:
   enum class Action {
     kDisabled,         ///< feedback off; nothing recorded
-    kDropped,          ///< error not computable (plan not cached); no update
+    kDropped,          ///< error not computable (plan not cached AND no
+                       ///< last-prediction stash to fall back on); no update
     kTracked,          ///< error recorded, no decision yet
     kConverged,        ///< this report completed a converging window
     kSkippedConverged, ///< family converged: no combine, no window update
@@ -88,12 +103,20 @@ class FeedbackRegistry {
 
   FeedbackRegistry(FeedbackOptions options, size_t shard_count);
 
-  /// Records one observation for the family. `error_fn` computes the
-  /// signed relative error lazily — it is invoked only when the family is
-  /// actually tracked (or probed), which is exactly the overhead a
-  /// converged family stops paying. Returns what happened.
-  Action Observe(uint64_t fingerprint,
-                 const std::function<bool(double*)>& error_fn);
+  /// Computes the signed relative error of one observation, lazily. The
+  /// callback receives the family's last-prediction stash: on a cache hit
+  /// it should refresh the stash with the prediction it compared against;
+  /// on a cache miss (evicted/flushed plan) it may fall back to the
+  /// stashed mean so the report still lands instead of dropping. Returns
+  /// false only when no prediction exists anywhere to compare against.
+  using ErrorFn = std::function<bool(PredictionStash* stash, double* error)>;
+
+  /// Records one observation for the family. `error_fn` is invoked only
+  /// when the family is actually tracked (or probed), which is exactly the
+  /// overhead a converged family stops paying; it runs under the family
+  /// shard's mutex, so stash reads/updates are serialized per family.
+  /// Returns what happened.
+  Action Observe(uint64_t fingerprint, const ErrorFn& error_fn);
 
   /// Serializes drift handling: returns true for exactly one caller per
   /// cooldown window (checked against total reports). The winner should
@@ -128,10 +151,13 @@ class FeedbackRegistry {
     uint64_t reports = 0;
     uint64_t window_updates = 0;
     bool converged = false;
+    /// Last successfully computed prediction (see PredictionStash): the
+    /// fallback comparison point for evicted-but-reported plans.
+    PredictionStash stash;
   };
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, Family> families;
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, Family> families UQP_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(uint64_t fingerprint) const {
@@ -147,9 +173,9 @@ class FeedbackRegistry {
 
   std::atomic<uint64_t> total_reports_{0};
   /// Guards the drift cooldown bookkeeping (claims + publish watermark).
-  mutable std::mutex drift_mu_;
-  bool any_claim_ = false;
-  uint64_t reports_at_last_claim_ = 0;
+  mutable Mutex drift_mu_;
+  bool any_claim_ UQP_GUARDED_BY(drift_mu_) = false;
+  uint64_t reports_at_last_claim_ UQP_GUARDED_BY(drift_mu_) = 0;
 };
 
 }  // namespace uqp

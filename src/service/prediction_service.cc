@@ -17,8 +17,11 @@ struct ParallelState {
   std::atomic<size_t> done{0};
   size_t total = 0;
   const std::function<void(size_t)>* fn = nullptr;
-  std::mutex mu;
-  std::condition_variable cv;
+  /// Guards nothing directly (the counters are atomics): taken only so the
+  /// completion notify and the caller's wait agree on one lock and the
+  /// final wakeup cannot be lost.
+  Mutex mu;
+  CondVar cv;
 
   void Pull() {
     for (;;) {
@@ -26,8 +29,8 @@ struct ParallelState {
       if (i >= total) return;
       (*fn)(i);
       if (done.fetch_add(1) + 1 == total) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_all();
+        MutexLock lock(&mu);
+        cv.NotifyAll();
       }
     }
   }
@@ -84,6 +87,10 @@ PredictionService::PredictionService(const Database* db, const SampleDb* samples
   for (Shard& shard : shards_) shard.slots.resize(slot_count * kSlotWays);
   stripes_storage_.reset(new StatsStripe[shard_count]);
   stripes_ = stripes_storage_.get();
+  // The plan registry shards by the same fingerprint mask as the cache, so
+  // a cold async storm across distinct plans never serializes on one
+  // registry lock (ROADMAP direction-2 follow-up).
+  registry_shards_.reset(new RegistryShard[shard_count]);
 
   if (options_.feedback.enabled && options_.feedback.window_size > 0) {
     feedback_.reset(new FeedbackRegistry(options_.feedback, shard_count));
@@ -99,11 +106,11 @@ PredictionService::~PredictionService() { Shutdown(); }
 
 void PredictionService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(&pool_mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  pool_cv_.notify_all();
+  pool_cv_.NotifyAll();
   // Workers drain the queue before exiting, so every future handed out by
   // PredictAsync before the shutdown flag was set is satisfied. Requests
   // that lose the race (PredictAsync observing shutdown_ == true) are
@@ -119,12 +126,12 @@ void PredictionService::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(pool_mu_);
-      pool_cv_.wait(lock, [&] { return shutdown_ || !pool_queue_.empty(); });
-      if (pool_queue_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lock(&pool_mu_);
+      // Explicit predicate loop (not the wait-with-lambda overload): the
+      // guarded reads of shutdown_/pool_queue_ stay in this function,
+      // where the thread-safety analysis can prove pool_mu_ is held.
+      while (!shutdown_ && pool_queue_.empty()) pool_cv_.Wait(pool_mu_);
+      if (pool_queue_.empty()) return;  // shutdown_ set and queue drained
       // FIFO: the oldest request is served next. (A LIFO pop would starve
       // the oldest PredictAsync under sustained load.)
       task = std::move(pool_queue_.front());
@@ -147,7 +154,7 @@ void PredictionService::ParallelFor(size_t n,
   const size_t helpers = std::min(workers_.size(), n - 1);
   bool enqueued = false;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(&pool_mu_);
     // After Shutdown nobody pops the queue: don't park helper closures
     // there forever — the calling thread just runs every index itself.
     if (!shutdown_) {
@@ -157,10 +164,10 @@ void PredictionService::ParallelFor(size_t n,
       enqueued = true;
     }
   }
-  if (enqueued) pool_cv_.notify_all();
+  if (enqueued) pool_cv_.NotifyAll();
   state->Pull();  // the calling thread shards too
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->done.load() == n; });
+  MutexLock lock(&state->mu);
+  while (state->done.load() != n) state->cv.Wait(state->mu);
 }
 
 uint64_t PredictionService::Fingerprint(const Plan& plan,
@@ -171,10 +178,11 @@ uint64_t PredictionService::Fingerprint(const Plan& plan,
 
 std::shared_ptr<const Plan> PredictionService::InternPlan(
     const Plan& plan, const std::string& key, uint64_t fingerprint) {
+  RegistryShard& shard = RegistryShardFor(fingerprint);
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    auto it = plan_registry_.find(key);
-    if (it != plan_registry_.end()) {
+    MutexLock lock(&shard.mu);
+    auto it = shard.plans.find(key);
+    if (it != shard.plans.end()) {
       ++it->second.refs;
       return it->second.plan;
     }
@@ -182,8 +190,8 @@ std::shared_ptr<const Plan> PredictionService::InternPlan(
   // Deep-copy outside the lock: the clone walks every node, schema and
   // expression of the plan, and must not serialize unrelated submitters.
   auto clone = std::make_shared<const Plan>(plan.Clone());
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  auto [it, inserted] = plan_registry_.try_emplace(key);
+  MutexLock lock(&shard.mu);
+  auto [it, inserted] = shard.plans.try_emplace(key);
   if (inserted) {
     it->second.plan = std::move(clone);
     StripeFor(fingerprint).plan_clones.fetch_add(1, std::memory_order_relaxed);
@@ -193,17 +201,25 @@ std::shared_ptr<const Plan> PredictionService::InternPlan(
   return it->second.plan;
 }
 
-void PredictionService::ReleasePlan(const std::string& key) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  auto it = plan_registry_.find(key);
-  if (it != plan_registry_.end() && --it->second.refs == 0) {
-    plan_registry_.erase(it);
+void PredictionService::ReleasePlan(const std::string& key,
+                                    uint64_t fingerprint) {
+  RegistryShard& shard = RegistryShardFor(fingerprint);
+  MutexLock lock(&shard.mu);
+  auto it = shard.plans.find(key);
+  if (it != shard.plans.end() && --it->second.refs == 0) {
+    shard.plans.erase(it);
   }
 }
 
 size_t PredictionService::plan_registry_size() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  return plan_registry_.size();
+  size_t total = 0;
+  const size_t n = shards_.size();  // registry shard count == cache shard count
+  for (size_t i = 0; i < n; ++i) {
+    RegistryShard& shard = registry_shards_[i];
+    MutexLock lock(&shard.mu);
+    total += shard.plans.size();
+  }
+  return total;
 }
 
 void PredictionService::RecordRequest(uint64_t fingerprint, bool hit,
@@ -364,7 +380,7 @@ void PredictionService::InvalidateCache() {
   // one, even in shards the sweep below hasn't reached yet.
   generation_.fetch_add(1, std::memory_order_acq_rel);
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     shard.entries.clear();
     for (auto& slot : shard.slots) {
       std::atomic_store_explicit(&slot, EntryPtr(), std::memory_order_release);
@@ -381,7 +397,7 @@ void PredictionService::InvalidateCache() {
 size_t PredictionService::cache_size() const {
   size_t total = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     total += shard.entries.size();
   }
   return total;
@@ -447,7 +463,7 @@ PredictionService::EntryPtr PredictionService::FindEntry(
     uint64_t fingerprint) const {
   if (options_.cache_capacity == 0) return nullptr;
   Shard& shard = ShardFor(fingerprint);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.entries.find(fingerprint);
   if (it == shard.entries.end()) return nullptr;
   if (it->second->generation != generation_.load(std::memory_order_acquire)) {
@@ -464,7 +480,7 @@ void PredictionService::FulfillAsync(AsyncRequest& req,
   // fast paths) hold no reference to release — and must not decrement one
   // taken by a different request for the same key.
   if (req.plan != nullptr) {
-    ReleasePlan(req.identity->key);
+    ReleasePlan(req.identity->key, req.fingerprint);
     req.plan.reset();
   }
   if (artifacts.ok()) {
@@ -477,7 +493,7 @@ void PredictionService::FulfillAsync(AsyncRequest& req,
 void PredictionService::FulfillAsyncFromEntry(AsyncRequest& req,
                                               const EntryPtr& entry) {
   if (req.plan != nullptr) {
-    ReleasePlan(req.identity->key);
+    ReleasePlan(req.identity->key, req.fingerprint);
     req.plan.reset();
   }
   req.promise.set_value(CombineCached(entry));
@@ -491,7 +507,7 @@ void PredictionService::CompleteRun(const std::shared_ptr<Inflight>& owned,
   std::vector<std::shared_ptr<AsyncRequest>> waiters;
   Shard& shard = ShardFor(fingerprint);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     if (owned != nullptr) {
       auto it = shard.inflight.find(fingerprint);
       if (it != shard.inflight.end() && it->second == owned) {
@@ -528,7 +544,7 @@ PredictionService::Lookup PredictionService::LookupArtifacts(
     const std::shared_ptr<AsyncRequest>& park, bool register_owned) {
   Lookup lk;
   Shard& shard = ShardFor(fingerprint);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   lk.generation = generation_.load(std::memory_order_acquire);
   if (options_.cache_capacity > 0) {
     auto it = shard.entries.find(fingerprint);
@@ -704,7 +720,7 @@ std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
 
   bool rejected = false;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(&pool_mu_);
     if (shutdown_) {
       rejected = true;
     } else {
@@ -727,13 +743,13 @@ std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
     // forever. Fail fast instead.
     StripeFor(req->fingerprint)
         .async_rejects.fetch_add(1, std::memory_order_relaxed);
-    ReleasePlan(req->identity->key);
+    ReleasePlan(req->identity->key, req->fingerprint);
     req->plan.reset();
     req->promise.set_value(
         Status::Unavailable("PredictionService is shut down"));
     return future;
   }
-  pool_cv_.notify_one();
+  pool_cv_.NotifyOne();
   return future;
 }
 
@@ -839,7 +855,7 @@ VarianceBreakdown PredictionService::Recompute(const Prediction& prediction,
 
 uint64_t PredictionService::PublishCalibration(CostUnits units,
                                                std::string source) {
-  std::lock_guard<std::mutex> lock(calibration_mu_);
+  MutexLock lock(&calibration_mu_);
   const uint64_t epoch = pipeline_.calibration()->epoch + 1;
   const uint64_t reports =
       feedback_ != nullptr ? feedback_->total_reports() : 0;
@@ -870,11 +886,26 @@ void PredictionService::ReportObserved(uint64_t fingerprint,
   // The error is computed lazily — converged families skip it entirely —
   // against the family's cached prediction under the CURRENT snapshot
   // (through the epoch memo, so a hot family pays zero combination work).
-  const auto error_fn = [this, fingerprint, observed_ms](double* out) {
+  // Every cache-backed computation refreshes the family's stash; when the
+  // plan was evicted (or flushed) the stashed mean is the fallback
+  // comparison point, so late reports still land instead of dropping.
+  const auto error_fn = [this, fingerprint, observed_ms](
+                            PredictionStash* stash, double* out) {
     const EntryPtr entry = FindEntry(fingerprint);
-    if (entry == nullptr) return false;  // not cached: nothing to compare to
-    const Prediction prediction = CombineCached(entry);
-    *out = (observed_ms - prediction.mean()) / observed_ms;
+    if (entry != nullptr) {
+      const Prediction prediction = CombineCached(entry);
+      stash->mean_ms = prediction.mean();
+      stash->epoch = prediction.calibration->epoch;
+      stash->valid = true;
+      *out = (observed_ms - prediction.mean()) / observed_ms;
+      return true;
+    }
+    if (!stash->valid) return false;  // never predicted: nothing to compare to
+    // The stash may predate the current calibration epoch; that slack is
+    // bounded by one eviction-to-report gap and beats dropping the report.
+    StripeFor(fingerprint)
+        .feedback_stash_hits.fetch_add(1, std::memory_order_relaxed);
+    *out = (observed_ms - stash->mean_ms) / observed_ms;
     return true;
   };
   const FeedbackRegistry::Action action =
@@ -933,6 +964,8 @@ ServiceStats PredictionService::stats() const {
     out.recalibrations += s.recalibrations.load(std::memory_order_relaxed);
     out.feedback_reports += s.feedback_reports.load(std::memory_order_relaxed);
     out.feedback_dropped += s.feedback_dropped.load(std::memory_order_relaxed);
+    out.feedback_stash_hits +=
+        s.feedback_stash_hits.load(std::memory_order_relaxed);
   }
   out.predictions = out.cache_hits + out.cache_misses;
   if (feedback_ != nullptr) {

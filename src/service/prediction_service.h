@@ -1,20 +1,20 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/pipeline.h"
 #include "cost/snapshot.h"
 #include "engine/plan.h"
@@ -111,8 +111,12 @@ struct ServiceStats {
                                   ///< stage-3 memo (stage-1/2 untouched)
   uint64_t recalibrations = 0;    ///< drift-triggered snapshot publishes
   uint64_t feedback_reports = 0;  ///< ReportObserved calls accepted
-  uint64_t feedback_dropped = 0;  ///< reports with no usable error (plan not
-                                  ///< cached, non-positive observation)
+  uint64_t feedback_dropped = 0;  ///< reports with no usable error (plan never
+                                  ///< predicted, non-positive observation)
+  uint64_t feedback_stash_hits = 0;  ///< reports for evicted/flushed plans
+                                     ///< served from the family's
+                                     ///< last-prediction stash instead of
+                                     ///< being dropped
   uint64_t converged_families = 0;  ///< gauge: plan families currently
                                     ///< converged (no longer tracked)
   uint64_t feedback_families = 0;   ///< gauge: plan families ever reported
@@ -260,8 +264,12 @@ class PredictionService {
   /// past FeedbackOptions::drift_threshold triggers one recalibration
   /// (FeedbackOptions::recalibrate → PublishCalibration) per cooldown.
   /// The error is computed against the family's cached prediction under
-  /// the CURRENT epoch; reports for plans not in the cache are dropped
-  /// (counted in stats().feedback_dropped). No-op unless
+  /// the CURRENT epoch; a report for a plan that fell out of the cache
+  /// (evicted or flushed) falls back to the family's last-prediction
+  /// stash (counted in stats().feedback_stash_hits), so an
+  /// evicted-but-reported family still tracks instead of dropping.
+  /// Only a family that was never predicted at all drops its reports
+  /// (stats().feedback_dropped). No-op unless
   /// ServiceOptions::feedback.enabled.
   void ReportObserved(const Plan& plan, double observed_ms);
   void ReportObserved(uint64_t fingerprint, double observed_ms);
@@ -341,10 +349,15 @@ class PredictionService {
     IdentityPtr identity;  ///< structure of the plan being computed
     std::promise<StatusOr<Artifacts>> promise;
     std::shared_future<StatusOr<Artifacts>> future;
-    /// Parked async losers, guarded by the owning shard's mutex. Only
-    /// mutated while this entry is reachable from the shard's in-flight
-    /// map; the completing thread detaches the list under the same lock,
-    /// so no continuation is ever lost.
+    /// Parked async losers, guarded by the owning shard's mutex — a
+    /// capability that is not a member of this struct, so the invariant
+    /// is not expressible as a GUARDED_BY annotation (thread-safety
+    /// analysis can only name capabilities reachable from the declaration).
+    /// The discipline is structural instead: `waiters` is only mutated
+    /// while this entry is reachable from the shard's in-flight map
+    /// (LookupArtifacts parks under shard.mu), and the completing thread
+    /// detaches the whole list under the same lock (CompleteRun), so no
+    /// continuation is ever lost.
     std::vector<std::shared_ptr<AsyncRequest>> waiters;
   };
 
@@ -401,16 +414,21 @@ class PredictionService {
     std::atomic<uint64_t> recalibrations{0};
     std::atomic<uint64_t> feedback_reports{0};
     std::atomic<uint64_t> feedback_dropped{0};
+    std::atomic<uint64_t> feedback_stash_hits{0};
   };
 
   /// One cache + in-flight shard. `slots` is the lock-free publication
   /// layer: a fixed direct-mapped array of kSlotWays-way shared_ptr slot
-  /// groups accessed only through std::atomic_load/atomic_store;
-  /// `entries` (under `mu`) is the authority for residency and capacity.
+  /// groups accessed only through std::atomic_load/atomic_store — outside
+  /// the mutex capability model by design (the published-slot read path is
+  /// the one that must never take `mu`), so the slot protocol is covered
+  /// by TSan and the generation check rather than GUARDED_BY; `entries`
+  /// (under `mu`) is the authority for residency and capacity.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, EntryPtr> entries;
-    std::unordered_map<uint64_t, std::shared_ptr<Inflight>> inflight;
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, EntryPtr> entries UQP_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::shared_ptr<Inflight>> inflight
+        UQP_GUARDED_BY(mu);
     /// Published entries; size is (power of two) * kSlotWays, fixed at
     /// construction. Never resized, so concurrent element access is safe.
     std::vector<EntryPtr> slots;
@@ -496,17 +514,19 @@ class PredictionService {
   /// Publishes `entry` into its slot group (shard mutex held): reuses the
   /// way already holding this fingerprint, else an empty way, else
   /// displaces the way with the older recency tick.
-  void PublishSlotLocked(Shard& shard, const EntryPtr& entry);
+  void PublishSlotLocked(Shard& shard, const EntryPtr& entry)
+      UQP_REQUIRES(shard.mu);
   /// Clears any way still pointing at `entry` (shard mutex held).
-  void UnpublishSlotLocked(Shard& shard, const EntryPtr& entry);
+  void UnpublishSlotLocked(Shard& shard, const EntryPtr& entry)
+      UQP_REQUIRES(shard.mu);
 
   /// Deep-copies (or reuses the already-interned copy of) `plan` into the
-  /// registry and takes a reference; every Intern must be paired with one
-  /// ReleasePlan(key).
+  /// fingerprint's registry shard and takes a reference; every Intern must
+  /// be paired with one ReleasePlan(key, fingerprint).
   std::shared_ptr<const Plan> InternPlan(const Plan& plan,
                                          const std::string& key,
                                          uint64_t fingerprint);
-  void ReleasePlan(const std::string& key);
+  void ReleasePlan(const std::string& key, uint64_t fingerprint);
 
   /// Single-plan prediction on the calling thread: lock-free hit → memoed
   /// combine; locked hit → memoed combine; in-flight duplicate → block on
@@ -553,7 +573,7 @@ class PredictionService {
   /// the shard exceeds its capacity share.
   void CachePutLocked(Shard& shard, uint64_t fingerprint,
                       const IdentityPtr& identity, Artifacts artifacts,
-                      uint64_t generation);
+                      uint64_t generation) UQP_REQUIRES(shard.mu);
 
   /// Drift handler: at most one caller per cooldown re-derives the cost
   /// units (FeedbackOptions::recalibrate, run outside every lock) and
@@ -608,9 +628,12 @@ class PredictionService {
 
   // ----- versioned calibration + feedback loop -----
   /// Serializes epoch assignment (PublishCalibration): the snapshot
-  /// pointer itself is lock-free (atomic shared_ptr in the pipeline), the
-  /// mutex only guarantees epochs are unique and monotone.
-  std::mutex calibration_mu_;
+  /// pointer itself is lock-free (an atomic shared_ptr swap inside the
+  /// pipeline, deliberately outside the mutex capability model — see
+  /// PredictionPipeline::calibration_); this mutex only guarantees epochs
+  /// are unique and monotone, so it guards no fields, just the
+  /// read-increment-publish sequence.
+  Mutex calibration_mu_;
   /// Per-plan-family windowed error tracking; null when feedback is
   /// disabled (zero overhead).
   std::unique_ptr<FeedbackRegistry> feedback_;
@@ -620,23 +643,36 @@ class PredictionService {
   mutable std::unique_ptr<StatsStripe[]> stripes_storage_;
   StatsStripe* stripes_ = nullptr;
 
-  // ----- plan registry (owned clones for outstanding async requests) -----
-  mutable std::mutex registry_mu_;
+  // ----- plan registry (owned clones for outstanding async requests),
+  // sharded by fingerprint exactly like the cache: a cold-plan async storm
+  // across distinct plans interns and releases without a global lock -----
   struct RegisteredPlan {
     std::shared_ptr<const Plan> plan;
     size_t refs = 0;
   };
-  std::unordered_map<std::string, RegisteredPlan> plan_registry_;
+  struct alignas(64) RegistryShard {
+    mutable Mutex mu;
+    /// Keyed by canonical structural key: two plans colliding on a forced
+    /// fingerprint (test seam) still intern separately.
+    std::unordered_map<std::string, RegisteredPlan> plans UQP_GUARDED_BY(mu);
+  };
+  RegistryShard& RegistryShardFor(uint64_t fingerprint) const {
+    return registry_shards_[static_cast<size_t>(fingerprint) & shard_mask_];
+  }
+  mutable std::unique_ptr<RegistryShard[]> registry_shards_;
 
   // ----- worker pool -----
-  std::mutex pool_mu_;
-  std::condition_variable pool_cv_;
+  Mutex pool_mu_;
+  CondVar pool_cv_;
+  /// Written only by the constructor, joined by Shutdown; never otherwise
+  /// mutated, so concurrent readers (ParallelFor, num_workers) race with
+  /// nothing and no capability is needed.
   std::vector<std::thread> workers_;
   /// FIFO: workers pop the front, enqueuers push the back, so the oldest
   /// PredictAsync request is always served next (no starvation under
   /// sustained load).
-  std::deque<std::function<void()>> pool_queue_;
-  bool shutdown_ = false;
+  std::deque<std::function<void()>> pool_queue_ UQP_GUARDED_BY(pool_mu_);
+  bool shutdown_ UQP_GUARDED_BY(pool_mu_) = false;
 };
 
 }  // namespace uqp

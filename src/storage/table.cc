@@ -29,28 +29,43 @@ void Table::AppendRow(const Value* row) {
 
 Table& Table::operator=(const Table& other) {
   if (this == &other) return *this;
-  std::lock_guard<std::mutex> lock(other.index_mu_);
+  // Stage the guarded state under the source's lock, then install it under
+  // our own: the two critical sections never nest, so two threads
+  // cross-assigning a pair of tables cannot deadlock — and each guarded
+  // access happens under exactly its own table's mutex.
+  std::map<int, std::vector<uint32_t>> indexes;
+  {
+    MutexLock lock(&other.index_mu_);
+    indexes = other.ordered_indexes_;
+  }
   name_ = other.name_;
   schema_ = other.schema_;
   values_ = other.values_;
   declared_indexes_ = other.declared_indexes_;
-  ordered_indexes_ = other.ordered_indexes_;
+  MutexLock lock(&index_mu_);
+  ordered_indexes_ = std::move(indexes);
   return *this;
 }
 
 Table& Table::operator=(Table&& other) {
   if (this == &other) return *this;
-  std::lock_guard<std::mutex> lock(other.index_mu_);
+  std::map<int, std::vector<uint32_t>> indexes;
+  {
+    MutexLock lock(&other.index_mu_);
+    indexes = std::move(other.ordered_indexes_);
+    other.ordered_indexes_.clear();
+  }
   name_ = std::move(other.name_);
   schema_ = std::move(other.schema_);
   values_ = std::move(other.values_);
   declared_indexes_ = std::move(other.declared_indexes_);
-  ordered_indexes_ = std::move(other.ordered_indexes_);
+  MutexLock lock(&index_mu_);
+  ordered_indexes_ = std::move(indexes);
   return *this;
 }
 
 const std::vector<uint32_t>& Table::OrderedIndex(int column) const {
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(&index_mu_);
   auto it = ordered_indexes_.find(column);
   if (it != ordered_indexes_.end()) return it->second;
   const int64_t rows = num_rows();

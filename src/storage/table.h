@@ -2,11 +2,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/schema.h"
 #include "storage/value.h"
 
@@ -95,9 +96,13 @@ class Table {
   Schema schema_;
   std::vector<Value> values_;
   std::map<int, bool> declared_indexes_;
-  /// Guards the lazy build of ordered_indexes_ (see OrderedIndex).
-  mutable std::mutex index_mu_;
-  mutable std::map<int, std::vector<uint32_t>> ordered_indexes_;
+  /// Guards the lazy build of ordered_indexes_ (see OrderedIndex). The
+  /// references OrderedIndex hands out outlive the lock by design: map
+  /// nodes are stable and entries are never erased, so only the build and
+  /// the first lookup need serialization.
+  mutable Mutex index_mu_;
+  mutable std::map<int, std::vector<uint32_t>> ordered_indexes_
+      UQP_GUARDED_BY(index_mu_);
 };
 
 }  // namespace uqp

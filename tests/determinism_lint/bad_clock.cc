@@ -1,0 +1,18 @@
+// Fixture: wall/steady clock reads on a contract path must be flagged.
+// Expected findings: banned-clock (x3).
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long WallSeconds() { return time(nullptr); }
+
+long CpuTicks() { return clock(); }
+
+double MonotonicMs() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t.time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

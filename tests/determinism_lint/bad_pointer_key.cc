@@ -1,0 +1,17 @@
+// Fixture: ordered containers keyed on pointers iterate in
+// allocation-address order, which differs run to run under ASLR.
+// Expected findings: pointer-key (x2).
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Node {
+  std::string name;
+};
+
+std::map<const Node*, double> g_costs;   // address-ordered
+std::set<Node*> g_visited;               // address-ordered
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: unseeded randomness on a contract path must be flagged.
+// Expected findings: banned-random (x3).
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+double DrawNoise() {
+  std::random_device rd;  // nondeterministic seed source
+  return static_cast<double>(rd());
+}
+
+int LegacyDraw() { return rand() % 100; }
+
+void SeedFromNowhere() { srand(42); }
+
+}  // namespace fixture

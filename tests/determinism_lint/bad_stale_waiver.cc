@@ -1,0 +1,15 @@
+// Fixture: a waiver whose construct was deleted (or that was misplaced)
+// must be flagged so waivers stay honest.
+// Expected findings: stale-waiver.
+#include <vector>
+
+namespace fixture {
+
+int Sum(const std::vector<int>& xs) {
+  int total = 0;
+  // det-lint: fixed-shape
+  for (int x : xs) total += x;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: iterating an unordered container in output-producing code must
+// be flagged — range-for and explicit .begin()/.cbegin() forms.
+// Expected findings: unordered-iteration (x3).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::vector<uint64_t> EmitKeys(
+    const std::unordered_map<uint64_t, double>& weights) {
+  std::unordered_map<uint64_t, double> scaled = weights;
+  std::vector<uint64_t> out;
+  for (const auto& [key, w] : scaled) {  // hash-seed-dependent order
+    if (w > 0.0) out.push_back(key);
+  }
+  return out;
+}
+
+double FirstElement(const std::unordered_set<int>& seen) {
+  std::unordered_set<int> pinned = seen;
+  auto it = pinned.begin();  // "first" depends on the hash seed
+  double front = static_cast<double>(*it);
+  for (auto jt = pinned.cbegin(); jt != pinned.cend(); ++jt) {
+    front += 0.5 * static_cast<double>(*jt);  // order-sensitive fp sum
+  }
+  return front;
+}
+
+}  // namespace fixture

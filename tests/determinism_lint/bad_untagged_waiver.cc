@@ -1,0 +1,14 @@
+// Fixture: a waiver must name its reason — a bare tagless waiver comment
+// suppresses the underlying finding but is itself flagged.
+// Expected findings: untagged-waiver.
+#include <algorithm>
+#include <vector>
+
+namespace fixture {
+
+void SortSomething(std::vector<int>* xs) {
+  // det-lint:
+  std::sort(xs->begin(), xs->end());
+}
+
+}  // namespace fixture

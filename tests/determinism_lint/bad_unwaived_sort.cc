@@ -1,0 +1,21 @@
+// Fixture: std::sort without a det-lint waiver must be flagged — on equal
+// keys its output permutation is implementation-defined, and a
+// thread-count-dependent input order launders straight through it.
+// Expected findings: unwaived-sort (x2).
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+void OrderByScore(std::vector<std::pair<double, uint64_t>>* rows) {
+  std::sort(rows->begin(), rows->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+void StableButLaundering(std::vector<double>* xs) {
+  std::stable_sort(xs->begin(), xs->end());
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: iteration over ordered/sequence containers is deterministic and
+// must NOT be flagged — including value-keyed std::map/std::set.
+// Expected: clean.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+double SumInKeyOrder(const std::map<std::string, double>& by_name) {
+  double total = 0.0;
+  for (const auto& [name, v] : by_name) {
+    (void)name;
+    total += v;
+  }
+  return total;
+}
+
+uint64_t FirstId(const std::set<uint64_t>& ids) { return *ids.begin(); }
+
+int SumVector(const std::vector<int>& xs) {
+  int total = 0;
+  for (auto it = xs.begin(); it != xs.end(); ++it) total += *it;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: seeded, substreamed randomness is the sanctioned pattern and
+// must NOT be flagged — only unseeded sources (random_device, rand) are.
+// Expected: clean.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+double SeededDraw(uint64_t seed, uint64_t substream) {
+  std::mt19937_64 gen(seed * 0x9e3779b97f4a7c15ULL + substream);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen);
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: banned constructs inside comments and string literals must NOT
+// be flagged — the linter strips both before matching.
+// Expected: clean.
+//
+// This comment mentions std::random_device, rand(), time(nullptr),
+// std::chrono::steady_clock::now() and std::sort — none of which executes.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+/* Block comments too: for (const auto& kv : some_unordered_map) {} */
+
+std::string Describe() {
+  return "calls rand() and time() and iterates an unordered_map.begin()";
+}
+
+const char* kHint = "std::sort(v.begin(), v.end())";
+
+}  // namespace fixture

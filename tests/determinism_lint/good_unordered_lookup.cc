@@ -1,0 +1,24 @@
+// Fixture: point lookups and size checks on unordered containers are
+// order-insensitive and must NOT be flagged — only *iteration* is banned.
+// Expected: clean.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+double Lookup(const std::unordered_map<uint64_t, double>& weights,
+              uint64_t key) {
+  auto it = weights.find(key);
+  return it == weights.end() ? 0.0 : it->second;
+}
+
+bool Contains(const std::unordered_set<int>& seen, int x) {
+  return seen.count(x) > 0;
+}
+
+size_t Cardinality(const std::unordered_map<uint64_t, double>& weights) {
+  return weights.size();
+}
+
+}  // namespace fixture

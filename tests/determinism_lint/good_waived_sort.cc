@@ -1,0 +1,19 @@
+// Fixture: waived sorts pass — tag on the same line or the line above.
+// Expected: clean.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+void SortLeafBlock(std::vector<uint32_t>* order) {
+  // Block boundaries depend only on batch size; rid tie-break totalizes.
+  // det-lint: fixed-shape
+  std::sort(order->begin(), order->end());
+}
+
+void CanonicalizeSamples(std::vector<double>* samples) {
+  std::sort(samples->begin(), samples->end());  // det-lint: sorted-output
+}
+
+}  // namespace fixture

@@ -1336,6 +1336,63 @@ TEST_F(ServiceTest, ConvergedFamilyStopsPayingTrackingOverhead) {
   EXPECT_EQ(stats.converged_families, 1u);
 }
 
+TEST_F(ServiceTest, EvictedPlanReportsLandViaLastPredictionStash) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.feedback.enabled = true;
+  options.feedback.window_size = 16;       // stay un-converged throughout
+  options.feedback.converge_threshold = 0.0;
+  options.feedback.drift_threshold = 1e9;  // never drift: isolate the stash
+  PredictionService service(db_, samples_, *units_, options);
+  const Plan& plan = (*plans_)[0];
+  auto pred = service.Predict(plan);
+  ASSERT_TRUE(pred.ok());
+  const double observed = pred->mean() * 1.25;
+
+  // Cache-backed report: computes the error against the cached prediction
+  // and stashes that prediction as the family's fallback comparison point.
+  service.ReportObserved(plan, observed);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.feedback_reports, 1u);
+  EXPECT_EQ(stats.feedback_dropped, 0u);
+  EXPECT_EQ(stats.feedback_stash_hits, 0u);
+  auto families = service.FeedbackSnapshot();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_TRUE(families[0].stash.valid);
+  EXPECT_DOUBLE_EQ(families[0].stash.mean_ms, pred->mean());
+  EXPECT_EQ(families[0].stash.epoch, 1u);
+
+  // Evict everything. Before the stash, a report on an evicted plan had no
+  // prediction to compare against and bumped feedback_dropped; now the
+  // stashed mean keeps the error series alive across the eviction.
+  service.InvalidateCache();
+  service.ReportObserved(plan, observed);
+  service.ReportObserved(plan, observed);
+  stats = service.stats();
+  EXPECT_EQ(stats.feedback_reports, 3u);
+  EXPECT_EQ(stats.feedback_dropped, 0u)
+      << "evicted-but-stashed reports must not drop";
+  EXPECT_EQ(stats.feedback_stash_hits, 2u);
+  families = service.FeedbackSnapshot();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].window_updates, 3u)
+      << "the error window must keep filling from the stash";
+
+  // Re-predicting refreshes the family through the cache path again — no
+  // further stash hits once the entry is back.
+  ASSERT_TRUE(service.Predict(plan).ok());
+  service.ReportObserved(plan, observed);
+  stats = service.stats();
+  EXPECT_EQ(stats.feedback_stash_hits, 2u);
+  EXPECT_EQ(stats.feedback_dropped, 0u);
+
+  // A family that was NEVER predicted has nothing stashed: still drops —
+  // the stash must not fabricate a comparison point.
+  service.ReportObserved((*plans_)[2], 5.0);
+  stats = service.stats();
+  EXPECT_EQ(stats.feedback_dropped, 1u);
+}
+
 TEST_F(ServiceTest, DriftTriggersRecalibrationAndErrorRecovery) {
   ServiceOptions options;
   options.num_workers = 1;

@@ -1,0 +1,238 @@
+// Uncertainty-driven scheduling scenario suite (paper §6.5.3, ROADMAP
+// item 3): the deterministic SLO simulator replays seeded query streams
+// with tight deadlines against K server slots, comparing the
+// distribution-aware policy pair (admission by P[t > deadline] < eps,
+// dispatch by risk-adjusted slack) against the two baselines the
+// Kleerekoper et al. question names — mean-only and optimizer-cost-only.
+//
+// Acceptance gates (the CI JSON's "pass"):
+//   - on the poisson and zipf-skew mixes the distribution policy has
+//     STRICTLY fewer SLO violations than both baselines, at
+//     equal-or-better goodput (SLO-met admitted completions per second
+//     of makespan — so reject-everything scores zero and
+//     admit-everything pays for its violations);
+//   - the simulator event log is byte-identical across service thread
+//     counts and across reruns at a fixed seed (the scheduling analogue
+//     of parallel_parity_test).
+//
+//   build/bench/bench_schedule_sim
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cost/calibration.h"
+#include "datagen/tpch.h"
+#include "hw/machine.h"
+#include "sampling/sample_db.h"
+#include "schedule/simulator.h"
+
+using namespace uqp;
+
+namespace {
+
+struct PolicyRow {
+  const char* name;
+  SimPolicy policy;
+  SimMetrics metrics;
+  uint64_t log_hash = 0;
+};
+
+ServiceOptions MakeServiceOptions(int num_threads) {
+  ServiceOptions o;
+  o.predictor.num_threads = num_threads;
+  o.predictor.max_batch_size = 0;
+  o.feedback.enabled = true;  // observations flow back; detect-only drift
+  return o;
+}
+
+std::vector<PolicyRow> MakePolicies(double eps) {
+  std::vector<PolicyRow> rows(3);
+  rows[0].name = "distribution";
+  rows[0].policy.admission = {AdmissionPolicyKind::kDistribution, eps, 1.0};
+  rows[0].policy.ordering = {OrderingPolicyKind::kRiskAdjustedSlack, eps};
+  rows[1].name = "mean_only";
+  rows[1].policy.admission = {AdmissionPolicyKind::kMeanOnly, eps, 1.0};
+  rows[1].policy.ordering = {OrderingPolicyKind::kExpectedSlack, eps};
+  rows[2].name = "cost_only";
+  rows[2].policy.admission = {AdmissionPolicyKind::kCostOnly, eps, 1.0};
+  rows[2].policy.ordering = {OrderingPolicyKind::kFifo, eps};
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  Database db = MakeTpchDatabase(TpchConfig::Profile("tiny"));
+  SimulatedMachine machine(MachineProfile::PC1(), 23);
+  Calibrator calibrator(&machine);
+  const CostUnits units = calibrator.Calibrate();
+  SampleOptions sample_options;
+  sample_options.sampling_ratio = 0.05;
+  const SampleDb samples = SampleDb::Build(db, sample_options);
+
+  const double kEps = 0.15;
+
+  // Three traffic shapes. The first two carry the policy-dominance gate;
+  // the bursty randwalk row is reported for the trajectory.
+  struct ScenarioRow {
+    const char* name;
+    ScenarioOptions options;
+    bool gated;
+  };
+  std::vector<ScenarioRow> scenarios;
+  {
+    ScenarioRow poisson{"poisson_seljoin", {}, true};
+    poisson.options.workload = "seljoin";
+    poisson.options.trace = "poisson";
+    poisson.options.mix = "roundrobin";
+    poisson.options.num_jobs = 240;
+    poisson.options.servers = 2;
+    poisson.options.load = 0.9;
+    poisson.options.seed = 1;
+    scenarios.push_back(poisson);
+
+    ScenarioRow zipf{"zipf_mixed", {}, true};
+    zipf.options.workload = "mixed";
+    zipf.options.workload_size = 1;
+    zipf.options.trace = "poisson";
+    zipf.options.mix = "zipf";
+    zipf.options.zipf_z = 1.0;
+    zipf.options.num_jobs = 240;
+    zipf.options.servers = 2;
+    zipf.options.load = 0.9;
+    zipf.options.seed = 2;
+    scenarios.push_back(zipf);
+
+    ScenarioRow burst{"randwalk_seljoin", {}, false};
+    burst.options.workload = "seljoin";
+    burst.options.trace = "randwalk";
+    burst.options.mix = "roundrobin";
+    burst.options.num_jobs = 240;
+    burst.options.servers = 2;
+    burst.options.load = 0.9;
+    burst.options.seed = 3;
+    scenarios.push_back(burst);
+  }
+
+  Simulator sim(&db, &samples, units, MakeServiceOptions(0));
+
+  bool policy_pass = true;
+  std::string scen_json = "[";
+  bool first_scen = true;
+  // Kept for the determinism probe below.
+  ScheduleScenario det_scenario;
+  SimPolicy det_policy;
+
+  for (auto& row : scenarios) {
+    ScheduleScenario scenario =
+        BuildScenario(db, samples, units, &machine, row.options);
+    auto policies = MakePolicies(kEps);
+    for (auto& p : policies) {
+      SimResult r = sim.Run(scenario, p.policy);
+      p.metrics = r.metrics;
+      p.log_hash = EventLogHash(r.event_log);
+    }
+    const SimMetrics& dist = policies[0].metrics;
+    const SimMetrics& mean = policies[1].metrics;
+    const SimMetrics& cost = policies[2].metrics;
+    bool scen_pass = true;
+    if (row.gated) {
+      scen_pass = dist.violations < mean.violations &&
+                  dist.violations < cost.violations &&
+                  dist.goodput_per_s >= mean.goodput_per_s &&
+                  dist.goodput_per_s >= cost.goodput_per_s;
+      policy_pass = policy_pass && scen_pass;
+    }
+
+    std::printf("--- scenario %s (trace=%s mix=%s load=%.2f servers=%d "
+                "jobs=%zu rate=%.1f qps) ---\n",
+                row.name, row.options.trace.c_str(), row.options.mix.c_str(),
+                row.options.load, row.options.servers, row.options.num_jobs,
+                scenario.rate_qps);
+    std::string pol_json = "[";
+    for (size_t i = 0; i < policies.size(); ++i) {
+      const auto& p = policies[i];
+      std::printf(
+          "  %-13s admitted %3llu/%3llu  violations %3llu (%.1f%%)  "
+          "goodput %.2f/s  wasted %.0f ms\n",
+          p.name, (unsigned long long)p.metrics.admitted,
+          (unsigned long long)p.metrics.arrivals,
+          (unsigned long long)p.metrics.violations,
+          100.0 * p.metrics.violation_rate, p.metrics.goodput_per_s,
+          p.metrics.wasted_ms);
+      char buf[512];
+      std::snprintf(
+          buf, sizeof buf,
+          "%s{\"policy\":\"%s\",\"admitted\":%llu,\"rejected\":%llu,"
+          "\"violations\":%llu,\"violation_rate\":%.4f,"
+          "\"goodput_per_s\":%.3f,\"makespan_ms\":%.1f,\"wasted_ms\":%.1f,"
+          "\"admission_checks\":%llu,\"dispatch_decisions\":%llu,"
+          "\"event_log_hash\":\"%016llx\"}",
+          i == 0 ? "" : ",", p.name, (unsigned long long)p.metrics.admitted,
+          (unsigned long long)p.metrics.rejected,
+          (unsigned long long)p.metrics.violations, p.metrics.violation_rate,
+          p.metrics.goodput_per_s, p.metrics.makespan_ms, p.metrics.wasted_ms,
+          (unsigned long long)p.metrics.admission_checks,
+          (unsigned long long)p.metrics.dispatch_decisions,
+          (unsigned long long)p.log_hash);
+      pol_json += buf;
+    }
+    pol_json += "]";
+    char buf[384];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"scenario\":\"%s\",\"trace\":\"%s\",\"mix\":\"%s\","
+                  "\"load\":%.2f,\"servers\":%d,\"jobs\":%zu,"
+                  "\"rate_qps\":%.2f,\"gated\":%s,\"pass\":%s,\"policies\":",
+                  first_scen ? "" : ",", row.name, row.options.trace.c_str(),
+                  row.options.mix.c_str(), row.options.load,
+                  row.options.servers, row.options.num_jobs, scenario.rate_qps,
+                  row.gated ? "true" : "false", scen_pass ? "true" : "false");
+    scen_json += buf;
+    scen_json += pol_json;
+    scen_json += "}";
+    first_scen = false;
+
+    if (row.gated && det_scenario.pool.empty()) {
+      det_scenario = std::move(scenario);
+      det_policy = policies[0].policy;
+    }
+  }
+
+  // Determinism gate: the same (scenario, policy) must produce a
+  // byte-identical event log at one worker thread, at four, and on a
+  // rerun. Predictions are bit-identical across thread counts (the
+  // parallel-parity contract), and the simulator itself draws nothing —
+  // so the whole decision trace must match byte for byte.
+  Simulator sim_t1(&db, &samples, units, MakeServiceOptions(1));
+  Simulator sim_t4(&db, &samples, units, MakeServiceOptions(4));
+  const SimResult d1 = sim_t1.Run(det_scenario, det_policy);
+  const SimResult d4 = sim_t4.Run(det_scenario, det_policy);
+  const SimResult d1b = sim_t1.Run(det_scenario, det_policy);
+  const bool det_threads = d1.event_log == d4.event_log;
+  const bool det_rerun = d1.event_log == d1b.event_log;
+  const bool det_pass = det_threads && det_rerun && !d1.event_log.empty();
+
+  std::printf("\ndeterminism: log %zu bytes, hash %016llx — threads %s, "
+              "rerun %s\n",
+              d1.event_log.size(), (unsigned long long)EventLogHash(d1.event_log),
+              det_threads ? "identical" : "DIVERGED",
+              det_rerun ? "identical" : "DIVERGED");
+
+  const bool pass = policy_pass && det_pass;
+  std::printf("\n%s\n", pass ? "PASS" : "FAIL");
+
+  scen_json += "]";
+  std::printf(
+      "{\"bench\":\"schedule_sim\",\"eps\":%.3f,\"scenarios\":%s,"
+      "\"determinism\":{\"log_bytes\":%zu,\"log_hash\":\"%016llx\","
+      "\"threads_identical\":%s,\"rerun_identical\":%s,\"pass\":%s},"
+      "\"feedback_reports\":%llu,\"policy_pass\":%s,\"pass\":%s}\n",
+      kEps, scen_json.c_str(), d1.event_log.size(),
+      (unsigned long long)EventLogHash(d1.event_log),
+      det_threads ? "true" : "false", det_rerun ? "true" : "false",
+      det_pass ? "true" : "false",
+      (unsigned long long)d1.service_stats.feedback_reports,
+      policy_pass ? "true" : "false", pass ? "true" : "false");
+  return pass ? 0 : 1;
+}

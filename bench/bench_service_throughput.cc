@@ -30,6 +30,7 @@
 #include "math/rng.h"
 #include "sampling/sample_db.h"
 #include "service/prediction_service.h"
+#include "workload/arrivals.h"
 #include "workload/common.h"
 
 using namespace uqp;
@@ -51,35 +52,10 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
 // trace silently re-anchoring (no coordinated omission).
 // ---------------------------------------------------------------------------
 
-/// Absolute arrival times (seconds from trace start) for `n` requests at
-/// an average `rate_qps`, shaped by `trace`: "uniform" (constant gaps),
-/// "poisson" (exponential gaps — memoryless arrivals), or "randwalk"
-/// (bursty: the instantaneous rate follows a clamped geometric random
-/// walk around the average, like load ramping up and down). Deterministic
-/// in (trace, rate, n, seed).
-std::vector<double> MakeArrivalSeconds(const std::string& trace,
-                                       double rate_qps, size_t n,
-                                       uint64_t seed) {
-  std::vector<double> at(n);
-  Rng rng(seed);
-  double t = 0.0;
-  double mult = 1.0;
-  for (size_t i = 0; i < n; ++i) {
-    double gap;
-    if (trace == "uniform") {
-      gap = 1.0 / rate_qps;
-    } else if (trace == "poisson") {
-      gap = rng.NextExponential(rate_qps);
-    } else {  // randwalk
-      mult = std::clamp(mult * std::exp(0.5 * (rng.NextDouble() - 0.5)), 0.25,
-                        4.0);
-      gap = 1.0 / (rate_qps * mult);
-    }
-    t += gap;
-    at[i] = t;
-  }
-  return at;
-}
+// Arrival traces come from workload/arrivals.h (MakeArrivalSeconds was
+// promoted there so the scheduling simulator replays the same seeded
+// schedules); "uniform" is constant gaps, "poisson" memoryless arrivals,
+// "randwalk" bursty load following a clamped geometric walk.
 
 struct OpenLoopResult {
   double offered_qps = 0.0;

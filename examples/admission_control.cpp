@@ -1,142 +1,85 @@
 // Admission control with SLA deadlines (paper §6.5.3, the ActiveSLA
-// motivation): a database-as-a-service provider should only admit a query
-// if it is likely to finish within its deadline.
+// motivation) — now a thin wrapper over the scheduling scenario suite in
+// src/schedule/: the deterministic SLO simulator replays a seeded poisson
+// query stream with tight deadlines against two server slots, and the
+// distribution-aware admission policy (admit iff P(t <= budget) >= 1-eps)
+// is compared against the mean-only baseline on the same scenario.
 //
-// A point-estimate policy admits whenever E[t] <= deadline — it cannot
-// tell a safe bet from a coin flip. The distribution-aware policy admits
-// when P(t <= deadline) >= confidence, trading a few conservative
-// rejections for far fewer SLA violations on the risky queries.
+// The heavy lifting — arrival traces, deadline assignment, pre-drawn true
+// runtimes, the event loop, the backlog-aware budget — lives in
+// schedule/simulator.cc and is CI-gated by bench_schedule_sim; this
+// example just runs one scenario and prints the comparison.
 //
 //   build/examples/admission_control
 
 #include <cstdio>
-#include <future>
-#include <string>
-#include <utility>
-#include <vector>
 
 #include "cost/calibration.h"
 #include "datagen/tpch.h"
-#include "engine/planner.h"
 #include "hw/machine.h"
 #include "sampling/sample_db.h"
-#include "service/prediction_service.h"
-#include "workload/common.h"
+#include "schedule/simulator.h"
 
 using namespace uqp;
 
 int main() {
-  Database db = MakeTpchDatabase(TpchConfig::Profile("1gb"));
+  Database db = MakeTpchDatabase(TpchConfig::Profile("tiny"));
   SimulatedMachine machine(MachineProfile::PC2(), 11);
   Calibrator calibrator(&machine);
   const CostUnits units = calibrator.Calibrate();
   SampleOptions sample_options;
   sample_options.sampling_ratio = 0.05;
   const SampleDb samples = SampleDb::Build(db, sample_options);
-  // Queries arrive one at a time, but the admission decision is only due
-  // when the query reaches the head of the queue: PredictAsync lets the
-  // prediction run on the service's worker pool while the query waits, so
-  // prediction latency overlaps with queueing instead of preceding it.
-  // Concurrent arrivals of the same recurring query share one sample run
-  // through the service's in-flight dedup table. Admission latency is
-  // per-query, so intra-query parallelism matters here: with
-  // predictor.num_threads = 0 (hardware concurrency) a cold prediction
-  // arriving at an idle service shards its sample run across the pool
-  // instead of being bound to one core — bit-identical results, lower
-  // time-to-decision. max_batch_size = 0 sizes morsels from each plan's
-  // sample cardinalities, so the small samples here run without chunk
-  // dispatch overhead.
+
+  ScenarioOptions opts;
+  opts.workload = "seljoin";
+  opts.trace = "poisson";
+  opts.mix = "roundrobin";
+  opts.num_jobs = 120;
+  opts.servers = 2;
+  opts.load = 0.9;
+  opts.seed = 7;
+  const ScheduleScenario scenario =
+      BuildScenario(db, samples, units, &machine, opts);
+
   ServiceOptions service_options;
   service_options.predictor.num_threads = 0;
   service_options.predictor.max_batch_size = 0;
-  PredictionService service(&db, &samples, units, service_options);
-  Executor executor(&db);
+  service_options.feedback.enabled = true;
+  Simulator sim(&db, &samples, units, service_options);
 
-  // A mixed workload of 36 selection-join queries.
-  SelJoinOptions wopts;
-  wopts.instances_per_template = 4;
-  auto queries = MakeSelJoinWorkload(db, wopts);
+  const double kEps = 0.15;
+  SimPolicy dist;
+  dist.admission = {AdmissionPolicyKind::kDistribution, kEps, 1.0};
+  dist.ordering = {OrderingPolicyKind::kRiskAdjustedSlack, kEps};
+  SimPolicy mean;
+  mean.admission = {AdmissionPolicyKind::kMeanOnly, kEps, 1.0};
+  mean.ordering = {OrderingPolicyKind::kExpectedSlack, kEps};
 
-  const double kConfidence = 0.9;
-  struct Tally {
-    int admitted = 0;
-    int violations = 0;  // admitted but missed the deadline
-    int rejected_ok = 0; // rejected although it would have met the deadline
-  } point, dist;
+  const SimResult rd = sim.Run(scenario, dist);
+  const SimResult rm = sim.Run(scenario, mean);
 
-  // Arrival: optimize and enqueue every query, kicking off its prediction
-  // asynchronously the moment the plan exists. PredictAsync interns its
-  // own copy of the plan, so the plan can be moved into the queue (or
-  // destroyed outright) right after the call — no careful build-the-
-  // vector-first dance to keep references stable.
-  std::vector<std::pair<std::string, Plan>> admitted_queue;
-  std::vector<std::future<StatusOr<Prediction>>> pending;
-  admitted_queue.reserve(queries.size());
-  pending.reserve(queries.size());
-  for (auto& q : queries) {
-    auto plan_or = OptimizePlan(std::move(q.logical), db);
-    if (!plan_or.ok()) continue;
-    Plan plan = std::move(plan_or).value();
-    pending.push_back(service.PredictAsync(plan));
-    admitted_queue.emplace_back(q.name, std::move(plan));
-  }
+  std::printf("admission control on a poisson stream (%zu queries, %d "
+              "slots, load %.0f%%, eps %.2f):\n\n",
+              opts.num_jobs, opts.servers, 100.0 * opts.load, kEps);
+  auto show = [](const char* name, const SimMetrics& m) {
+    std::printf("  %-13s admitted %3llu, SLA violations %3llu (%.1f%%), "
+                "goodput %.2f met/s, wasted %.0f ms\n", name,
+                (unsigned long long)m.admitted,
+                (unsigned long long)m.violations, 100.0 * m.violation_rate,
+                m.goodput_per_s, m.wasted_ms);
+  };
+  show("distribution", rd.metrics);
+  show("mean-only", rm.metrics);
 
-  std::printf("%-18s %9s %9s %9s  %-8s %-8s\n", "query", "E[t] ms", "sd ms",
-              "actual", "point", "dist");
-  // Dispatch: each query reaches the queue head with its prediction
-  // (usually) already finished; the future hands it over.
-  for (size_t qi = 0; qi < admitted_queue.size(); ++qi) {
-    const std::string& name = admitted_queue[qi].first;
-    const Plan& plan = admitted_queue[qi].second;
-    auto pred_or = pending[qi].get();
-    if (!pred_or.ok()) continue;
-    const Prediction& pred = *pred_or;
-
-    // Deadline: 1.15x the predicted mean — tight enough that outcome
-    // depends on the uncertainty, as SLAs in practice are priced tightly.
-    const double deadline = 1.15 * pred.mean();
-
-    const bool point_admits = pred.mean() <= deadline;  // always true here
-    const bool dist_admits = pred.ProbBelow(deadline) >= kConfidence;
-
-    auto full = executor.Execute(plan, ExecOptions{});
-    if (!full.ok()) continue;
-    const double actual = machine.ExecuteOnce(*full);
-    const bool met = actual <= deadline;
-
-    auto update = [met](Tally* t, bool admits) {
-      if (admits) {
-        ++t->admitted;
-        if (!met) ++t->violations;
-      } else if (met) {
-        ++t->rejected_ok;
-      }
-    };
-    update(&point, point_admits);
-    update(&dist, dist_admits);
-
-    std::printf("%-18s %9.1f %9.1f %9.1f  %-8s %-8s%s\n", name.c_str(),
-                pred.mean(), pred.stddev(), actual,
-                point_admits ? "admit" : "reject",
-                dist_admits ? "admit" : "reject", met ? "" : "  << missed");
-  }
-
-  std::printf("\npolicy comparison (deadline = 1.15 x E[t], confidence %.0f%%):\n",
-              100.0 * kConfidence);
-  std::printf("  point estimate : admitted %2d, SLA violations %2d\n",
-              point.admitted, point.violations);
-  std::printf("  distribution   : admitted %2d, SLA violations %2d, "
-              "conservative rejections %d\n",
-              dist.admitted, dist.violations, dist.rejected_ok);
-  std::printf("\nThe distribution-aware policy declines the high-variance "
-              "queries whose deadline is a coin flip, cutting violations.\n");
-
-  const ServiceStats stats = service.stats();
-  std::printf("\nservice: %llu predictions (async), %llu sample runs, "
-              "%llu cache hits (%llu joined in-flight)\n",
-              static_cast<unsigned long long>(stats.predictions),
-              static_cast<unsigned long long>(stats.sample_runs),
-              static_cast<unsigned long long>(stats.cache_hits),
-              static_cast<unsigned long long>(stats.inflight_joins));
+  std::printf("\nThe distribution-aware policy declines the queries whose "
+              "deadline is a coin flip, cutting violations and wasted "
+              "server time.\n");
+  std::printf("\nservice: %llu predictions, %llu sample runs, %llu cache "
+              "hits, %llu feedback reports\n",
+              (unsigned long long)rd.service_stats.predictions,
+              (unsigned long long)rd.service_stats.sample_runs,
+              (unsigned long long)rd.service_stats.cache_hits,
+              (unsigned long long)rd.service_stats.feedback_reports);
   return 0;
 }

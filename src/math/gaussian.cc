@@ -1,5 +1,6 @@
 #include "math/gaussian.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -100,6 +101,45 @@ double BilinearFormVariance(double b0, double b1, double b2, double mul,
   const double tl = b0 * mur + b1;
   const double tr = b0 * mul + b2;
   return varl * tl * tl + varr * tr * tr + b0 * b0 * varl * varr;
+}
+
+double ProbBothMeetSequential(double mu_a, double var_a, double deadline_a,
+                              double mu_b, double var_b, double deadline_b) {
+  // Degenerate A: a point mass at mu_a either fits its deadline or not, and
+  // conditioning on {A <= da} does not change the sum.
+  if (var_a <= 0.0) {
+    if (mu_a > deadline_a) return 0.0;
+    return NormalCdf(deadline_b, mu_a + mu_b, var_b);
+  }
+  const double sd_a = std::sqrt(var_a);
+  // Integrate pdf_A(t) * Phi_B(db - t) over the effective support of A
+  // clipped at da. Beyond +-8 sigma the pdf contributes < 1e-15.
+  const double lo = mu_a - 8.0 * sd_a;
+  const double hi = std::min(deadline_a, mu_a + 8.0 * sd_a);
+  if (hi <= lo) {
+    // Deadline cuts off the entire support from below: P(A <= da) ~ 0.
+    return 0.0;
+  }
+  // Composite Simpson rule with a fixed even panel count: deterministic
+  // (shape depends only on the inputs) and accurate to well under 1e-6 for
+  // this smooth integrand.
+  constexpr int kIntervals = 2048;  // even
+  const double h = (hi - lo) / kIntervals;
+  const double inv_sd_a = 1.0 / sd_a;
+  auto integrand = [&](double t) {
+    const double z = (t - mu_a) * inv_sd_a;
+    // NormalCdf(x, mean, 0) degrades to a step, so a point-mass B is
+    // handled by the same expression.
+    return NormalPdf(z) * inv_sd_a * NormalCdf(deadline_b - t, mu_b, var_b);
+  };
+  double acc = integrand(lo) + integrand(hi);
+  for (int i = 1; i < kIntervals; ++i) {
+    const double w = (i & 1) ? 4.0 : 2.0;
+    acc += w * integrand(lo + h * i);
+  }
+  const double p = acc * h / 3.0;
+  // Clamp away quadrature noise at the boundaries of [0, 1].
+  return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
 }
 
 }  // namespace uqp

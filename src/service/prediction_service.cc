@@ -922,6 +922,42 @@ void PredictionService::ReportObserved(uint64_t fingerprint,
   }
 }
 
+void PredictionService::ReportObservedAgainst(uint64_t fingerprint,
+                                              const Prediction& as_decided,
+                                              double observed_ms) {
+  if (feedback_ == nullptr) return;
+  StatsStripe& stripe = StripeFor(fingerprint);
+  stripe.feedback_reports.fetch_add(1, std::memory_order_relaxed);
+  if (!(observed_ms > 0.0)) {
+    stripe.feedback_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // The comparison point is pinned by the caller (the prediction its
+  // admission/ordering decision used), so no cache lookup: the report
+  // lands even for plans that were never cached here, and a calibration
+  // swap between decision and completion cannot silently shift the error.
+  const auto error_fn = [&as_decided, observed_ms](PredictionStash* stash,
+                                                   double* out) {
+    stash->mean_ms = as_decided.mean();
+    stash->epoch = as_decided.calibration_epoch();
+    stash->valid = true;
+    *out = (observed_ms - as_decided.mean()) / observed_ms;
+    return true;
+  };
+  const FeedbackRegistry::Action action =
+      feedback_->Observe(fingerprint, error_fn);
+  switch (action) {
+    case FeedbackRegistry::Action::kDropped:
+      stripe.feedback_dropped.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FeedbackRegistry::Action::kDrift:
+      HandleDrift(fingerprint);
+      break;
+    default:
+      break;
+  }
+}
+
 void PredictionService::HandleDrift(uint64_t fingerprint) {
   if (!options_.feedback.recalibrate) return;  // detect-only mode
   // At most one recalibration per cooldown window across all families:

@@ -274,6 +274,18 @@ class PredictionService {
   void ReportObserved(const Plan& plan, double observed_ms);
   void ReportObserved(uint64_t fingerprint, double observed_ms);
 
+  /// Same feedback path, but the error is computed against a
+  /// caller-supplied decision-time prediction instead of the family's
+  /// current cached one. This is the injection hook for simulated
+  /// execution (the scheduling scenario suite): the simulator admits a
+  /// query under prediction P, runs it, and reports the observed runtime
+  /// against P even if the service has since recalibrated — the feedback
+  /// series then measures the error of the predictions the *decisions*
+  /// were actually made with. Refreshes the family's last-prediction
+  /// stash like the cache-backed path.
+  void ReportObservedAgainst(uint64_t fingerprint, const Prediction& as_decided,
+                             double observed_ms);
+
   /// Per-family feedback state (tests, benches, monitoring): window
   /// contents, update counters, convergence flags. Sorted by fingerprint.
   /// Empty when feedback is disabled.

@@ -1,0 +1,54 @@
+#include "workload/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/rng.h"
+#include "math/zipf.h"
+
+namespace uqp {
+
+std::vector<double> MakeArrivalSeconds(const std::string& trace,
+                                       double rate_qps, size_t n,
+                                       uint64_t seed) {
+  UQP_CHECK(rate_qps > 0.0) << "arrival rate must be positive";
+  std::vector<double> at(n);
+  Rng rng(seed);
+  double t = 0.0;
+  double mult = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    double gap;
+    if (trace == "uniform") {
+      gap = 1.0 / rate_qps;
+    } else if (trace == "poisson") {
+      gap = rng.NextExponential(rate_qps);
+    } else {  // randwalk
+      mult = std::clamp(mult * std::exp(0.5 * (rng.NextDouble() - 0.5)), 0.25,
+                        4.0);
+      gap = 1.0 / (rate_qps * mult);
+    }
+    t += gap;
+    at[i] = t;
+  }
+  return at;
+}
+
+std::vector<size_t> MakePlanIndices(const std::string& mix, size_t pool_size,
+                                    size_t n, double zipf_z, uint64_t seed) {
+  UQP_CHECK(pool_size > 0) << "plan pool must be non-empty";
+  std::vector<size_t> idx(n);
+  if (mix == "roundrobin") {
+    for (size_t i = 0; i < n; ++i) idx[i] = i % pool_size;
+    return idx;
+  }
+  UQP_CHECK(mix == "zipf") << "unknown plan mix: " << mix;
+  ZipfDistribution zipf(pool_size, zipf_z);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<size_t>(zipf.Sample(&rng));
+  }
+  return idx;
+}
+
+}  // namespace uqp

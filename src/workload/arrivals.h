@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uqp {
+
+/// Seeded open-loop arrival traces shared by the throughput bench and the
+/// scheduling simulator (promoted out of bench_service_throughput so both
+/// draw byte-identical schedules from the same seed).
+///
+/// Traces:
+///   "uniform"  — fixed gap 1/rate_qps
+///   "poisson"  — exponential gaps at rate_qps
+///   "randwalk" — rate modulated by a clamped multiplicative random walk,
+///                modelling slow load swings (gap = 1 / (rate * mult))
+///
+/// Returns n absolute arrival times in seconds, strictly increasing.
+std::vector<double> MakeArrivalSeconds(const std::string& trace,
+                                       double rate_qps, size_t n,
+                                       uint64_t seed);
+
+/// Per-arrival plan choice over a pool of `pool_size` plans.
+///
+/// Mixes:
+///   "roundrobin" — arrival i runs plan i % pool_size (the bench's mixed
+///                  storm shape)
+///   "zipf"       — zipf(z)-skewed recurring-query mix: a few plans carry
+///                  most of the traffic, the tail is cold (the cache- and
+///                  feedback-relevant shape for scheduling scenarios)
+///
+/// Returns n indices in [0, pool_size). Deterministic in (mix, z, seed).
+std::vector<size_t> MakePlanIndices(const std::string& mix, size_t pool_size,
+                                    size_t n, double zipf_z, uint64_t seed);
+
+}  // namespace uqp

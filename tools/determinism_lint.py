@@ -6,8 +6,10 @@ The repo promises bit-identical predictions regardless of thread count
 range-for over an unordered_map in an output-producing loop, one wall
 clock read in a sampling stage, one pointer-keyed std::set, and results
 depend on allocator addresses or the scheduler. This lint scans the
-contract-path sources (src/engine, src/sampling, src/core) for the
-constructs that have historically caused exactly that:
+contract-path sources (src/engine, src/sampling, src/core, and
+src/schedule — the SLO simulator promises byte-identical event logs at
+every thread count and must never read a real clock) for the constructs
+that have historically caused exactly that:
 
   banned-random        std::random_device, rand(), srand() — all sampling
                        randomness must flow through the seeded PRNG plumbing.
@@ -45,7 +47,7 @@ import re
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-CONTRACT_DIRS = ("src/engine", "src/sampling", "src/core")
+CONTRACT_DIRS = ("src/engine", "src/sampling", "src/core", "src/schedule")
 FIXTURE_DIR = "tests/determinism_lint"
 SOURCE_EXTS = (".cc", ".h")
 

@@ -27,8 +27,10 @@
 #include "datagen/tpch.h"
 #include "engine/planner.h"
 #include "hw/machine.h"
+#include "common/status.h"
 #include "math/rng.h"
 #include "sampling/sample_db.h"
+#include "service/fault.h"
 #include "service/prediction_service.h"
 #include "workload/arrivals.h"
 #include "workload/common.h"
@@ -827,6 +829,197 @@ int main() {
   const double ds_error_cut =
       ds_err_adaptive_post > 0.0 ? ds_err_frozen / ds_err_adaptive_post : 0.0;
 
+  // --- chaos_storm: fault injection against the full service stack ------
+  // Two identically-seeded fault schedules drive two services through the
+  // same request stream: A opts into cost-only degradation and runs the
+  // per-family circuit breaker, B is the no-fallback baseline. A poisoned
+  // plan family never heals, a flaky family heals after two attempts, a
+  // slow family stalls 20ms per stage-1 run. Gates: (a) the striped
+  // outcome matrix stays conserved at every concurrent stats snapshot,
+  // (b) degraded availability >= the baseline with strictly more
+  // successful responses, (c) the quarantined family stops consuming
+  // fault-schedule attempts while the breaker is open, and (d) the fault
+  // schedule and fired log replay bit-identically across worker counts.
+  const int kChaosWaves = 6;
+  const int kBreakerThreshold = 3;
+  size_t cs_requests = 0;
+  uint64_t cs_a_ok = 0, cs_a_degraded = 0, cs_a_failed = 0;
+  uint64_t cs_b_ok = 0, cs_b_failed = 0;
+  uint64_t cs_poison_requests = 0, cs_poison_attempts = 0;
+  uint64_t cs_opens = 0, cs_shed = 0, cs_probes = 0;
+  uint64_t cs_faults = 0, cs_deadline = 0, cs_spurious = 0;
+  bool cs_conservation_ok = true;
+  bool cs_poison_never_cached = false;
+  bool cs_flaky_healed = false;
+  bool cs_deadline_ok = true;
+  bool cs_schedule_ok = false, cs_replay_ok = false;
+  {
+    if (distinct.size() < 4) {
+      std::fprintf(stderr, "chaos_storm needs >= 4 distinct plans\n");
+      return 1;
+    }
+    const uint64_t poison_fp = PlanFingerprint(distinct[0]);
+    const uint64_t flaky_fp = PlanFingerprint(distinct[1]);
+    const uint64_t slow_fp = PlanFingerprint(distinct[2]);
+    const auto chaos_rules = [&] {
+      ScheduledFaultOptions fo;
+      fo.seed = 4242;
+      fo.spurious_every = 5;
+      FaultRule poison;
+      poison.fail_attempts = 1000;  // never heals
+      fo.rules[poison_fp] = poison;
+      FaultRule flaky;
+      flaky.fail_attempts = 2;  // heals on the third attempt
+      fo.rules[flaky_fp] = flaky;
+      FaultRule slow;
+      slow.latency_prob = 1.0;
+      slow.latency_ms = 20.0;
+      fo.rules[slow_fp] = slow;
+      return fo;
+    };
+
+    ScheduledFaultInjector inj_a(chaos_rules());
+    ScheduledFaultInjector inj_b(chaos_rules());
+    ServiceOptions a_opts;
+    a_opts.num_workers = 2;
+    a_opts.fault_injector = &inj_a;
+    a_opts.breaker.failure_threshold = kBreakerThreshold;
+    a_opts.breaker.cooldown_requests = 4;
+    PredictionService a(&db, &samples, units, a_opts);
+    ServiceOptions b_opts;
+    b_opts.num_workers = 2;
+    b_opts.fault_injector = &inj_b;
+    PredictionService b(&db, &samples, units, b_opts);
+
+    // (a) the conservation poller: both partitions of the striped outcome
+    // matrix must hold at EVERY concurrent snapshot, not just quiescence.
+    std::atomic<bool> stop_poller{false};
+    std::thread poller([&] {
+      while (!stop_poller.load()) {
+        for (PredictionService* s : {&a, &b}) {
+          const ServiceStats st = s->stats();
+          if (st.cache_hits + st.cache_misses != st.predictions ||
+              st.ok_served + st.failed + st.degraded_served +
+                      st.deadline_exceeded !=
+                  st.predictions) {
+            cs_conservation_ok = false;
+          }
+        }
+        std::this_thread::yield();
+      }
+    });
+
+    RequestOptions degraded_ok;
+    degraded_ok.allow_degraded = true;
+    for (int wave = 0; wave < kChaosWaves; ++wave) {
+      std::vector<std::future<StatusOr<Prediction>>> fa, fb;
+      for (const Plan& p : distinct) {
+        fa.push_back(a.PredictAsync(p, degraded_ok));
+        fb.push_back(b.PredictAsync(p));
+      }
+      // Extra pressure on the poisoned family: the breaker's cooldown
+      // counts requests, so the storm must keep asking to reach probes.
+      for (int extra = 0; extra < 2; ++extra) {
+        fa.push_back(a.PredictAsync(distinct[0], degraded_ok));
+        fb.push_back(b.PredictAsync(distinct[0]));
+      }
+      cs_poison_requests += 3;
+      for (auto& f : fa) {
+        auto r = f.get();
+        ++cs_requests;
+        if (r.ok()) {
+          if (r->degraded) {
+            ++cs_a_degraded;
+          } else {
+            ++cs_a_ok;
+          }
+        } else {
+          ++cs_a_failed;
+        }
+      }
+      for (auto& f : fb) {
+        auto r = f.get();
+        if (r.ok()) {
+          ++cs_b_ok;
+        } else {
+          ++cs_b_failed;
+        }
+      }
+    }
+
+    // The poisoned family must never be served from the cache without the
+    // degraded opt-in — a plain request still fails (injected fault or
+    // quarantine shed, depending on the breaker's phase) — while the
+    // healed flaky family serves a real, non-degraded prediction.
+    cs_poison_never_cached = !a.Predict(distinct[0]).ok();
+    ++cs_poison_requests;
+    auto healed = a.Predict(distinct[1]);
+    cs_flaky_healed = healed.ok() && !healed->degraded;
+
+    // The deadline channel: flush the cache so the slow family's 20ms
+    // stall is real again, then two 2ms-deadline requests (kept below the
+    // breaker threshold — deadline cancellations count as family
+    // failures) must resolve DeadlineExceeded without poisoning anything,
+    // and the follow-up unbounded request succeeds and resets the streak.
+    a.InvalidateCache();
+    const uint64_t deadline_before = a.stats().deadline_exceeded;
+    RequestOptions tight;
+    tight.deadline_ms = 2.0;
+    for (int i = 0; i < 2; ++i) {
+      auto r = a.Predict(distinct[2], tight);
+      cs_deadline_ok = cs_deadline_ok && !r.ok() &&
+                       r.status().code() == StatusCode::kDeadlineExceeded;
+    }
+    cs_deadline_ok = cs_deadline_ok && a.Predict(distinct[2]).ok();
+    stop_poller.store(true);
+    poller.join();
+    cs_deadline = a.stats().deadline_exceeded - deadline_before;
+    cs_deadline_ok = cs_deadline_ok && cs_deadline == 2;
+
+    const ServiceStats sta = a.stats();
+    cs_opens = sta.breaker_opens;
+    cs_shed = sta.breaker_shed;
+    cs_probes = sta.breaker_probes;
+    cs_faults = sta.faults_injected;
+    cs_spurious = sta.spurious_wakeups;
+    cs_poison_attempts = inj_a.AttemptCount(poison_fp);
+
+    // (d) replay determinism: the same seeded schedule driven by the same
+    // per-family attempt sequence produces byte-identical schedules AND
+    // fired logs at num_workers = 1 and hardware_concurrency. Synchronous
+    // round-robin traffic pins the attempt sequence; the cache is flushed
+    // between rounds so the healed family keeps consuming schedule draws.
+    const auto replay = [&](int workers) {
+      ScheduledFaultInjector inj(chaos_rules());
+      ServiceOptions o;
+      o.num_workers = workers;
+      o.fault_injector = &inj;
+      PredictionService s(&db, &samples, units, o);
+      RequestOptions deg;
+      deg.allow_degraded = true;
+      for (int round = 0; round < 4; ++round) {
+        (void)s.Predict(distinct[0], deg);
+        (void)s.Predict(distinct[1], deg);
+        s.InvalidateCache();
+      }
+      const std::vector<uint64_t> fps = {poison_fp, flaky_fp};
+      return std::make_pair(inj.ScheduleBytes(fps, 16), inj.FiredLogBytes());
+    };
+    const auto serial = replay(1);
+    const auto wide = replay(static_cast<int>(std::max(2u, hw)));
+    cs_schedule_ok = serial.first == wide.first;
+    cs_replay_ok = serial.second == wide.second;
+  }
+  const double cs_avail_a =
+      cs_requests > 0
+          ? static_cast<double>(cs_a_ok + cs_a_degraded) /
+                static_cast<double>(cs_requests)
+          : 0.0;
+  const double cs_avail_b =
+      cs_requests > 0
+          ? static_cast<double>(cs_b_ok) / static_cast<double>(cs_requests)
+          : 0.0;
+
   const double n = static_cast<double>(stream.size());
   const double seq_qps = 1000.0 * n / seq_ms;
   const double batch_qps = 1000.0 * n / batch_ms;
@@ -902,6 +1095,30 @@ int main() {
               static_cast<unsigned long long>(ds_sample_runs),
               static_cast<unsigned long long>(ds_converged));
 
+  std::printf("\nchaos_storm (%d waves, %zu requests/service: poisoned + "
+              "flaky + slow families):\n",
+              kChaosWaves, cs_requests);
+  std::printf("  degraded+breaker service: %llu ok, %llu degraded, %llu "
+              "failed (availability %.3f) | no-fallback baseline: %llu ok, "
+              "%llu failed (availability %.3f)\n",
+              static_cast<unsigned long long>(cs_a_ok),
+              static_cast<unsigned long long>(cs_a_degraded),
+              static_cast<unsigned long long>(cs_a_failed), cs_avail_a,
+              static_cast<unsigned long long>(cs_b_ok),
+              static_cast<unsigned long long>(cs_b_failed), cs_avail_b);
+  std::printf("  breaker: %llu open(s), %llu shed, %llu probe(s); poisoned "
+              "family consumed %llu schedule attempts for %llu requests; "
+              "%llu faults injected, %llu deadline expirations, %llu "
+              "spurious wakeups\n",
+              static_cast<unsigned long long>(cs_opens),
+              static_cast<unsigned long long>(cs_shed),
+              static_cast<unsigned long long>(cs_probes),
+              static_cast<unsigned long long>(cs_poison_attempts),
+              static_cast<unsigned long long>(cs_poison_requests),
+              static_cast<unsigned long long>(cs_faults),
+              static_cast<unsigned long long>(cs_deadline),
+              static_cast<unsigned long long>(cs_spurious));
+
   const bool batch_pass = batch_qps >= 2.0 * seq_qps;
   std::printf("\nbatched/sequential = %.2fx (target >= 2x): %s\n",
               batch_qps / seq_qps, batch_pass ? "PASS" : "FAIL");
@@ -961,14 +1178,90 @@ int main() {
               ds_freeze_ok ? "PASS" : "FAIL");
   const bool drift_storm_pass =
       drift_error_pass && drift_artifact_pass && ds_freeze_ok;
+  // chaos_storm gates: conservation at every snapshot; degraded
+  // availability dominates the no-fallback baseline with strictly more
+  // successes; the open breaker bounds the poisoned family's stage-1
+  // consumption at threshold + probes (sheds are invisible to the fault
+  // schedule); the schedule and fired log replay bit-identically across
+  // worker counts; and the failure semantics hold (failures never cached,
+  // heals served for real, deadline accounting exact, zero hard failures
+  // once degradation is on).
+  const bool chaos_conservation_pass = cs_conservation_ok;
+  const bool chaos_availability_pass =
+      cs_avail_a >= cs_avail_b && (cs_a_ok + cs_a_degraded) > cs_b_ok;
+  const bool chaos_quarantine_pass =
+      cs_opens >= 1 && cs_shed >= 1 &&
+      cs_poison_attempts <=
+          static_cast<uint64_t>(kBreakerThreshold) + cs_probes &&
+      cs_poison_attempts < cs_poison_requests;
+  const bool chaos_replay_pass = cs_schedule_ok && cs_replay_ok;
+  const bool chaos_semantics_pass = cs_poison_never_cached &&
+                                    cs_flaky_healed && cs_deadline_ok &&
+                                    cs_a_failed == 0;
+  std::printf("chaos_storm conservation: outcome matrix exact at every "
+              "concurrent snapshot: %s\n",
+              chaos_conservation_pass ? "PASS" : "FAIL");
+  std::printf("chaos_storm availability: degraded >= baseline with strictly "
+              "more successes: %s\n",
+              chaos_availability_pass ? "PASS" : "FAIL");
+  std::printf("chaos_storm quarantine: open breaker stops stage-1 "
+              "consumption (%llu attempts <= %d + %llu probes): %s\n",
+              static_cast<unsigned long long>(cs_poison_attempts),
+              kBreakerThreshold, static_cast<unsigned long long>(cs_probes),
+              chaos_quarantine_pass ? "PASS" : "FAIL");
+  std::printf("chaos_storm replay: fault schedule and fired log "
+              "bit-identical at 1 vs %u workers: %s\n",
+              std::max(2u, hw), chaos_replay_pass ? "PASS" : "FAIL");
+  std::printf("chaos_storm semantics: failures uncached, heals real, "
+              "deadlines exact, no hard failures under degradation: %s\n",
+              chaos_semantics_pass ? "PASS" : "FAIL");
+  const bool chaos_storm_pass = chaos_conservation_pass &&
+                                chaos_availability_pass &&
+                                chaos_quarantine_pass && chaos_replay_pass &&
+                                chaos_semantics_pass;
   const bool pass = batch_pass && dedup_ok && drop_ok && progress_ok &&
                     single_plan_pass && sort_agg_pass && open_loop_pass &&
-                    drift_storm_pass;
+                    drift_storm_pass && chaos_storm_pass;
 
   // Machine-readable summary (one JSON object on its own line) so future
   // PRs can track the perf trajectory: grep '^{' and parse. The
   // open_loop_storm series rides in a nested array; the line stays one
   // line.
+  char chaos_json[1024];
+  std::snprintf(
+      chaos_json, sizeof chaos_json,
+      "{\"waves\":%d,\"requests_per_service\":%zu,"
+      "\"degraded_ok\":%llu,\"degraded_served\":%llu,\"degraded_failed\":%llu,"
+      "\"baseline_ok\":%llu,\"baseline_failed\":%llu,"
+      "\"availability_degraded\":%.4f,\"availability_baseline\":%.4f,"
+      "\"breaker_opens\":%llu,\"breaker_shed\":%llu,\"breaker_probes\":%llu,"
+      "\"poison_attempts\":%llu,\"poison_requests\":%llu,"
+      "\"faults_injected\":%llu,\"deadline_exceeded\":%llu,"
+      "\"spurious_wakeups\":%llu,"
+      "\"conservation_pass\":%s,\"availability_pass\":%s,"
+      "\"quarantine_pass\":%s,\"replay_schedule_ok\":%s,"
+      "\"replay_fired_ok\":%s,\"replay_pass\":%s,\"semantics_pass\":%s,"
+      "\"pass\":%s}",
+      kChaosWaves, cs_requests, static_cast<unsigned long long>(cs_a_ok),
+      static_cast<unsigned long long>(cs_a_degraded),
+      static_cast<unsigned long long>(cs_a_failed),
+      static_cast<unsigned long long>(cs_b_ok),
+      static_cast<unsigned long long>(cs_b_failed), cs_avail_a, cs_avail_b,
+      static_cast<unsigned long long>(cs_opens),
+      static_cast<unsigned long long>(cs_shed),
+      static_cast<unsigned long long>(cs_probes),
+      static_cast<unsigned long long>(cs_poison_attempts),
+      static_cast<unsigned long long>(cs_poison_requests),
+      static_cast<unsigned long long>(cs_faults),
+      static_cast<unsigned long long>(cs_deadline),
+      static_cast<unsigned long long>(cs_spurious),
+      chaos_conservation_pass ? "true" : "false",
+      chaos_availability_pass ? "true" : "false",
+      chaos_quarantine_pass ? "true" : "false",
+      cs_schedule_ok ? "true" : "false", cs_replay_ok ? "true" : "false",
+      chaos_replay_pass ? "true" : "false",
+      chaos_semantics_pass ? "true" : "false",
+      chaos_storm_pass ? "true" : "false");
   std::string storm_json = "[";
   for (size_t i = 0; i < storm_rows.size(); ++i) {
     const auto& row = storm_rows[i];
@@ -1016,6 +1309,7 @@ int main() {
       "\"recombine_ms_per_plan\":%.4f,\"full_miss_ms_per_plan\":%.4f,"
       "\"artifact_identity_ok\":%s,\"converged_freeze_ok\":%s,"
       "\"error_pass\":%s,\"artifact_pass\":%s,\"pass\":%s},"
+      "\"chaos_storm\":%s,"
       "\"pass\":%s}\n",
       stream.size(), distinct.size(), kRepeats, kReps, seq_ms, batch_ms,
       hot_ms, storm_ms, drop_ms, seq_qps, batch_qps, hot_qps, storm_qps,
@@ -1043,6 +1337,7 @@ int main() {
       ds_full_miss_ms, ds_identity_ok ? "true" : "false",
       ds_freeze_ok ? "true" : "false", drift_error_pass ? "true" : "false",
       drift_artifact_pass ? "true" : "false",
-      drift_storm_pass ? "true" : "false", pass ? "true" : "false");
+      drift_storm_pass ? "true" : "false", chaos_json,
+      pass ? "true" : "false");
   return pass ? 0 : 1;
 }

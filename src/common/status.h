@@ -17,6 +17,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Result of a fallible operation: either OK or a code plus a message.
@@ -47,6 +48,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

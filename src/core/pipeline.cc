@@ -80,7 +80,8 @@ void Prediction::ConfidenceInterval(double level, double* lo, double* hi) const 
 StatusOr<SampleRunOutput> SampleRunStage::Run(const SampleRunInput& input) const {
   if (input.plan == nullptr) return Status::InvalidArgument("null plan");
   SampleRunOutput out;
-  UQP_ASSIGN_OR_RETURN(out.estimates, estimator_.Estimate(*input.plan));
+  UQP_ASSIGN_OR_RETURN(out.estimates,
+                       estimator_.Estimate(*input.plan, input.cancelled));
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -107,6 +108,13 @@ struct Prediction {
 
   const PlanEstimates& estimates() const;
   const std::vector<OperatorCostFunctions>& cost_functions() const;
+
+  /// True for a degraded (cost-only fallback) prediction: stage 1 failed
+  /// or timed out and the service served `optimizer scalar cost ×
+  /// cost_scale_ms` with inflated variance instead. Degraded predictions
+  /// carry NO stage 1-2 artifacts — sample_run and cost_fit are null, so
+  /// estimates() / cost_functions() must not be called when this is set.
+  bool degraded = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -119,9 +127,13 @@ struct Prediction {
 //            (Algorithms 1-2)    (§4 fitting)     (§5 / Algorithm 3)
 // ---------------------------------------------------------------------------
 
-/// Input to stage 1: a finalized physical plan.
+/// Input to stage 1: a finalized physical plan, plus an optional
+/// cooperative cancellation probe (see ExecOptions::cancelled) that lets
+/// the owner stop the sample run at the next morsel boundary once a
+/// request's deadline expires. Null = never cancelled, zero overhead.
 struct SampleRunInput {
   const Plan* plan = nullptr;
+  const std::function<bool()>* cancelled = nullptr;
 };
 
 /// Output of stage 1: the selectivity distributions extracted from one run

@@ -186,4 +186,22 @@ ResourceVector EstimateNodeResources(const PlanNode& node, const Database& db,
   return EstimateResources(ctx, config);
 }
 
+double OptimizerScalarCost(const Plan& plan, const Database& db) {
+  // PostgreSQL's default cost weights (paper Table 1's charge units).
+  constexpr double kSeqPage = 1.0;
+  constexpr double kRandPage = 4.0;
+  constexpr double kTuple = 0.01;
+  constexpr double kIndexTuple = 0.005;
+  constexpr double kOperator = 0.0025;
+  CardinalityEstimator estimator(&db);
+  const std::vector<double> rows = estimator.EstimatePlan(plan);
+  const EngineConfig config;
+  double cost = 0.0;
+  for (const PlanNode* node : plan.NodesPreorder()) {
+    const ResourceVector r = EstimateNodeResources(*node, db, rows, config);
+    cost += r.Dot(kSeqPage, kRandPage, kTuple, kIndexTuple, kOperator);
+  }
+  return cost;
+}
+
 }  // namespace uqp

@@ -226,6 +226,23 @@ class ExecContext {
   const EngineConfig& engine() const { return options_.engine; }
   int64_t batch() const { return std::max<int64_t>(1, options_.max_batch_size); }
 
+  /// Cooperative cancellation probe, latched: once the caller's token
+  /// fires, every subsequent check short-circuits on the atomic without
+  /// re-invoking the (potentially costlier) std::function. The latch is a
+  /// monotonic flag, so relaxed ordering suffices — a stale `false` read
+  /// merely delays the stop by one morsel boundary.
+  bool Cancelled() {
+    if (!options_.cancelled) return false;
+    // Plain atomic flag, deliberately outside the mutex capability model:
+    // it carries no data dependency, only a monotonic "stop" signal.
+    if (cancel_seen_.load(std::memory_order_relaxed)) return true;
+    if (options_.cancelled()) {
+      cancel_seen_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
   /// Intra-query fan-out is on: shard chunked loops and join children
   /// across the task runner.
   bool parallel() const { return runner_ != nullptr; }
@@ -250,6 +267,7 @@ class ExecContext {
   const Database* db_;
   const ExecOptions& options_;
   TaskRunner* runner_;
+  std::atomic<bool> cancel_seen_{false};
   std::vector<OpStats> stats_;
   std::vector<double> leaf_source_rows_;
 };
@@ -260,7 +278,17 @@ class NodeRunner {
       : ctx_(ctx), retained_(retained) {}
 
   StatusOr<RowBlock> Run(const PlanNode& node) {
+    // Operator-boundary cancellation checks. The entry check stops a
+    // cancelled run before it charges the next operator; the exit check
+    // discards output whose shard bodies were skipped mid-flight (a
+    // cancelled RunTaskRange leaves partially-built blocks behind).
+    if (ctx_->Cancelled()) {
+      return Status::DeadlineExceeded("execution cancelled at operator boundary");
+    }
     UQP_ASSIGN_OR_RETURN(RowBlock block, RunImpl(node));
+    if (ctx_->Cancelled()) {
+      return Status::DeadlineExceeded("execution cancelled at operator boundary");
+    }
     if (retained_ != nullptr) {
       (*retained_)[static_cast<size_t>(node.id)] = block;  // copy
     }
@@ -351,10 +379,18 @@ class NodeRunner {
   /// the task decomposition (and hence every per-task counter) is
   /// identical; only the dispatch differs.
   void RunTaskRange(int64_t n, const std::function<void(int64_t)>& fn) {
+    // Morsel-boundary cancellation: each shard re-probes the token before
+    // its body, so a request past its deadline stops consuming pool time
+    // within one morsel of the expiry — without interrupting a shard that
+    // is already running.
+    const auto guarded = [&](int64_t t) {
+      if (ctx_->Cancelled()) return;
+      fn(t);
+    };
     if (ctx_->parallel() && n >= 2) {
-      ctx_->runner()->RunTasks(n, fn);
+      ctx_->runner()->RunTasks(n, guarded);
     } else {
-      for (int64_t t = 0; t < n; ++t) fn(t);
+      for (int64_t t = 0; t < n; ++t) guarded(t);
     }
   }
 
@@ -369,6 +405,10 @@ class NodeRunner {
     std::vector<RowBlock> blocks(static_cast<size_t>(ntasks));
     std::vector<OpStats> partials(static_cast<size_t>(ntasks));
     ctx_->runner()->RunTasks(ntasks, [&](int64_t t) {
+      // Morsel-boundary cancellation (see RunTaskRange): a cancelled
+      // compute pass leaves empty locals; the run's output is discarded
+      // at the next operator boundary, so no partial block escapes.
+      if (ctx_->Cancelled()) return;
       RowBlock& local = blocks[static_cast<size_t>(t)];
       local.prov_width = out->prov_width;
       task_fn(t, &local, &partials[static_cast<size_t>(t)]);
@@ -1091,11 +1131,15 @@ class NodeRunner {
     // standard-library implementations — the old code followed
     // unordered_map bucket iteration order). Each max_batch_size-row chunk
     // builds a private hash table in chunk-local first-appearance order;
-    // the chunk tables then merge in chunk order, which reproduces the
-    // global first-appearance order exactly. The same two-phase algorithm
-    // runs at every thread count (only the chunk dispatch differs), so
-    // transition counters (integers) and the chunk-wise double
-    // accumulations regroup identically — bit-identical output.
+    // the chunk tables then combine through a width-doubling pairwise
+    // merge tree (same fixed-shape contract as the sort's merge tree): the
+    // tree's shape depends only on the chunk count — i.e. on row count and
+    // max_batch_size — never on thread count, so the same merges happen in
+    // the same pairing at every thread count and the output is
+    // bit-identical. Ordered-union merging (left table's order wins, the
+    // right table's new groups append in their local first-appearance
+    // order) is associative, so the tree reproduces the sequential scan's
+    // global first-appearance order exactly.
     const size_t nagg = node.aggregates.size();
     const int64_t rows = in.num_rows();
     const int64_t chunk = ctx_->batch();
@@ -1132,15 +1176,18 @@ class NodeRunner {
       }
     });
 
-    // Merge the chunk tables in chunk order (within a chunk, in local
-    // first-appearance order): the first chunk that saw a key determines
-    // its output position, matching the sequential scan.
-    GroupTable merged;
-    for (GroupTable& local : locals) {
-      for (GroupAccumulator& acc : local.groups) {
-        GroupAccumulator* into = merged.FindByAcc(acc);
+    // Pairwise tree-merge of the chunk tables. Each level pairs
+    // locals[lo] with locals[lo + width] and folds the right table into
+    // the left (first chunk that saw a key keeps its output position);
+    // pairs at one level touch disjoint tables, so they merge in
+    // parallel. This replaces the old sequential chunk-order fold, whose
+    // O(nchunks * groups) rescans dominated when group count approaches
+    // row count; the tree does O(log nchunks) levels of halving work.
+    const auto merge_pair = [&](GroupTable* left, GroupTable* right) {
+      for (GroupAccumulator& acc : right->groups) {
+        GroupAccumulator* into = left->FindByAcc(acc);
         if (into == nullptr) {
-          merged.Append(std::move(acc));
+          left->Append(std::move(acc));
           continue;
         }
         into->count += acc.count;
@@ -1150,9 +1197,23 @@ class NodeRunner {
           into->maxs[a] = std::max(into->maxs[a], acc.maxs[a]);
         }
       }
-      local.groups.clear();
-      local.buckets.clear();
+      right->groups.clear();
+      right->buckets.clear();
+    };
+    for (int64_t width = 1; width < nchunks; width *= 2) {
+      std::vector<int64_t> lefts;
+      for (int64_t lo = 0; lo + width < nchunks; lo += 2 * width) {
+        lefts.push_back(lo);
+      }
+      // Tables without a partner at this level carry over untouched.
+      RunTaskRange(static_cast<int64_t>(lefts.size()), [&](int64_t p) {
+        const int64_t lo = lefts[static_cast<size_t>(p)];
+        merge_pair(&locals[static_cast<size_t>(lo)],
+                   &locals[static_cast<size_t>(lo + width)]);
+      });
     }
+    GroupTable merged;
+    if (nchunks > 0) merged = std::move(locals[0]);
 
     RowBlock out;
     out.schema = node.output_schema;

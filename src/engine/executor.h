@@ -155,6 +155,15 @@ struct ExecOptions {
   /// call; callers owning a pool (PredictionService shares its worker
   /// pool between plan-level and intra-plan tasks) pass it here.
   TaskRunner* task_runner = nullptr;
+  /// Cooperative cancellation probe. When set, the executor polls it at
+  /// operator boundaries and at morsel-shard boundaries inside
+  /// RunTaskRange / RunShardedTasks; once it returns true the run stops
+  /// consuming pool time (remaining shard bodies become no-ops) and
+  /// Execute resolves with Status::DeadlineExceeded. The probe must be
+  /// callable from any pool thread. Cancellation never yields a partial
+  /// result — a cancelled run returns only the error. Null means "never
+  /// cancelled" and costs nothing on the hot path.
+  std::function<bool()> cancelled;
   EngineConfig engine;
 };
 

@@ -31,7 +31,8 @@ int64_t AutoSampleBatchSize(int64_t max_leaf_sample_rows) {
   return std::clamp<int64_t>(max_leaf_sample_rows / 64, 1024, 16384);
 }
 
-StatusOr<PlanEstimates> SamplingEstimator::Estimate(const Plan& plan) const {
+StatusOr<PlanEstimates> SamplingEstimator::Estimate(
+    const Plan& plan, const std::function<bool()>* cancelled) const {
   if (plan.root() == nullptr || plan.root()->id != 0) {
     return Status::FailedPrecondition("plan must be finalized");
   }
@@ -74,6 +75,9 @@ StatusOr<PlanEstimates> SamplingEstimator::Estimate(const Plan& plan) const {
     batch = AutoSampleBatchSize(max_rows);
   }
   options.max_batch_size = batch;
+  if (cancelled != nullptr && *cancelled) {
+    options.cancelled = *cancelled;
+  }
   Executor executor(db_);
   UQP_ASSIGN_OR_RETURN(ExecResult run, executor.Execute(plan, options));
 

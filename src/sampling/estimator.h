@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -127,7 +128,13 @@ class SamplingEstimator {
         task_runner_(task_runner),
         max_batch_size_(max_batch_size) {}
 
-  StatusOr<PlanEstimates> Estimate(const Plan& plan) const;
+  /// `cancelled` (optional) is a cooperative cancellation probe forwarded
+  /// to ExecOptions::cancelled: the sample run stops consuming pool time
+  /// at the next morsel boundary once it returns true, and Estimate
+  /// resolves with Status::DeadlineExceeded. Null = never cancelled.
+  StatusOr<PlanEstimates> Estimate(
+      const Plan& plan,
+      const std::function<bool()>* cancelled = nullptr) const;
 
   /// Partial variance of `e` restricted to absolute leaf positions
   /// [begin, end): the S²_ρ(m, n)/n estimator.

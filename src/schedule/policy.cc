@@ -1,7 +1,6 @@
 #include "schedule/policy.h"
 
 #include "common/logging.h"
-#include "engine/cardinality.h"
 #include "engine/cost_model.h"
 
 namespace uqp {
@@ -90,21 +89,10 @@ double NaiveBothMeetProb(const Gaussian& a_ms, double deadline_a_ms,
 }
 
 double OptimizerCostEstimate(const Plan& plan, const Database& db) {
-  // PostgreSQL's default cost weights (paper Table 1's charge units).
-  constexpr double kSeqPage = 1.0;
-  constexpr double kRandPage = 4.0;
-  constexpr double kTuple = 0.01;
-  constexpr double kIndexTuple = 0.005;
-  constexpr double kOperator = 0.0025;
-  CardinalityEstimator estimator(&db);
-  const std::vector<double> rows = estimator.EstimatePlan(plan);
-  const EngineConfig config;
-  double cost = 0.0;
-  for (const PlanNode* node : plan.NodesPreorder()) {
-    const ResourceVector r = EstimateNodeResources(*node, db, rows, config);
-    cost += r.Dot(kSeqPage, kRandPage, kTuple, kIndexTuple, kOperator);
-  }
-  return cost;
+  // Shared with the service's degraded-mode fallback predictor: both must
+  // price a plan identically so "cost-only scheduling" and "cost-only
+  // degradation" agree on the same scalar.
+  return OptimizerScalarCost(plan, db);
 }
 
 }  // namespace uqp

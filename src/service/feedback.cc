@@ -136,6 +136,17 @@ size_t FeedbackRegistry::converged_count() const {
   return count;
 }
 
+bool FeedbackRegistry::WindowedError(uint64_t fingerprint,
+                                     double* error) const {
+  if (!enabled()) return false;
+  Shard& shard = ShardFor(fingerprint);
+  MutexLock lock(&shard.mu);
+  const auto it = shard.families.find(fingerprint);
+  if (it == shard.families.end() || it->second.filled == 0) return false;
+  *error = WindowMeanAbs(it->second);
+  return true;
+}
+
 std::vector<FamilyFeedback> FeedbackRegistry::Snapshot() const {
   std::vector<FamilyFeedback> out;
   for (size_t s = 0; s < shard_count_; ++s) {

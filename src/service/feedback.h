@@ -76,6 +76,14 @@ struct FamilyFeedback {
   double windowed_mean_abs_error = 0.0;
   /// Last-prediction stash (see PredictionStash).
   PredictionStash stash;
+  /// Circuit-breaker state for this family, merged in by the service's
+  /// FeedbackSnapshot() when a breaker registry is configured (the
+  /// FeedbackRegistry itself never touches breakers). "closed" with zero
+  /// counters when no breaker exists or the family never failed.
+  const char* breaker_state = "closed";
+  int breaker_consecutive_failures = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_shed = 0;
 };
 
 /// Sharded, thread-safe per-plan-family error tracking with deterministic
@@ -142,6 +150,13 @@ class FeedbackRegistry {
 
   /// Full per-family state, sorted by fingerprint (deterministic order).
   std::vector<FamilyFeedback> Snapshot() const;
+
+  /// The family's current windowed mean |relative error|, if it has one.
+  /// Returns false (leaving *error untouched) when the registry is
+  /// disabled or the family has an empty window. The degraded-mode
+  /// predictor uses this to inflate its variance from the family's
+  /// observed error history.
+  bool WindowedError(uint64_t fingerprint, double* error) const;
 
  private:
   struct Family {

@@ -1,9 +1,12 @@
 #include "service/prediction_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
 #include <utility>
 
+#include "engine/cost_model.h"
 #include "engine/expr.h"
 
 namespace uqp {
@@ -47,7 +50,11 @@ size_t RoundUpPow2(size_t v) {
 PredictionService::PredictionService(const Database* db, const SampleDb* samples,
                                      CostUnits units, ServiceOptions options)
     : pipeline_(db, samples, units, options.predictor, &pool_runner_),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      db_(db) {
+  if (options_.breaker.failure_threshold > 0) {
+    breaker_.reset(new CircuitBreakerRegistry(options_.breaker));
+  }
   int n = options_.num_workers;
   if (n <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -164,7 +171,10 @@ void PredictionService::ParallelFor(size_t n,
       enqueued = true;
     }
   }
-  if (enqueued) pool_cv_.NotifyAll();
+  if (enqueued) {
+    pool_cv_.NotifyAll();
+    MaybeSpuriousWakeup();
+  }
   state->Pull();  // the calling thread shards too
   MutexLock lock(&state->mu);
   while (state->done.load() != n) state->cv.Wait(state->mu);
@@ -222,22 +232,72 @@ size_t PredictionService::plan_registry_size() const {
   return total;
 }
 
-void PredictionService::RecordRequest(uint64_t fingerprint, bool hit,
-                                      bool inflight_join, bool lock_free) {
+void PredictionService::RecordOutcome(uint64_t fingerprint, bool hit,
+                                      Outcome outcome, bool lock_free) {
   StatsStripe& stripe = StripeFor(fingerprint);
-  // Exactly one of the two classification counters moves per request, and
-  // `predictions` is defined as their sum — the invariant cannot tear.
-  if (hit) {
-    stripe.cache_hits.fetch_add(1, std::memory_order_relaxed);
-    if (inflight_join) {
-      stripe.inflight_joins.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (lock_free) {
-      stripe.lockfree_hits.fetch_add(1, std::memory_order_relaxed);
-    }
-  } else {
-    stripe.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  // Exactly one matrix cell moves per request, and every reported
+  // aggregate (predictions, the hit/miss split, the outcome split) is a
+  // sum over cells — neither invariant can tear. (inflight_joins is NOT
+  // bumped here: joiners are counted when they park/join in
+  // LookupArtifacts, so tests can observe the join while the winner is
+  // still mid-stages.)
+  stripe.outcome[hit ? 1 : 0][static_cast<size_t>(outcome)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (lock_free) {
+    stripe.lockfree_hits.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+PredictionService::RequestContext PredictionService::MakeContext(
+    const RequestOptions& opts) {
+  RequestContext ctx;
+  ctx.allow_degraded = opts.allow_degraded;
+  if (opts.deadline_ms > 0.0) {
+    ctx.has_deadline = true;
+    ctx.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(
+                       static_cast<int64_t>(std::llround(opts.deadline_ms * 1000.0)));
+  }
+  return ctx;
+}
+
+Prediction PredictionService::MakeDegradedFromCost(uint64_t fingerprint,
+                                                   double scalar_cost) {
+  const DegradedOptions& dg = options_.degraded;
+  const double mean = std::max(0.0, scalar_cost) * dg.cost_scale_ms;
+  // The degraded interval is widest where we already know we mispredict:
+  // the family's windowed feedback error replaces the configured default
+  // when larger, then the whole sigma is inflated — a cost-only guess is
+  // strictly less informed than the sampling pipeline it stands in for.
+  double rel = dg.default_rel_error;
+  if (feedback_ != nullptr) {
+    double windowed = 0.0;
+    if (feedback_->WindowedError(fingerprint, &windowed)) {
+      rel = std::max(rel, windowed);
+    }
+  }
+  const double sigma = mean * rel * dg.inflation;
+  Prediction out;
+  out.breakdown.mean = mean;
+  out.breakdown.variance = sigma * sigma;
+  out.degraded = true;
+  out.calibration = pipeline_.calibration();
+  return out;
+}
+
+Prediction PredictionService::MakeDegraded(uint64_t fingerprint,
+                                           const Plan& plan) {
+  return MakeDegradedFromCost(fingerprint, OptimizerScalarCost(plan, *db_));
+}
+
+void PredictionService::MaybeSpuriousWakeup() {
+  if (options_.fault_injector == nullptr) return;
+  if (!options_.fault_injector->InjectSpuriousWakeup()) return;
+  // Nothing new to run: every worker that wakes must fall back asleep
+  // through its predicate loop. Fires outside pool_mu_ deliberately — a
+  // naked notify is exactly the hostile shape the loops must absorb.
+  pool_cv_.NotifyAll();
+  stripes_[0].spurious_wakeups.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool PredictionService::TryLockFreeHit(uint64_t fingerprint,
@@ -268,8 +328,6 @@ bool PredictionService::TryLockFreeHit(uint64_t fingerprint,
         shard.ticket.fetch_add(1, std::memory_order_relaxed),
         std::memory_order_relaxed);
     *out = std::move(entry);
-    RecordRequest(fingerprint, /*hit=*/true, /*inflight_join=*/false,
-                  /*lock_free=*/true);
     return true;
   }
   return false;
@@ -404,11 +462,45 @@ size_t PredictionService::cache_size() const {
 }
 
 StatusOr<PredictionService::Artifacts> PredictionService::RunStages(
-    const Plan& plan, uint64_t fingerprint) {
+    const Plan& plan, uint64_t fingerprint, const RequestContext& ctx) {
   StatsStripe& stripe = StripeFor(fingerprint);
+  if (options_.fault_injector != nullptr) {
+    const FaultDecision decision =
+        options_.fault_injector->OnSampleRun(fingerprint);
+    if (decision.latency_ms > 0.0) {
+      // A degraded machine is slow first, broken second: the injected
+      // latency lands before the verdict either way, so a delayed attempt
+      // can also blow its deadline below.
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int64_t>(std::llround(decision.latency_ms * 1000.0))));
+    }
+    if (!decision.status.ok()) {
+      // The injected failure replaces the stage run entirely: sample_runs
+      // deliberately does not move, so a quarantined family's "stopped
+      // consuming stage-1 work" is visible in BOTH counters.
+      stripe.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      return decision.status;
+    }
+  }
+  if (ctx.Expired()) {
+    // Don't start a sample run we already know we won't deliver from —
+    // the pool stops spending time on this request here.
+    return Status::DeadlineExceeded("deadline expired before stage 1");
+  }
   stripe.sample_runs.fetch_add(1, std::memory_order_relaxed);
   SampleRunInput run_in;
   run_in.plan = &plan;
+  std::function<bool()> cancel;
+  if (ctx.has_deadline) {
+    // Cooperative cancellation: the executor polls this at operator and
+    // morsel-shard boundaries, so an expired run returns its workers at
+    // the next boundary instead of completing a doomed sample run.
+    const auto deadline = ctx.deadline;
+    cancel = [deadline] {
+      return std::chrono::steady_clock::now() >= deadline;
+    };
+    run_in.cancelled = &cancel;
+  }
   UQP_ASSIGN_OR_RETURN(SampleRunOutput run_out,
                        pipeline_.sample_run_stage().Run(run_in));
   Artifacts artifacts;
@@ -421,6 +513,36 @@ StatusOr<PredictionService::Artifacts> PredictionService::RunStages(
                        pipeline_.cost_fit_stage().Run(fit_in));
   artifacts.fit = std::make_shared<const CostFitOutput>(std::move(fit_out));
   return artifacts;
+}
+
+StatusOr<PredictionService::Artifacts> PredictionService::RunOwnedStages(
+    const Plan& plan, uint64_t fingerprint, const IdentityPtr& identity,
+    const Lookup& lk, const RequestContext& ctx) {
+  if (breaker_ != nullptr) {
+    const BreakerDecision admit = breaker_->Admit(fingerprint);
+    if (admit.shed) {
+      // Quarantined: stage 1 is not consulted at all (the fault injector
+      // included — a shed is invisible to the schedule's attempt count).
+      // The in-flight entry this request registered still completes, so
+      // every joiner/waiter resolves with the same quarantine status
+      // instead of deadlocking on an abandoned promise.
+      const StatusOr<Artifacts> result(
+          Status::Unavailable("plan family quarantined by circuit breaker"));
+      CompleteRun(lk.owned, fingerprint, identity, lk.generation, result);
+      return result;
+    }
+    // admit.probe runs the stages normally; its verdict below closes or
+    // re-opens the family.
+  }
+  StatusOr<Artifacts> result = RunStages(plan, fingerprint, ctx);
+  if (options_.post_stages_hook) options_.post_stages_hook();
+  if (breaker_ != nullptr) {
+    // Injected faults and deadline cancellations count as failures: a run
+    // that could not complete is a failure from the family's viewpoint.
+    breaker_->OnStageResult(fingerprint, result.ok());
+  }
+  CompleteRun(lk.owned, fingerprint, identity, lk.generation, result);
+  return result;
 }
 
 Prediction PredictionService::CombineCached(const EntryPtr& entry) {
@@ -473,30 +595,47 @@ PredictionService::EntryPtr PredictionService::FindEntry(
 }
 
 void PredictionService::FulfillAsync(AsyncRequest& req,
-                                     const StatusOr<Artifacts>& artifacts) {
-  // Release the registry reference (and this request's hold on the clone)
-  // before the promise fires: a caller that saw the future complete also
-  // sees the registry drained. Requests that never interned (submit-time
-  // fast paths) hold no reference to release — and must not decrement one
-  // taken by a different request for the same key.
+                                     const StatusOr<Artifacts>& artifacts,
+                                     bool hit) {
+  // Build the result while the owned plan is still alive (the degraded
+  // fallback may need it), then release the registry reference before the
+  // promise fires: a caller that saw the future complete also sees the
+  // registry drained. Requests that never interned (submit-time fast
+  // paths) hold no reference to release — and must not decrement one
+  // taken by a different request for the same key; their degraded cost
+  // was precomputed at submit time instead.
+  StatusOr<Prediction> result(Status::OK());
+  Outcome outcome = Outcome::kOk;
+  if (artifacts.ok()) {
+    result = pipeline_.PredictFromArtifacts(artifacts.value());
+  } else if (req.ctx.allow_degraded) {
+    outcome = Outcome::kDegraded;
+    result = req.plan != nullptr
+                 ? MakeDegraded(req.fingerprint, *req.plan)
+                 : MakeDegradedFromCost(req.fingerprint,
+                                        std::max(0.0, req.degraded_cost));
+  } else {
+    outcome = OutcomeFor(artifacts.status());
+    result = artifacts.status();
+  }
   if (req.plan != nullptr) {
     ReleasePlan(req.identity->key, req.fingerprint);
     req.plan.reset();
   }
-  if (artifacts.ok()) {
-    req.promise.set_value(pipeline_.PredictFromArtifacts(artifacts.value()));
-  } else {
-    req.promise.set_value(artifacts.status());
-  }
+  RecordOutcome(req.fingerprint, hit, outcome);
+  req.promise.set_value(std::move(result));
 }
 
 void PredictionService::FulfillAsyncFromEntry(AsyncRequest& req,
-                                              const EntryPtr& entry) {
+                                              const EntryPtr& entry,
+                                              bool lock_free) {
   if (req.plan != nullptr) {
     ReleasePlan(req.identity->key, req.fingerprint);
     req.plan.reset();
   }
-  req.promise.set_value(CombineCached(entry));
+  Prediction out = CombineCached(entry);
+  RecordOutcome(req.fingerprint, /*hit=*/true, Outcome::kOk, lock_free);
+  req.promise.set_value(std::move(out));
 }
 
 void PredictionService::CompleteRun(const std::shared_ptr<Inflight>& owned,
@@ -534,9 +673,13 @@ void PredictionService::CompleteRun(const std::shared_ptr<Inflight>& owned,
   // Wake the blocking sync joiners, then finish every parked async loser
   // with the cheap stage-3 combination (continuation handoff): the losers
   // returned their workers long ago, so a same-fingerprint storm never
-  // starves the pool.
+  // starves the pool. On a failed run every joiner receives this same
+  // status (or its own degraded fallback) — the winner's error is the
+  // group's error, never a placeholder.
   if (owned != nullptr) owned->promise.set_value(result);
-  for (const auto& w : waiters) FulfillAsync(*w, result);
+  for (const auto& w : waiters) {
+    FulfillAsync(*w, result, /*hit=*/true);
+  }
 }
 
 PredictionService::Lookup PredictionService::LookupArtifacts(
@@ -558,7 +701,6 @@ PredictionService::Lookup PredictionService::LookupArtifacts(
       // slot-index neighbours; the most recent user wins a way back.
       PublishSlotLocked(shard, entry);
       lk.entry = entry;
-      RecordRequest(fingerprint, /*hit=*/true);
       return lk;
     }
   }
@@ -567,12 +709,18 @@ PredictionService::Lookup PredictionService::LookupArtifacts(
     if (park != nullptr) {
       // Continuation handoff: park {request, promise} on the in-flight
       // record — the winner finishes us with one cheap stage-3 run. No
-      // thread ever blocks in future::get() on this path.
-      RecordRequest(fingerprint, /*hit=*/true, /*inflight_join=*/true);
+      // thread ever blocks in future::get() on this path. The winner
+      // records the parked request's resolution cell when it fulfills it;
+      // the join itself is counted NOW, so a gated winner's joiners are
+      // observable while it is still mid-stages.
       it->second->waiters.push_back(park);
       lk.parked = true;
+      StripeFor(fingerprint).inflight_joins.fetch_add(
+          1, std::memory_order_relaxed);
     } else {
       lk.join = it->second;
+      StripeFor(fingerprint).inflight_joins.fetch_add(
+          1, std::memory_order_relaxed);
     }
   } else if (it == shard.inflight.end() && register_owned) {
     lk.owned = std::make_shared<Inflight>(identity);
@@ -583,50 +731,100 @@ PredictionService::Lookup PredictionService::LookupArtifacts(
   return lk;
 }
 
-StatusOr<Prediction> PredictionService::PredictImpl(const Plan& plan) {
+StatusOr<Prediction> PredictionService::PredictImpl(const Plan& plan,
+                                                    const RequestContext& ctx) {
   const IdentityPtr identity = plan.Identity();
   const uint64_t fingerprint = Fingerprint(plan, *identity);
 
+  // Hits are served even past the deadline: the result is already free,
+  // and deadlines bound work consumption, not delivery.
   EntryPtr hit;
   if (TryLockFreeHit(fingerprint, *identity, &hit)) {
-    return CombineCached(hit);
+    Prediction out = CombineCached(hit);
+    RecordOutcome(fingerprint, /*hit=*/true, Outcome::kOk,
+                  /*lock_free=*/true);
+    return out;
   }
 
   Lookup lk = LookupArtifacts(fingerprint, identity, /*park=*/nullptr,
                               /*register_owned=*/true);
-  if (lk.entry != nullptr) return CombineCached(lk.entry);
+  if (lk.entry != nullptr) {
+    Prediction out = CombineCached(lk.entry);
+    RecordOutcome(fingerprint, /*hit=*/true, Outcome::kOk);
+    return out;
+  }
 
   if (lk.join != nullptr) {
     // Another request is already sampling this plan. Sync paths must hand
     // a value back to their caller, so waiting here is inherent — and it
     // blocks only the caller's own thread. (Batch shards park the future
-    // instead; async requests park a continuation.)
-    RecordRequest(fingerprint, /*hit=*/true, /*inflight_join=*/true);
+    // instead; async requests park a continuation.) With a deadline the
+    // wait is bounded: a timed-out joiner DETACHES — it abandons the
+    // shared future (the winner completes, caches and drains everyone
+    // else normally) and resolves on its own.
+    if (ctx.has_deadline) {
+      if (lk.join->future.wait_until(ctx.deadline) ==
+          std::future_status::timeout) {
+        if (ctx.allow_degraded) {
+          Prediction out = MakeDegraded(fingerprint, plan);
+          RecordOutcome(fingerprint, /*hit=*/true, Outcome::kDegraded);
+          return out;
+        }
+        RecordOutcome(fingerprint, /*hit=*/true, Outcome::kDeadline);
+        return Status::DeadlineExceeded(
+            "deadline expired waiting on the in-flight winner");
+      }
+    }
     StatusOr<Artifacts> joined = lk.join->future.get();
-    if (!joined.ok()) return joined.status();
-    return pipeline_.PredictFromArtifacts(joined.value());
+    if (joined.ok()) {
+      Prediction out = pipeline_.PredictFromArtifacts(joined.value());
+      RecordOutcome(fingerprint, /*hit=*/true, Outcome::kOk);
+      return out;
+    }
+    if (ctx.allow_degraded) {
+      Prediction out = MakeDegraded(fingerprint, plan);
+      RecordOutcome(fingerprint, /*hit=*/true, Outcome::kDegraded);
+      return out;
+    }
+    RecordOutcome(fingerprint, /*hit=*/true, OutcomeFor(joined.status()));
+    return joined.status();
   }
 
-  // This request runs the stages itself — the one classification point
-  // for misses, so hits + misses == predictions at every instant.
-  RecordRequest(fingerprint, /*hit=*/false);
-  StatusOr<Artifacts> result = RunStages(plan, fingerprint);
-  if (options_.post_stages_hook) options_.post_stages_hook();
-  CompleteRun(lk.owned, fingerprint, identity, lk.generation, result);
-  if (!result.ok()) return result.status();
-  return pipeline_.PredictFromArtifacts(result.value());
+  // This request runs (or is shed from) the stages itself: a miss.
+  StatusOr<Artifacts> result =
+      RunOwnedStages(plan, fingerprint, identity, lk, ctx);
+  if (result.ok()) {
+    Prediction out = pipeline_.PredictFromArtifacts(result.value());
+    RecordOutcome(fingerprint, /*hit=*/false, Outcome::kOk);
+    return out;
+  }
+  if (ctx.allow_degraded) {
+    Prediction out = MakeDegraded(fingerprint, plan);
+    RecordOutcome(fingerprint, /*hit=*/false, Outcome::kDegraded);
+    return out;
+  }
+  RecordOutcome(fingerprint, /*hit=*/false, OutcomeFor(result.status()));
+  return result.status();
 }
 
 StatusOr<Prediction> PredictionService::Predict(const Plan& plan) {
-  return PredictImpl(plan);
+  return PredictImpl(plan, RequestContext());
+}
+
+StatusOr<Prediction> PredictionService::Predict(const Plan& plan,
+                                                const RequestOptions& opts) {
+  return PredictImpl(plan, MakeContext(opts));
 }
 
 PredictionService::GroupFetch PredictionService::FetchForBatch(
-    const Plan& plan, uint64_t fingerprint, const IdentityPtr& identity) {
+    const Plan& plan, uint64_t fingerprint, const IdentityPtr& identity,
+    const RequestContext& ctx) {
   GroupFetch out;
   EntryPtr hit;
   if (TryLockFreeHit(fingerprint, *identity, &hit)) {
     out.entry = std::move(hit);
+    out.hit = true;
+    out.lock_free = true;
     return out;
   }
 
@@ -634,6 +832,7 @@ PredictionService::GroupFetch PredictionService::FetchForBatch(
                               /*register_owned=*/true);
   if (lk.entry != nullptr) {
     out.entry = lk.entry;
+    out.hit = true;
     return out;
   }
 
@@ -642,15 +841,14 @@ PredictionService::GroupFetch PredictionService::FetchForBatch(
     // future::get(): hand the shared future back as a continuation — the
     // batch's calling thread resolves it after the fan-out, so the worker
     // moves on to the next group immediately.
-    RecordRequest(fingerprint, /*hit=*/true, /*inflight_join=*/true);
     out.pending = lk.join->future;
+    out.hit = true;
+    out.join = true;
     return out;
   }
 
-  RecordRequest(fingerprint, /*hit=*/false);
-  StatusOr<Artifacts> result = RunStages(plan, fingerprint);
-  if (options_.post_stages_hook) options_.post_stages_hook();
-  CompleteRun(lk.owned, fingerprint, identity, lk.generation, result);
+  StatusOr<Artifacts> result =
+      RunOwnedStages(plan, fingerprint, identity, lk, ctx);
   if (result.ok()) {
     out.artifacts = std::move(result).value();
   } else {
@@ -666,7 +864,18 @@ void PredictionService::RunAsyncRequest(
   // warmed up; the lock-free probe costs nothing if not.
   EntryPtr hit;
   if (TryLockFreeHit(req->fingerprint, *req->identity, &hit)) {
-    FulfillAsyncFromEntry(*req, hit);
+    FulfillAsyncFromEntry(*req, hit, /*lock_free=*/true);
+    return;
+  }
+
+  if (req->ctx.Expired()) {
+    // Expired while queued: the pool stops spending time on this request
+    // right here — no lookup registration, no stage run. The future still
+    // resolves (DeadlineExceeded or degraded), the in-flight table and
+    // the cache are untouched.
+    FulfillAsync(*req,
+                 Status::DeadlineExceeded("deadline expired in the pool queue"),
+                 /*hit=*/false);
     return;
   }
 
@@ -674,20 +883,24 @@ void PredictionService::RunAsyncRequest(
                               /*register_owned=*/true);
   if (lk.parked) return;  // the winner will finish us; worker freed
   if (lk.entry != nullptr) {
-    FulfillAsyncFromEntry(*req, lk.entry);
+    FulfillAsyncFromEntry(*req, lk.entry, /*lock_free=*/false);
     return;
   }
 
-  RecordRequest(req->fingerprint, /*hit=*/false);
-  StatusOr<Artifacts> result = RunStages(*req->plan, req->fingerprint);
-  if (options_.post_stages_hook) options_.post_stages_hook();
-  CompleteRun(lk.owned, req->fingerprint, req->identity, lk.generation, result);
-  FulfillAsync(*req, result);
+  const StatusOr<Artifacts> result =
+      RunOwnedStages(*req->plan, req->fingerprint, req->identity, lk, req->ctx);
+  FulfillAsync(*req, result, /*hit=*/false);
 }
 
 std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
     const Plan& plan) {
+  return PredictAsync(plan, RequestOptions());
+}
+
+std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
+    const Plan& plan, const RequestOptions& opts) {
   auto req = std::make_shared<AsyncRequest>();
+  req->ctx = MakeContext(opts);
   req->identity = plan.Identity();
   req->fingerprint = Fingerprint(plan, *req->identity);
   std::future<StatusOr<Prediction>> future = req->promise.get_future();
@@ -702,14 +915,21 @@ std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
   // returns.
   EntryPtr hit;
   if (TryLockFreeHit(req->fingerprint, *req->identity, &hit)) {
-    FulfillAsyncFromEntry(*req, hit);
+    FulfillAsyncFromEntry(*req, hit, /*lock_free=*/true);
     return future;
+  }
+  // A request that may degrade must not need the caller's plan at
+  // resolution time (a parked continuation holds no plan; the caller's
+  // may be destroyed the moment we return): precompute the optimizer
+  // scalar its fallback would be built from, before the park below.
+  if (req->ctx.allow_degraded) {
+    req->degraded_cost = OptimizerScalarCost(plan, *db_);
   }
   Lookup lk = LookupArtifacts(req->fingerprint, req->identity, /*park=*/req,
                               /*register_owned=*/false);
   if (lk.parked) return future;
   if (lk.entry != nullptr) {
-    FulfillAsyncFromEntry(*req, lk.entry);
+    FulfillAsyncFromEntry(*req, lk.entry, /*lock_free=*/false);
     return future;
   }
 
@@ -750,16 +970,27 @@ std::future<StatusOr<Prediction>> PredictionService::PredictAsync(
     return future;
   }
   pool_cv_.NotifyOne();
+  MaybeSpuriousWakeup();
   return future;
 }
 
 std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
     const Plan* const* plans, size_t count) {
+  return PredictBatch(plans, count, RequestOptions());
+}
+
+std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
+    const Plan* const* plans, size_t count, const RequestOptions& opts) {
+  const RequestContext ctx = MakeContext(opts);
   stripes_[0].batch_calls.fetch_add(1, std::memory_order_relaxed);
   std::vector<StatusOr<Prediction>> results;
   results.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    results.emplace_back(Status::Internal("prediction not yet computed"));
+    // Unreachable sentinel: the stage-3 fan-out below writes EVERY slot a
+    // terminal status on every path (group failure, degraded conversion,
+    // pending timeout included) — service_test pins that no slot ever
+    // leaks this value.
+    results.emplace_back(Status::Internal("batch slot never resolved"));
   }
   if (count == 0) return results;
 
@@ -784,14 +1015,15 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
     if (inserted) representative.push_back(i);
   }
 
-  // Stages 1-2 (through the cache) once per distinct plan, sharded. The
-  // representative is classified (hit/miss) inside FetchForBatch. Shards
-  // that find another request's run in flight park its shared future
-  // instead of blocking the worker.
+  // Stages 1-2 (through the cache) once per distinct plan, sharded.
+  // Shards that find another request's run in flight park its shared
+  // future instead of blocking the worker. Classification is deferred to
+  // the per-slot stage-3 fan-out below.
   std::vector<GroupFetch> fetched(representative.size());
   const std::function<void(size_t)> stages12 = [&](size_t g) {
     const size_t rep = representative[g];
-    fetched[g] = FetchForBatch(*plans[rep], fingerprints[rep], identities[rep]);
+    fetched[g] =
+        FetchForBatch(*plans[rep], fingerprints[rep], identities[rep], ctx);
   };
   ParallelFor(representative.size(), stages12);
 
@@ -799,8 +1031,19 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
   // still block until each winner finishes (its results are part of this
   // batch's return value), but no pool worker spends that wait in
   // future::get() — they went back to real work the moment they parked.
+  // With a deadline the wait is bounded: a timed-out group detaches from
+  // its winner (who completes and caches normally) and resolves
+  // DeadlineExceeded — convertible per slot to a degraded fallback below.
   for (GroupFetch& f : fetched) {
     if (!f.pending.valid()) continue;
+    if (ctx.has_deadline &&
+        f.pending.wait_until(ctx.deadline) == std::future_status::timeout) {
+      f.failed = true;
+      f.status = Status::DeadlineExceeded(
+          "deadline expired waiting on the in-flight winner");
+      f.pending = std::shared_future<StatusOr<Artifacts>>();
+      continue;
+    }
     StatusOr<Artifacts> joined = f.pending.get();
     if (joined.ok()) {
       f.artifacts = std::move(joined).value();
@@ -815,20 +1058,32 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
   // group's shared artifacts without any stage-1/2 work: cache hits.
   // Groups served from a resident entry go through the epoch memo
   // (CombineCached), so a hot batch under an unchanged epoch runs zero
-  // combination work.
+  // combination work. EVERY slot resolves to its own terminal status
+  // here, and each slot's resolution-matrix cell is recorded exactly
+  // once: the representative inherits its group's hit/miss, duplicates
+  // are hits.
   const std::function<void(size_t)> stage3 = [&](size_t i) {
     const size_t g = group_ids[i];
-    if (representative[g] != i) RecordRequest(fingerprints[i], /*hit=*/true);
-    GroupFetch& f = fetched[g];
+    const GroupFetch& f = fetched[g];
+    const bool is_rep = representative[g] == i;
+    const bool hit = is_rep ? (f.hit || f.join) : true;
+    const bool lock_free = is_rep && f.lock_free;
     if (f.failed) {
-      results[i] = f.status;
+      if (ctx.allow_degraded) {
+        results[i] = MakeDegraded(fingerprints[i], *plans[i]);
+        RecordOutcome(fingerprints[i], hit, Outcome::kDegraded);
+      } else {
+        results[i] = f.status;
+        RecordOutcome(fingerprints[i], hit, OutcomeFor(f.status));
+      }
       return;
     }
     if (f.entry != nullptr) {
       results[i] = CombineCached(f.entry);
-      return;
+    } else {
+      results[i] = pipeline_.PredictFromArtifacts(f.artifacts);
     }
-    results[i] = pipeline_.PredictFromArtifacts(f.artifacts);
+    RecordOutcome(fingerprints[i], hit, Outcome::kOk, lock_free);
   };
   ParallelFor(count, stage3);
   return results;
@@ -837,6 +1092,11 @@ std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
 std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
     const std::vector<const Plan*>& plans) {
   return PredictBatch(plans.data(), plans.size());
+}
+
+std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
+    const std::vector<const Plan*>& plans, const RequestOptions& opts) {
+  return PredictBatch(plans.data(), plans.size(), opts);
 }
 
 std::vector<StatusOr<Prediction>> PredictionService::PredictBatch(
@@ -971,25 +1231,67 @@ void PredictionService::HandleDrift(uint64_t fingerprint) {
 }
 
 std::vector<FamilyFeedback> PredictionService::FeedbackSnapshot() const {
-  if (feedback_ == nullptr) return {};
-  return feedback_->Snapshot();
+  std::vector<FamilyFeedback> rows =
+      feedback_ != nullptr ? feedback_->Snapshot() : std::vector<FamilyFeedback>();
+  if (breaker_ == nullptr) return rows;
+  // Merge breaker state into the feedback rows (both sorted by
+  // fingerprint); families the breaker touched but feedback never saw
+  // become rows of their own with empty windows.
+  const std::vector<BreakerSnapshot> breakers = breaker_->Snapshot();
+  size_t r = 0;
+  std::vector<FamilyFeedback> extra;
+  for (const BreakerSnapshot& b : breakers) {
+    while (r < rows.size() && rows[r].fingerprint < b.fingerprint) ++r;
+    FamilyFeedback* row;
+    if (r < rows.size() && rows[r].fingerprint == b.fingerprint) {
+      row = &rows[r];
+    } else {
+      extra.emplace_back();
+      extra.back().fingerprint = b.fingerprint;
+      row = &extra.back();
+    }
+    row->breaker_state = ToString(b.state);
+    row->breaker_consecutive_failures = b.consecutive_failures;
+    row->breaker_opens = b.opens;
+    row->breaker_shed = b.shed;
+  }
+  if (!extra.empty()) {
+    rows.insert(rows.end(), extra.begin(), extra.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const FamilyFeedback& a, const FamilyFeedback& b) {
+                return a.fingerprint < b.fingerprint;
+              });
+  }
+  return rows;
 }
 
 ServiceStats PredictionService::stats() const {
-  // Sum the per-shard stripes. Each stripe's relaxed counters are monotone
-  // and each request touched exactly one classification counter in exactly
-  // one stripe, so hits + misses is exact per stripe — and `predictions`
-  // is their sum BY DEFINITION, which is what makes the invariant hold at
-  // every observable instant instead of only at quiescence.
+  // Sum the per-shard stripes. Each stripe's relaxed counters are
+  // monotone and each request touched exactly one resolution-matrix cell
+  // in exactly one stripe, so every reported aggregate — the hit/miss
+  // split, the outcome split, and `predictions` itself — is a sum over
+  // cells BY DEFINITION, which is what makes both conservation
+  // invariants hold at every observable instant instead of only at
+  // quiescence.
   ServiceStats out;
   const size_t n = shards_.size();
   for (size_t i = 0; i < n; ++i) {
     const StatsStripe& s = stripes_[i];
+    for (size_t row = 0; row < 2; ++row) {
+      for (size_t col = 0; col < kNumOutcomes; ++col) {
+        const uint64_t v = s.outcome[row][col].load(std::memory_order_relaxed);
+        (row == 1 ? out.cache_hits : out.cache_misses) += v;
+        switch (static_cast<Outcome>(col)) {
+          case Outcome::kOk: out.ok_served += v; break;
+          case Outcome::kFailed: out.failed += v; break;
+          case Outcome::kDegraded: out.degraded_served += v; break;
+          case Outcome::kDeadline: out.deadline_exceeded += v; break;
+        }
+      }
+    }
     out.batch_calls += s.batch_calls.load(std::memory_order_relaxed);
     out.sample_runs += s.sample_runs.load(std::memory_order_relaxed);
     out.fit_runs += s.fit_runs.load(std::memory_order_relaxed);
-    out.cache_hits += s.cache_hits.load(std::memory_order_relaxed);
-    out.cache_misses += s.cache_misses.load(std::memory_order_relaxed);
     out.lockfree_hits += s.lockfree_hits.load(std::memory_order_relaxed);
     out.inflight_joins += s.inflight_joins.load(std::memory_order_relaxed);
     out.stale_drops += s.stale_drops.load(std::memory_order_relaxed);
@@ -1002,11 +1304,19 @@ ServiceStats PredictionService::stats() const {
     out.feedback_dropped += s.feedback_dropped.load(std::memory_order_relaxed);
     out.feedback_stash_hits +=
         s.feedback_stash_hits.load(std::memory_order_relaxed);
+    out.faults_injected += s.faults_injected.load(std::memory_order_relaxed);
+    out.spurious_wakeups +=
+        s.spurious_wakeups.load(std::memory_order_relaxed);
   }
   out.predictions = out.cache_hits + out.cache_misses;
   if (feedback_ != nullptr) {
     out.converged_families = feedback_->converged_count();
     out.feedback_families = feedback_->family_count();
+  }
+  if (breaker_ != nullptr) {
+    out.breaker_opens = breaker_->total_opens();
+    out.breaker_shed = breaker_->total_shed();
+    out.breaker_probes = breaker_->total_probes();
   }
   return out;
 }

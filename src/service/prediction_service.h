@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -18,9 +19,50 @@
 #include "core/pipeline.h"
 #include "cost/snapshot.h"
 #include "engine/plan.h"
+#include "service/fault.h"
 #include "service/feedback.h"
 
 namespace uqp {
+
+/// Cost-only degradation knobs: when stage 1 fails (or is quarantined by
+/// the circuit breaker) and the request opted in with
+/// RequestOptions::allow_degraded, the service serves a fallback built
+/// from the optimizer's scalar cost alone — no sampling, no fitted cost
+/// functions — flagged Prediction::degraded.
+struct DegradedOptions {
+  /// Milliseconds per optimizer cost unit (OptimizerScalarCost — the same
+  /// PostgreSQL-weight scalar the cost-only scheduling baseline ranks by).
+  /// Fit it like the simulator does (least squares through the origin
+  /// against observed runtimes); the default 1.0 keeps the fallback
+  /// monotone in cost even uncalibrated.
+  double cost_scale_ms = 1.0;
+  /// Relative error assumed for a family with no feedback history. The
+  /// family's windowed mean |relative error| (FeedbackRegistry) replaces
+  /// it when larger — a family we already know we mispredict gets a wider
+  /// degraded interval.
+  double default_rel_error = 0.5;
+  /// Variance inflation: sigma = mean * rel_error * inflation. >1 because
+  /// a cost-only guess is strictly less informed than the sampling
+  /// pipeline it stands in for.
+  double inflation = 2.0;
+};
+
+/// Per-request resilience knobs. The zero value (no deadline, no
+/// degradation) reproduces the historical behavior exactly.
+struct RequestOptions {
+  /// Wall-clock budget for this request, in milliseconds; <= 0 = none.
+  /// A request past its deadline stops consuming pool time at the next
+  /// operator/morsel boundary (cooperative cancellation through
+  /// ExecOptions::cancelled) and resolves with Status::DeadlineExceeded —
+  /// or a degraded prediction, see below. Deadlines bound WORK, not
+  /// delivery: a result that is already free (cache hit, or a joined
+  /// winner that finished anyway) is still served.
+  double deadline_ms = 0.0;
+  /// When true, a stage failure / deadline expiry / breaker shed resolves
+  /// with a cost-only degraded prediction (Prediction::degraded == true)
+  /// instead of the error status. See DegradedOptions.
+  bool allow_degraded = false;
+};
 
 /// Configuration of the prediction service.
 struct ServiceOptions {
@@ -77,17 +119,36 @@ struct ServiceOptions {
   /// tracking, convergence detection, and drift-triggered recalibration.
   /// Disabled by default — the service then keeps zero feedback state.
   FeedbackOptions feedback;
+  /// Test/bench seam: deterministic fault injection (see service/fault.h).
+  /// Consulted once per stage-1 attempt (injected latency, injected
+  /// failure) and once per pool enqueue (spurious wakeups). Null — the
+  /// production default — costs exactly one pointer test per site. Not
+  /// owned; must outlive the service.
+  FaultInjector* fault_injector = nullptr;
+  /// Per-family circuit breaker: failure_threshold consecutive stage-1
+  /// failures quarantine the family (requests shed without touching
+  /// stage 1) until a half-open probe succeeds. failure_threshold == 0
+  /// (default) disables the breaker entirely.
+  BreakerOptions breaker;
+  /// Cost-only fallback served when a request sets
+  /// RequestOptions::allow_degraded and its stage work failed.
+  DegradedOptions degraded;
   PredictorOptions predictor;
 };
 
 /// Monotonic counters exposed for tests and monitoring. Every prediction
-/// request is classified exactly once as a cache hit or miss; the split is
-/// counted in per-shard stripes (no global stats lock on the hot path) and
-/// `predictions` is defined as `cache_hits + cache_misses`, so the
-/// invariant holds at every observable instant by construction — even
-/// sampled mid-batch from another thread. A request that runs stages 1-2
-/// itself (including with caching disabled) is a miss; a request served
-/// from the cache or from another request's in-flight execution is a hit.
+/// request bumps exactly ONE cell of a per-stripe 2x4 resolution matrix
+/// (hit/miss x ok/failed/degraded/deadline_exceeded) at the moment its
+/// caller-visible result is decided — no global stats lock on the hot
+/// path. `cache_hits`/`cache_misses` are the matrix row sums, the outcome
+/// counters its column sums, and `predictions` the total, so BOTH
+/// conservation invariants
+///   cache_hits + cache_misses == predictions
+///   ok_served + failed + degraded_served + deadline_exceeded == predictions
+/// hold at every observable instant by construction — even sampled
+/// mid-storm from another thread. A request that ran (or would have run —
+/// breaker sheds included) stages 1-2 itself is a miss; a request served
+/// from the cache or another request's in-flight execution is a hit.
 struct ServiceStats {
   uint64_t predictions = 0;     ///< predictions served (single + batched + async)
   uint64_t batch_calls = 0;     ///< PredictBatch invocations
@@ -95,10 +156,20 @@ struct ServiceStats {
   uint64_t fit_runs = 0;        ///< CostFitStage executions (stage 2)
   uint64_t cache_hits = 0;      ///< predictions that ran no stage-1/2 work
   uint64_t cache_misses = 0;    ///< predictions that ran stages themselves
+  // --- per-request resolution outcomes (matrix column sums) ---
+  uint64_t ok_served = 0;          ///< full-pipeline predictions delivered
+  uint64_t failed = 0;             ///< requests resolved with a non-deadline
+                                   ///< error status (stage failure, shed
+                                   ///< without degradation)
+  uint64_t degraded_served = 0;    ///< cost-only fallbacks delivered
+                                   ///< (Prediction::degraded == true)
+  uint64_t deadline_exceeded = 0;  ///< requests resolved DeadlineExceeded
   uint64_t lockfree_hits = 0;   ///< hits served by the mutex-free published
                                 ///< slot path (subset of cache_hits)
-  uint64_t inflight_joins = 0;  ///< hits served by an in-flight miss (parked
-                                ///< async continuations + blocking sync joins)
+  uint64_t inflight_joins = 0;  ///< requests that joined an in-flight miss
+                                ///< (parked async continuations + blocking
+                                ///< sync/batch joins), counted when they
+                                ///< park — observable mid-run
   uint64_t stale_drops = 0;     ///< cache inserts dropped by InvalidateCache generation
   uint64_t plan_clones = 0;     ///< deep copies made by the async plan registry
                                 ///< (interned duplicates don't re-clone)
@@ -120,6 +191,13 @@ struct ServiceStats {
   uint64_t converged_families = 0;  ///< gauge: plan families currently
                                     ///< converged (no longer tracked)
   uint64_t feedback_families = 0;   ///< gauge: plan families ever reported
+  // --- fault injection + circuit breaker ---
+  uint64_t faults_injected = 0;    ///< stage-1 attempts replaced by an
+                                   ///< injected failure (test seam)
+  uint64_t spurious_wakeups = 0;   ///< injected no-op pool NotifyAll calls
+  uint64_t breaker_opens = 0;      ///< family transitions to open
+  uint64_t breaker_shed = 0;       ///< requests shed while a family was open
+  uint64_t breaker_probes = 0;     ///< half-open probe runs admitted
 };
 
 /// Thread-safe, concurrent front end to the prediction pipeline — the
@@ -192,8 +270,12 @@ class PredictionService {
 
   /// Full prediction of one plan, on the calling thread. Safe to call
   /// concurrently from any number of threads. The plan is only read for
-  /// the duration of the call.
+  /// the duration of the call. The RequestOptions overload adds a
+  /// deadline (cooperatively cancelled at the next operator/morsel
+  /// boundary; a sync join past its deadline detaches from the winner and
+  /// resolves immediately) and/or opts into cost-only degradation.
   StatusOr<Prediction> Predict(const Plan& plan);
+  StatusOr<Prediction> Predict(const Plan& plan, const RequestOptions& opts);
 
   /// Full prediction of one plan on the worker pool; returns immediately.
   /// The caller can overlap queueing/scheduling work with the prediction
@@ -218,14 +300,32 @@ class PredictionService {
   /// either immediately ready with Status::Unavailable (default) or, with
   /// drain_on_shutdown, predicted inline on the calling thread.
   std::future<StatusOr<Prediction>> PredictAsync(const Plan& plan);
+  /// RequestOptions variant: an async request whose deadline has already
+  /// expired when a worker dequeues it never runs the stages (the pool
+  /// stops spending time on it); its future resolves DeadlineExceeded or
+  /// degraded. A parked dedup loser is resolved by its winner even past
+  /// the deadline — the work was paid by someone else, delivery is free.
+  std::future<StatusOr<Prediction>> PredictAsync(const Plan& plan,
+                                                 const RequestOptions& opts);
 
   /// Predicts every plan in the span, sharding across the worker pool
   /// (the calling thread participates). Results are positional; each plan
   /// gets its own Status. Bit-identical to calling Predict sequentially.
+  ///
+  /// Per-shard status contract: EVERY slot resolves to its own terminal
+  /// status — a group whose stage run failed propagates that same failure
+  /// (or a degraded fallback) to each of its slots; no placeholder status
+  /// ever escapes, including on mid-batch faults. The RequestOptions
+  /// apply to every plan in the batch.
   std::vector<StatusOr<Prediction>> PredictBatch(const Plan* const* plans,
                                                  size_t count);
+  std::vector<StatusOr<Prediction>> PredictBatch(const Plan* const* plans,
+                                                 size_t count,
+                                                 const RequestOptions& opts);
   std::vector<StatusOr<Prediction>> PredictBatch(
       const std::vector<const Plan*>& plans);
+  std::vector<StatusOr<Prediction>> PredictBatch(
+      const std::vector<const Plan*>& plans, const RequestOptions& opts);
   std::vector<StatusOr<Prediction>> PredictBatch(const std::vector<Plan>& plans);
 
   /// Re-derives the distribution of an existing prediction under a
@@ -287,8 +387,10 @@ class PredictionService {
                              double observed_ms);
 
   /// Per-family feedback state (tests, benches, monitoring): window
-  /// contents, update counters, convergence flags. Sorted by fingerprint.
-  /// Empty when feedback is disabled.
+  /// contents, update counters, convergence flags — with the family's
+  /// circuit-breaker state merged in when a breaker is configured
+  /// (breaker-only families appear as rows with empty windows). Sorted by
+  /// fingerprint. Empty when both feedback and the breaker are disabled.
   std::vector<FamilyFeedback> FeedbackSnapshot() const;
 
   /// Stops the worker pool: drains every task already enqueued (so every
@@ -337,6 +439,24 @@ class PredictionService {
   /// path instead of evicting each other on every publish.
   static constexpr size_t kSlotWays = 2;
 
+  /// Resolved deadline/degradation state of one request, derived from its
+  /// RequestOptions at submit time (so the budget is measured from
+  /// submission, not from whenever a worker dequeues the request).
+  struct RequestContext {
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+    bool allow_degraded = false;
+    bool Expired() const {
+      return has_deadline && std::chrono::steady_clock::now() >= deadline;
+    }
+  };
+  static RequestContext MakeContext(const RequestOptions& opts);
+
+  /// How one request resolved — the second axis of the stats stripe's
+  /// resolution matrix (see ServiceStats).
+  enum class Outcome { kOk = 0, kFailed = 1, kDegraded = 2, kDeadline = 3 };
+  static constexpr size_t kNumOutcomes = 4;
+
   /// One PredictAsync invocation: the service-owned (registry-interned)
   /// plan, its identity, and the caller's promise. Also the continuation
   /// record a dedup loser parks on the winner's in-flight entry — holding
@@ -347,6 +467,12 @@ class PredictionService {
     uint64_t fingerprint = 0;
     IdentityPtr identity;  ///< interned canonical structure (shared, not copied)
     std::promise<StatusOr<Prediction>> promise;
+    RequestContext ctx;
+    /// OptimizerScalarCost precomputed at submit time when
+    /// ctx.allow_degraded: a parked continuation holds no plan (parking
+    /// happens before interning), so its degraded fallback must not need
+    /// one. < 0 = not computed.
+    double degraded_cost = -1.0;
   };
 
   /// One in-flight stage-1/2 execution: the winner fulfills the promise,
@@ -407,15 +533,18 @@ class PredictionService {
   using EntryPtr = std::shared_ptr<const CacheEntry>;
 
   /// Per-shard stats stripe: monotone relaxed atomics, padded to a cache
-  /// line so neighbouring stripes don't false-share. `predictions` is not
-  /// stored — it is hits + misses by definition, which is what makes the
-  /// snapshot invariant un-tearable.
+  /// line so neighbouring stripes don't false-share. Neither
+  /// `predictions` nor the hit/miss/outcome splits are stored separately —
+  /// all are sums over the resolution matrix by definition, which is what
+  /// makes BOTH snapshot invariants un-tearable.
   struct alignas(64) StatsStripe {
+    /// The resolution matrix: [miss=0 / hit=1][Outcome]. Every request
+    /// bumps exactly one cell, exactly once, at the moment its
+    /// caller-visible result is decided.
+    std::atomic<uint64_t> outcome[2][kNumOutcomes] = {};
     std::atomic<uint64_t> batch_calls{0};
     std::atomic<uint64_t> sample_runs{0};
     std::atomic<uint64_t> fit_runs{0};
-    std::atomic<uint64_t> cache_hits{0};
-    std::atomic<uint64_t> cache_misses{0};
     std::atomic<uint64_t> lockfree_hits{0};
     std::atomic<uint64_t> inflight_joins{0};
     std::atomic<uint64_t> stale_drops{0};
@@ -427,6 +556,8 @@ class PredictionService {
     std::atomic<uint64_t> feedback_reports{0};
     std::atomic<uint64_t> feedback_dropped{0};
     std::atomic<uint64_t> feedback_stash_hits{0};
+    std::atomic<uint64_t> faults_injected{0};
+    std::atomic<uint64_t> spurious_wakeups{0};
   };
 
   /// One cache + in-flight shard. `slots` is the lock-free publication
@@ -475,36 +606,44 @@ class PredictionService {
   /// One non-blocking artifact fetch for a PredictBatch group: exactly one
   /// of {entry, pending, artifacts-or-status} is the outcome. `pending`
   /// (an in-flight join) is resolved later by the batch's CALLING thread,
-  /// so no pool worker blocks in future::get().
+  /// so no pool worker blocks in future::get(). Classification is
+  /// deferred: the stage-3 fan-out records each SLOT's resolution from
+  /// the flags below (the representative inherits the group's hit/miss;
+  /// in-batch duplicates are always hits).
   struct GroupFetch {
     EntryPtr entry;  ///< cache hit: stage 3 serves through the epoch memo
     std::shared_future<StatusOr<Artifacts>> pending;  ///< joined in-flight run
     Artifacts artifacts;  ///< ran stages itself (or resolved from pending)
     Status status;        ///< stage failure (from self-run or pending)
     bool failed = false;
+    bool hit = false;        ///< representative was served without stage work
+    bool join = false;       ///< representative joined an in-flight run
+    bool lock_free = false;  ///< the hit came off the published-slot path
   };
 
   /// The mutex-free fast path: probes the shard's published slot ways for
   /// a current-generation entry with this fingerprint and a confirmed
-  /// structural key. On a hit, returns the entry (artifacts + epoch memo),
-  /// bumps its recency tick (relaxed) and records the hit in the shard's
-  /// stats stripe — no mutex anywhere. Returns false on any mismatch
+  /// structural key. On a hit, returns the entry (artifacts + epoch memo)
+  /// and bumps its recency tick (relaxed) — no mutex anywhere. Does NOT
+  /// classify the request: the caller records the resolution (hit, ok,
+  /// lock_free) when it actually serves. Returns false on any mismatch
   /// (empty ways, displaced entry, stale generation, collision).
   bool TryLockFreeHit(uint64_t fingerprint, const PlanIdentity& identity,
                       EntryPtr* out);
 
   /// The single shared locked lookup of every request path (sync, async
-  /// worker, async submit, batch shard), so the collision, classification
-  /// and generation rules live in exactly one place: probes the shard's
-  /// cache (structural key confirmed, recency bumped, slot republished,
-  /// hit recorded under the shard lock), then the shard's in-flight
-  /// table. A joinable run is parked on when `park` is non-null (async —
-  /// atomic with the lookup, so the winner cannot complete in between and
-  /// lose the continuation) or returned as `join` for the caller to wait
-  /// on (sync blocks; batch parks the future). On a full miss, registers
-  /// this request as the new in-flight owner when `register_owned`
-  /// (worker/sync/batch paths); the submit-time fast path passes false
-  /// and enqueues instead.
+  /// worker, async submit, batch shard), so the collision and generation
+  /// rules live in exactly one place: probes the shard's cache
+  /// (structural key confirmed, recency bumped, slot republished), then
+  /// the shard's in-flight table. A joinable run is parked on when `park`
+  /// is non-null (async — atomic with the lookup, so the winner cannot
+  /// complete in between and lose the continuation) or returned as `join`
+  /// for the caller to wait on (sync blocks; batch parks the future). On
+  /// a full miss, registers this request as the new in-flight owner when
+  /// `register_owned` (worker/sync/batch paths); the submit-time fast
+  /// path passes false and enqueues instead. Does NOT classify the
+  /// request — each path records its resolution-matrix cell when the
+  /// caller-visible result is decided.
   Lookup LookupArtifacts(uint64_t fingerprint, const IdentityPtr& identity,
                          const std::shared_ptr<AsyncRequest>& park,
                          bool register_owned);
@@ -541,15 +680,18 @@ class PredictionService {
   void ReleasePlan(const std::string& key, uint64_t fingerprint);
 
   /// Single-plan prediction on the calling thread: lock-free hit → memoed
-  /// combine; locked hit → memoed combine; in-flight duplicate → block on
-  /// the winner's future (sync callers must return a value); miss → run
-  /// the stages. Classifies the request (hit/miss) exactly once.
-  StatusOr<Prediction> PredictImpl(const Plan& plan);
+  /// combine; locked hit → memoed combine; in-flight duplicate → wait on
+  /// the winner's future, bounded by the deadline (a timed-out joiner
+  /// detaches: the shared_future is simply abandoned, the winner
+  /// completes and caches normally); miss → breaker admission, then run
+  /// the stages. Records the request's resolution cell exactly once.
+  StatusOr<Prediction> PredictImpl(const Plan& plan, const RequestContext& ctx);
 
   /// Non-blocking stage-1/2 fetch for one batch group (see GroupFetch).
-  /// Classifies the group's representative exactly once.
+  /// Classification is deferred to the batch's stage-3 fan-out.
   GroupFetch FetchForBatch(const Plan& plan, uint64_t fingerprint,
-                           const IdentityPtr& identity);
+                           const IdentityPtr& identity,
+                           const RequestContext& ctx);
 
   /// Body of one pool-executed PredictAsync: cache hit → finish inline;
   /// in-flight duplicate → park the continuation and return the worker;
@@ -558,10 +700,14 @@ class PredictionService {
 
   /// Finishes one async request from shared artifacts (stage 3), releasing
   /// its registry reference before the promise fires so a caller that saw
-  /// the future complete also sees the registry drained.
-  void FulfillAsync(AsyncRequest& req, const StatusOr<Artifacts>& artifacts);
+  /// the future complete also sees the registry drained. A failed result
+  /// converts to a degraded fallback when the request opted in; records
+  /// the request's resolution cell ([hit][outcome]) exactly once.
+  void FulfillAsync(AsyncRequest& req, const StatusOr<Artifacts>& artifacts,
+                    bool hit);
   /// Same, but served from a resident entry (goes through the epoch memo).
-  void FulfillAsyncFromEntry(AsyncRequest& req, const EntryPtr& entry);
+  void FulfillAsyncFromEntry(AsyncRequest& req, const EntryPtr& entry,
+                             bool lock_free);
 
   /// Publishes a finished stage-1/2 run: removes the in-flight entry,
   /// inserts into the cache (unless the generation moved), completes the
@@ -571,13 +717,45 @@ class PredictionService {
                    const IdentityPtr& identity, uint64_t generation,
                    const StatusOr<Artifacts>& result);
 
-  /// Runs stages 1-2 for the plan, outside any lock.
-  StatusOr<Artifacts> RunStages(const Plan& plan, uint64_t fingerprint);
+  /// Runs stages 1-2 for the plan, outside any lock. Consults the fault
+  /// injector first (injected latency is slept here; an injected failure
+  /// returns without running stage 1), then pre-checks the deadline, then
+  /// runs the real stages with a cooperative cancellation probe derived
+  /// from the deadline (checked at operator and morsel-shard boundaries).
+  StatusOr<Artifacts> RunStages(const Plan& plan, uint64_t fingerprint,
+                                const RequestContext& ctx);
 
-  /// The single classification point of a request: bumps exactly one of
-  /// the stripe's `cache_hits`/`cache_misses` (predictions is their sum).
-  void RecordRequest(uint64_t fingerprint, bool hit,
-                     bool inflight_join = false, bool lock_free = false);
+  /// The single resolution point of a request: bumps exactly one cell of
+  /// the stripe's [hit][outcome] matrix (every stats invariant is a sum
+  /// over those cells).
+  void RecordOutcome(uint64_t fingerprint, bool hit, Outcome outcome,
+                     bool lock_free = false);
+
+  /// The Outcome a non-OK terminal status maps to.
+  static Outcome OutcomeFor(const Status& status) {
+    return status.code() == StatusCode::kDeadlineExceeded ? Outcome::kDeadline
+                                                          : Outcome::kFailed;
+  }
+
+  /// Cost-only degraded fallback (Prediction::degraded == true): mean =
+  /// OptimizerScalarCost * DegradedOptions::cost_scale_ms; sigma inflated
+  /// from the family's windowed feedback error (or the configured default
+  /// when the family has no history). Carries NO stage-1/2 artifacts.
+  Prediction MakeDegradedFromCost(uint64_t fingerprint, double scalar_cost);
+  Prediction MakeDegraded(uint64_t fingerprint, const Plan& plan);
+
+  /// Shared tail of every owner (miss) path: breaker admission, stage
+  /// run, breaker verdict, CompleteRun. On a shed, the in-flight entry is
+  /// completed with the quarantine status so joiners/waiters resolve too.
+  StatusOr<Artifacts> RunOwnedStages(const Plan& plan, uint64_t fingerprint,
+                                     const IdentityPtr& identity,
+                                     const Lookup& lk,
+                                     const RequestContext& ctx);
+
+  /// Injected spurious wakeup after a pool enqueue (test seam): an extra
+  /// NotifyAll with nothing new to do, exercising the explicit predicate
+  /// loops around every CondVar wait.
+  void MaybeSpuriousWakeup();
 
   /// Inserts into the shard (shard mutex held) and publishes the slot. On
   /// a lost race the incumbent wins; on a fingerprint collision the
@@ -617,6 +795,13 @@ class PredictionService {
   PoolRunner pool_runner_{this};  ///< must outlive (so precede) pipeline_
   PredictionPipeline pipeline_;
   ServiceOptions options_;
+  /// The database the pipeline predicts against, kept for the degraded
+  /// fallback's optimizer scalar cost (the pipeline owns its own copy of
+  /// this pointer but does not expose it).
+  const Database* db_ = nullptr;
+  /// Per-family quarantine; null when BreakerOptions::failure_threshold
+  /// is 0 (zero overhead).
+  std::unique_ptr<CircuitBreakerRegistry> breaker_;
 
   // ----- sharded stage-artifact cache + in-flight dedup tables -----
   mutable std::unique_ptr<Shard[]> shard_storage_;

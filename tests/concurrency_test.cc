@@ -20,6 +20,7 @@
 #include "hw/machine.h"
 #include "math/stats.h"
 #include "sampling/sample_db.h"
+#include "service/fault.h"
 #include "service/prediction_service.h"
 #include "workload/common.h"
 
@@ -544,6 +545,112 @@ TEST_F(IntraPlanRaceTest, EpochSwapsRaceLockFreeHitsAndColdRuns) {
     EXPECT_EQ(got->sample_run.get(), first_seen[i]) << "plan " << i;
     EXPECT_EQ(got->calibration_epoch(), final_epoch) << "plan " << i;
   }
+}
+
+// The fault-injection chaos mix (run under TSan and ASan in CI):
+// probabilistically injected stage failures and stalls race lock-free hot
+// hits, a full-cache invalidator, mixed sync/async/degraded traffic, and a
+// stats poller asserting the outcome-matrix conservation invariants at
+// every snapshot. Each request bumps exactly ONE cell of the striped
+// [hit|miss] x [ok|failed|degraded|deadline] matrix at resolution, so both
+// partitions must hold mid-flight, not just at quiescence — and the
+// derived totals must be monotone across polls.
+TEST_F(IntraPlanRaceTest, FaultChaosKeepsTheOutcomeMatrixConserved) {
+  ScheduledFaultOptions fopts;
+  fopts.seed = 99;
+  fopts.default_rule.fail_prob = 0.25;
+  fopts.default_rule.latency_prob = 0.25;
+  fopts.default_rule.latency_ms = 0.2;
+  fopts.spurious_every = 7;
+  ScheduledFaultInjector injector(fopts);
+
+  ServiceOptions options;
+  options.num_workers = 3;
+  options.predictor.num_threads = 2;
+  options.fault_injector = &injector;
+  PredictionService service(db_, samples_, *units_, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::thread poller([&] {
+    uint64_t last_predictions = 0;
+    while (!stop.load()) {
+      const ServiceStats st = service.stats();
+      if (st.cache_hits + st.cache_misses != st.predictions) {
+        violation.store(true);
+      }
+      if (st.ok_served + st.failed + st.degraded_served +
+              st.deadline_exceeded !=
+          st.predictions) {
+        violation.store(true);
+      }
+      if (st.predictions < last_predictions) violation.store(true);
+      last_predictions = st.predictions;
+      std::this_thread::yield();
+    }
+  });
+  std::thread invalidator([&] {
+    while (!stop.load()) {
+      service.InvalidateCache();
+      std::this_thread::yield();
+    }
+  });
+
+  // The storm: async waves across every plan (alternating the degraded
+  // opt-in) interleaved with blocking sync repeats that ride whatever the
+  // cache or in-flight table holds at that instant. Failures are never
+  // negatively cached, so a plan that faulted in wave k can hit in wave
+  // k+1 — every terminal state is legal, but it must be terminal.
+  RequestOptions degraded_ok;
+  degraded_ok.allow_degraded = true;
+  const int kWaves = 6;
+  uint64_t failed_seen = 0;
+  uint64_t degraded_seen = 0;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::future<StatusOr<Prediction>>> futures;
+    for (size_t i = 0; i < plans_->size(); ++i) {
+      const bool soft = (wave + static_cast<int>(i)) % 2 == 0;
+      futures.push_back(soft
+                            ? service.PredictAsync((*plans_)[i], degraded_ok)
+                            : service.PredictAsync((*plans_)[i]));
+    }
+    std::thread sync_hitter([&] {
+      for (int r = 0; r < 4; ++r) {
+        auto got = service.Predict((*plans_)[0], degraded_ok);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+      }
+    });
+    for (auto& f : futures) {
+      auto got = f.get();
+      if (got.ok()) {
+        if (got->degraded) ++degraded_seen;
+      } else {
+        // The only hard failure in this storm is the injected one.
+        EXPECT_EQ(got.status().code(), StatusCode::kUnavailable)
+            << got.status().ToString();
+        ++failed_seen;
+      }
+    }
+    sync_hitter.join();
+  }
+  stop.store(true);
+  poller.join();
+  invalidator.join();
+
+  EXPECT_FALSE(violation.load())
+      << "a stats snapshot tore the conservation invariants mid-flight";
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.cache_hits + st.cache_misses, st.predictions);
+  EXPECT_EQ(st.ok_served + st.failed + st.degraded_served +
+                st.deadline_exceeded,
+            st.predictions);
+  EXPECT_EQ(st.failed, failed_seen);
+  EXPECT_GE(st.degraded_served, degraded_seen);
+  // Every injected fault the service observed came from this injector,
+  // and nothing else failed.
+  EXPECT_EQ(st.faults_injected, injector.faults_fired());
+  EXPECT_GT(st.faults_injected, 0u) << "the chaos seed must actually bite";
+  EXPECT_EQ(service.plan_registry_size(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,58 @@
+// Fixture: a seed-derived fault schedule in the style of
+// src/service/fault.cc. All randomness flows through a splitmix64-style
+// pure mix of (seed, fingerprint, attempt) — no std::random_device, no
+// clock reads — and the unordered attempt map is only serialized after a
+// canonicalizing sort. Must lint clean.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+// Pure function of its inputs: the same (seed, fingerprint, attempt)
+// always draws the same value, regardless of thread count or wall time.
+inline uint64_t Mix(uint64_t seed, uint64_t fingerprint, uint64_t attempt) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (fingerprint + 1) + attempt;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline double UnitDraw(uint64_t seed, uint64_t fingerprint, uint64_t attempt) {
+  return static_cast<double>(Mix(seed, fingerprint, attempt) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+inline bool ScheduleAt(uint64_t seed, uint64_t fingerprint, uint64_t attempt,
+                       double fail_prob) {
+  return UnitDraw(seed, fingerprint, attempt) < fail_prob;
+}
+
+// Point lookups into an unordered map are order-independent and fine.
+inline uint64_t AttemptCount(
+    const std::unordered_map<uint64_t, uint64_t>& attempts, uint64_t fp) {
+  const auto it = attempts.find(fp);
+  return it == attempts.end() ? 0 : it->second;
+}
+
+// Serialization canonicalizes the hash-order contents by sorting before
+// any byte is emitted, so the output is independent of iteration order.
+inline std::string ScheduleBytes(
+    const std::unordered_map<uint64_t, uint64_t>& attempts, uint64_t seed,
+    double fail_prob) {
+  std::vector<std::pair<uint64_t, uint64_t>> rows(
+      attempts.begin(), attempts.end());  // det-lint: sorted-output
+  std::sort(rows.begin(), rows.end());    // det-lint: sorted-output
+  std::string out;
+  for (const auto& row : rows) {
+    for (uint64_t a = 0; a < row.second; ++a) {
+      out.push_back(ScheduleAt(seed, row.first, a, fail_prob) ? 'F' : '.');
+    }
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -505,6 +505,60 @@ TEST_F(ParallelParityTest, OperatorTailExecutorResultsBitIdentical) {
   }
 }
 
+// The aggregation chunk-merge is now a width-doubling pairwise tree
+// rather than a sequential left fold (PR 10). Near-unique grouping keys
+// are the tree's worst case: grouping lineitem by its primary key
+// (l_orderkey, l_linenumber) makes every row its own group, so almost no
+// chunk-table entry collapses before the final table and every merge
+// level carries the full key set. Any order dependence in the tree —
+// first-appearance ordering, sum accumulation order, provenance
+// attribution — shows up here first. The grid sweeps the same
+// {batch} x {threads} points as the rest of the tail suite.
+TEST_F(ParallelParityTest, AggregationTreeMergeParityAtNearUniqueKeys) {
+  Plan plan(MakeAggregate(MakeSeqScan("lineitem", nullptr), {0, 3},
+                          {{AggSpec::Kind::kCount, -1, "cnt"},
+                           {AggSpec::Kind::kSum, 5, "sum_price"},
+                           {AggSpec::Kind::kAvg, 6, "avg_disc"}}));
+  ASSERT_TRUE(plan.Finalize(*db_).ok());
+
+  Executor executor(db_);
+  const int64_t input_rows = db_->GetTable("lineitem").num_rows();
+  for (int64_t batch : {int64_t{7}, int64_t{64}, int64_t{1024}}) {
+    ExecOptions sequential;
+    sequential.collect_provenance = true;
+    sequential.retain_intermediates = true;
+    sequential.max_batch_size = batch;
+    auto ref = executor.Execute(plan, sequential);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    // The worst case is real: the primary key makes one group per row, so
+    // the merge tree collapses nothing.
+    ASSERT_EQ(ref->output.num_rows(), input_rows) << "batch " << batch;
+    for (int t : ParityThreadCounts()) {
+      ExecOptions parallel = sequential;
+      parallel.num_threads = t;
+      auto got = executor.Execute(plan, parallel);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectExecResultsEqual(got.value(), ref.value(),
+                             "unique-key agg batch " + std::to_string(batch) +
+                                 " threads " + std::to_string(t));
+    }
+  }
+
+  // And through the full pipeline: the sample-run bytes (counters,
+  // selectivities, variance inputs) obey the same contract over the
+  // full-ratio sample.
+  for (int64_t batch : {int64_t{7}, int64_t{64}, int64_t{1024}}) {
+    const std::string baseline =
+        SampleRunOutputBytes(RunStage(plan, 1, /*samples=*/nullptr, batch));
+    for (int t : ParityThreadCounts()) {
+      EXPECT_EQ(SampleRunOutputBytes(
+                    RunStage(plan, t, /*samples=*/nullptr, batch)),
+                baseline)
+          << "unique-key agg sample run batch " << batch << " threads " << t;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // The feedback loop (PR 7) joins the determinism contract: replaying a
 // fixed observed-runtime trace must produce bit-identical error windows,

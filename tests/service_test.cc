@@ -18,10 +18,12 @@
 #include "core/predictor.h"
 #include "cost/calibration.h"
 #include "datagen/tpch.h"
+#include "engine/cost_model.h"
 #include "engine/plan.h"
 #include "engine/planner.h"
 #include "hw/machine.h"
 #include "sampling/sample_db.h"
+#include "service/fault.h"
 #include "service/prediction_service.h"
 #include "workload/common.h"
 
@@ -1443,6 +1445,364 @@ TEST_F(ServiceTest, DriftTriggersRecalibrationAndErrorRecovery) {
   EXPECT_TRUE(families[0].window.empty());
   EXPECT_FALSE(families[0].converged);
   EXPECT_EQ(families[0].reports, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection, deadlines, graceful degradation and the circuit breaker
+// (PR 10): an injected stage failure propagates ONE status to every dedup
+// joiner and is never negatively cached; every batch slot resolves
+// terminally; deadlines bound work (not delivery) without poisoning the
+// cache or the in-flight table; cost-only degraded fallbacks follow the
+// documented formula; a poisoned family quarantines and probes.
+// ---------------------------------------------------------------------------
+
+void ExpectOutcomeConservation(const ServiceStats& st) {
+  EXPECT_EQ(st.ok_served + st.failed + st.degraded_served +
+                st.deadline_exceeded,
+            st.predictions)
+      << "the outcome split must partition predictions exactly";
+  EXPECT_EQ(st.cache_hits + st.cache_misses, st.predictions);
+}
+
+TEST_F(ServiceTest, InjectedFailureDeliversOneStatusToEveryJoiner) {
+  // The dedup error-propagation contract: a failed winner delivers the
+  // SAME status to the blocking sync joiner, the parked batch shard and
+  // the parked async loser — and the failure is not negatively cached.
+  const uint64_t fp = PlanFingerprint((*plans_)[0]);
+  ScheduledFaultOptions fopts;
+  FaultRule rule;
+  rule.fail_attempts = 1;  // attempt 0 fails, attempt 1 recovers
+  fopts.rules[fp] = rule;
+  ScheduledFaultInjector injector(fopts);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.fault_injector = &injector;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gated = false;
+  bool release = false;
+  std::atomic<int> hook_calls{0};
+  options.post_stages_hook = [&] {
+    // Gate only the first run — the failed winner — so the joiners can
+    // pile onto its in-flight record while the verdict is pending.
+    if (hook_calls.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      gated = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  PredictionService service(db_, samples_, *units_, options);
+
+  auto winner = service.PredictAsync((*plans_)[0]);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return gated; });
+  }
+  auto parked = service.PredictAsync((*plans_)[0]);  // parks a continuation
+  std::vector<StatusOr<Prediction>> sync_results;
+  std::thread sync_joiner(
+      [&] { sync_results.push_back(service.Predict((*plans_)[0])); });
+  std::vector<StatusOr<Prediction>> batch_results;
+  std::thread batcher([&] {
+    const std::vector<const Plan*> batch = {&(*plans_)[0], &(*plans_)[1]};
+    batch_results = service.PredictBatch(batch);
+  });
+  // Parked async + blocking sync + parked batch shard, all on the gated
+  // winner, counted the moment they joined.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.stats().inflight_joins < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(service.stats().inflight_joins, 3u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  sync_joiner.join();
+  batcher.join();
+
+  auto winner_result = winner.get();
+  ASSERT_FALSE(winner_result.ok());
+  EXPECT_EQ(winner_result.status().code(), StatusCode::kUnavailable);
+  // Every joiner got the winner's exact status — never a placeholder.
+  auto parked_result = parked.get();
+  ASSERT_FALSE(parked_result.ok());
+  EXPECT_EQ(parked_result.status().ToString(),
+            winner_result.status().ToString());
+  ASSERT_EQ(sync_results.size(), 1u);
+  ASSERT_FALSE(sync_results[0].ok());
+  EXPECT_EQ(sync_results[0].status().ToString(),
+            winner_result.status().ToString());
+  ASSERT_EQ(batch_results.size(), 2u);
+  ASSERT_FALSE(batch_results[0].ok());
+  EXPECT_EQ(batch_results[0].status().ToString(),
+            winner_result.status().ToString());
+  ASSERT_TRUE(batch_results[1].ok()) << batch_results[1].status().ToString();
+
+  // Not negatively cached: the fingerprint retries from scratch and the
+  // recovered attempt populates the cache normally.
+  ServiceStats st = service.stats();
+  EXPECT_EQ(st.faults_injected, 1u);
+  EXPECT_EQ(st.sample_runs, 1u) << "only the batch's healthy plan sampled";
+  auto retry = service.Predict((*plans_)[0]);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_FALSE(retry->degraded);
+  st = service.stats();
+  EXPECT_EQ(st.sample_runs, 2u) << "the retry re-ran stage 1";
+  EXPECT_EQ(injector.AttemptCount(fp), 2u);
+  EXPECT_EQ(st.failed, 4u);  // winner + 3 joiners
+  EXPECT_EQ(st.ok_served, 2u);
+  ExpectOutcomeConservation(st);
+}
+
+TEST_F(ServiceTest, BatchMidFaultResolvesEverySlotTerminally) {
+  // A mid-batch injected fault must leave every slot with its own
+  // terminal status: the failing group's slots carry the injected error,
+  // healthy groups succeed, and no internal placeholder ever escapes.
+  const uint64_t fp1 = PlanFingerprint((*plans_)[1]);
+  ScheduledFaultOptions fopts;
+  FaultRule rule;
+  rule.fail_attempts = 1;
+  fopts.rules[fp1] = rule;
+  ScheduledFaultInjector injector(fopts);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.fault_injector = &injector;
+  PredictionService service(db_, samples_, *units_, options);
+
+  const std::vector<const Plan*> batch = {&(*plans_)[0], &(*plans_)[1],
+                                          &(*plans_)[1], &(*plans_)[2]};
+  const auto results = service.PredictBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Status s = results[i].ok() ? Status::OK() : results[i].status();
+    EXPECT_EQ(s.message().find("batch slot never resolved"), std::string::npos)
+        << "slot " << i << " leaked the internal sentinel";
+    EXPECT_EQ(s.message().find("prediction not yet computed"),
+              std::string::npos)
+        << "slot " << i << " leaked the old placeholder";
+  }
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[3].ok());
+  ASSERT_FALSE(results[1].ok());
+  ASSERT_FALSE(results[2].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(results[1].status().ToString(), results[2].status().ToString())
+      << "both duplicate slots must carry their group's one status";
+
+  // The failure is not negatively cached: the same batch retried succeeds
+  // everywhere (attempt 1 recovers), re-running stage 1 only for the
+  // previously failed group.
+  const auto again = service.PredictBatch(batch);
+  for (const auto& r : again) ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.sample_runs, 3u);
+  EXPECT_EQ(st.faults_injected, 1u);
+  EXPECT_EQ(st.failed, 2u);
+  ExpectOutcomeConservation(st);
+}
+
+TEST_F(ServiceTest, DeadlineExpiresWithoutPoisoningCacheOrInflight) {
+  // An injected 50ms stall against a 5ms deadline: the request resolves
+  // DeadlineExceeded, consumes no sample run, and leaves the in-flight
+  // table and cache clean for the next (undeadlined) request.
+  const uint64_t fp = PlanFingerprint((*plans_)[0]);
+  ScheduledFaultOptions fopts;
+  FaultRule rule;
+  rule.latency_prob = 1.0;
+  rule.latency_ms = 50.0;
+  fopts.rules[fp] = rule;
+  ScheduledFaultInjector injector(fopts);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.fault_injector = &injector;
+  PredictionService service(db_, samples_, *units_, options);
+
+  RequestOptions tight;
+  tight.deadline_ms = 5.0;
+  auto expired = service.Predict((*plans_)[0], tight);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+  ServiceStats st = service.stats();
+  EXPECT_EQ(st.deadline_exceeded, 1u);
+  EXPECT_EQ(st.sample_runs, 0u)
+      << "an attempt known to be expired must not start stage 1";
+  EXPECT_EQ(service.cache_size(), 0u);
+
+  // The fingerprint is not poisoned: an undeadlined retry (same injected
+  // latency, no limit) samples and caches normally.
+  auto retry = service.Predict((*plans_)[0]);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(service.cache_size(), 1u);
+  EXPECT_EQ(service.stats().sample_runs, 1u);
+
+  // Deadlines bound WORK, not delivery: a hot hit is free, so even an
+  // unmeetable deadline serves it.
+  RequestOptions hopeless;
+  hopeless.deadline_ms = 0.001;
+  auto hit = service.Predict((*plans_)[0], hopeless);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_EQ(hit->mean(), retry->mean());
+  st = service.stats();
+  EXPECT_EQ(st.cache_hits, 1u);
+  EXPECT_EQ(st.deadline_exceeded, 1u);
+  ExpectOutcomeConservation(st);
+}
+
+TEST_F(ServiceTest, DegradedFallbackFollowsTheCostOnlyFormula) {
+  // allow_degraded converts a hard failure into a usable cost-only
+  // prediction: mean = optimizer scalar cost x cost_scale_ms, sigma =
+  // mean x max(default_rel_error, windowed error) x inflation.
+  const uint64_t fp = PlanFingerprint((*plans_)[0]);
+  ScheduledFaultOptions fopts;
+  FaultRule rule;
+  rule.fail_attempts = 1000;  // this family never recovers
+  fopts.rules[fp] = rule;
+  ScheduledFaultInjector injector(fopts);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.fault_injector = &injector;
+  options.degraded.cost_scale_ms = 2.0;
+  options.degraded.default_rel_error = 0.5;
+  options.degraded.inflation = 2.0;
+  PredictionService service(db_, samples_, *units_, options);
+
+  // Without the opt-in the failure surfaces as-is.
+  auto hard = service.Predict((*plans_)[0]);
+  ASSERT_FALSE(hard.ok());
+  EXPECT_EQ(hard.status().code(), StatusCode::kUnavailable);
+
+  RequestOptions opts;
+  opts.allow_degraded = true;
+  auto soft = service.Predict((*plans_)[0], opts);
+  ASSERT_TRUE(soft.ok()) << soft.status().ToString();
+  EXPECT_TRUE(soft->degraded);
+  const double scalar = OptimizerScalarCost((*plans_)[0], *db_);
+  ASSERT_GT(scalar, 0.0);
+  EXPECT_DOUBLE_EQ(soft->mean(), scalar * 2.0);
+  const double sigma = soft->mean() * 0.5 * 2.0;
+  EXPECT_DOUBLE_EQ(soft->breakdown.variance, sigma * sigma);
+
+  // The async path degrades identically — including for a caller that
+  // destroyed its plan right after submitting (the cost is precomputed).
+  std::future<StatusOr<Prediction>> f;
+  {
+    Plan doomed = (*plans_)[0].Clone();
+    f = service.PredictAsync(doomed, opts);
+  }
+  auto async_soft = f.get();
+  ASSERT_TRUE(async_soft.ok()) << async_soft.status().ToString();
+  EXPECT_TRUE(async_soft->degraded);
+  EXPECT_DOUBLE_EQ(async_soft->mean(), soft->mean());
+  EXPECT_DOUBLE_EQ(async_soft->breakdown.variance, soft->breakdown.variance);
+
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.degraded_served, 2u);
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_EQ(st.sample_runs, 0u);
+  ExpectOutcomeConservation(st);
+}
+
+TEST_F(ServiceTest, BreakerQuarantinesPoisonedFamilyThenProbes) {
+  // A family whose stage 1 always fails must stop consuming stage-1
+  // attempts once the breaker opens; cooldown sheds resolve without
+  // touching the injector, then one half-open probe re-tests the family.
+  const uint64_t fp = PlanFingerprint((*plans_)[0]);
+  ScheduledFaultOptions fopts;
+  FaultRule rule;
+  rule.fail_attempts = 1000;
+  fopts.rules[fp] = rule;
+  ScheduledFaultInjector injector(fopts);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.fault_injector = &injector;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown_requests = 2;
+  PredictionService service(db_, samples_, *units_, options);
+  RequestOptions opts;
+  opts.allow_degraded = true;
+
+  // Two real failures open the breaker.
+  for (int i = 0; i < 2; ++i) {
+    auto r = service.Predict((*plans_)[0], opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->degraded);
+  }
+  EXPECT_EQ(injector.AttemptCount(fp), 2u);
+  ServiceStats st = service.stats();
+  EXPECT_EQ(st.breaker_opens, 1u);
+  EXPECT_EQ(st.faults_injected, 2u);
+
+  // While open: the first cooldown request sheds — degraded WITHOUT
+  // consulting the injector (the quarantined family consumes no stage-1
+  // attempts) — and the second becomes the half-open probe (attempt 3),
+  // which fails and re-opens.
+  auto shed = service.Predict((*plans_)[0], opts);
+  ASSERT_TRUE(shed.ok());
+  EXPECT_TRUE(shed->degraded);
+  EXPECT_EQ(injector.AttemptCount(fp), 2u)
+      << "a shed request must not consume a fault-schedule attempt";
+  auto probe = service.Predict((*plans_)[0], opts);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(probe->degraded);
+  EXPECT_EQ(injector.AttemptCount(fp), 3u) << "the probe re-tests stage 1";
+
+  st = service.stats();
+  EXPECT_EQ(st.breaker_opens, 2u) << "the failed probe re-opens the family";
+  EXPECT_EQ(st.breaker_shed, 1u);
+  EXPECT_EQ(st.breaker_probes, 1u);
+  EXPECT_EQ(st.degraded_served, 4u);
+  EXPECT_EQ(st.sample_runs, 0u);
+  ExpectOutcomeConservation(st);
+
+  // Breaker state is visible through FeedbackSnapshot even with the
+  // feedback loop disabled: breaker-only families materialize as rows.
+  const auto families = service.FeedbackSnapshot();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].fingerprint, fp);
+  EXPECT_STREQ(families[0].breaker_state, "open");
+  EXPECT_EQ(families[0].breaker_opens, 2u);
+  EXPECT_EQ(families[0].breaker_shed, 1u);
+}
+
+TEST_F(ServiceTest, BreakerClosesAfterSuccessfulProbe) {
+  // The recovery arc: 2 failures open, the cooldown passes, the probe
+  // succeeds, and the family serves real predictions again.
+  const uint64_t fp = PlanFingerprint((*plans_)[1]);
+  ScheduledFaultOptions fopts;
+  FaultRule rule;
+  rule.fail_attempts = 2;  // fails twice, then heals
+  fopts.rules[fp] = rule;
+  ScheduledFaultInjector injector(fopts);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.fault_injector = &injector;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown_requests = 1;
+  PredictionService service(db_, samples_, *units_, options);
+  RequestOptions opts;
+  opts.allow_degraded = true;
+
+  ASSERT_TRUE(service.Predict((*plans_)[1], opts)->degraded);
+  ASSERT_TRUE(service.Predict((*plans_)[1], opts)->degraded);  // opens
+  // cooldown_requests=1: the very next request is the probe — attempt 2,
+  // which the schedule lets succeed.
+  auto healed = service.Predict((*plans_)[1], opts);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_FALSE(healed->degraded) << "a healed probe serves the real pipeline";
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.breaker_opens, 1u);
+  EXPECT_EQ(st.breaker_probes, 1u);
+  EXPECT_EQ(st.sample_runs, 1u);
+  // Closed again: a plain hit serves from the cache the probe populated.
+  ASSERT_TRUE(service.Predict((*plans_)[1]).ok());
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+  ExpectOutcomeConservation(service.stats());
 }
 
 }  // namespace

@@ -8,8 +8,10 @@ clock read in a sampling stage, one pointer-keyed std::set, and results
 depend on allocator addresses or the scheduler. This lint scans the
 contract-path sources (src/engine, src/sampling, src/core, and
 src/schedule — the SLO simulator promises byte-identical event logs at
-every thread count and must never read a real clock) for the constructs
-that have historically caused exactly that:
+every thread count and must never read a real clock — plus
+src/service/fault.{h,cc}, whose injected-fault schedule is a pure
+function of the configured seed so chaos runs replay bit-identically)
+for the constructs that have historically caused exactly that:
 
   banned-random        std::random_device, rand(), srand() — all sampling
                        randomness must flow through the seeded PRNG plumbing.
@@ -48,6 +50,13 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CONTRACT_DIRS = ("src/engine", "src/sampling", "src/core", "src/schedule")
+# Individual contract files outside the contract dirs. The fault injector
+# lives in the service layer (a test/bench seam), but its schedule is
+# seed-derived by contract: the decision for (fingerprint, attempt) must be
+# a pure function of the seed — no std::random_device, no clock reads — so
+# chaos runs replay bit-identically across thread counts. Same rules, same
+# waiver tags; no new waiver categories.
+CONTRACT_FILES = ("src/service/fault.cc", "src/service/fault.h")
 FIXTURE_DIR = "tests/determinism_lint"
 SOURCE_EXTS = (".cc", ".h")
 
@@ -257,6 +266,10 @@ def contract_files():
             for name in sorted(filenames):
                 if name.endswith(SOURCE_EXTS):
                     files.append(os.path.join(dirpath, name))
+    for rel in CONTRACT_FILES:
+        path = os.path.join(REPO_ROOT, rel)
+        if os.path.isfile(path):
+            files.append(path)
     return files
 
 
